@@ -1,0 +1,273 @@
+//! The tuning driver: runs a tuner against an evaluator and records the
+//! trial history with process-time accounting.
+
+use crate::measure::{Evaluator, MeasureResult};
+use crate::tuner::Tuner;
+use configspace::Configuration;
+use std::time::Instant;
+
+/// Budget and batching options (the paper: `max_evals = 100`).
+#[derive(Debug, Clone, Copy)]
+pub struct TuneOptions {
+    /// Maximum number of measured configurations.
+    pub max_evals: usize,
+    /// Configurations requested from the tuner per round (AutoTVM's
+    /// measure batch).
+    pub batch: usize,
+    /// Optional cap on accumulated process time, seconds.
+    pub max_process_s: Option<f64>,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        TuneOptions {
+            max_evals: 100,
+            batch: 8,
+            max_process_s: None,
+        }
+    }
+}
+
+/// One measured trial.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    /// 0-based evaluation index.
+    pub index: usize,
+    /// The measured configuration.
+    pub config: Configuration,
+    /// Kernel runtime, seconds (`None` on failure).
+    pub runtime_s: Option<f64>,
+    /// Process time this evaluation consumed.
+    pub eval_process_s: f64,
+    /// Cumulative process time (tuner think time + evaluations) when this
+    /// trial finished — the x-axis of the paper's Figures 4/6/8/10/12.
+    pub elapsed_s: f64,
+}
+
+/// Complete history of one tuning run.
+#[derive(Debug, Clone)]
+pub struct TuningResult {
+    /// Tuner display name.
+    pub tuner: String,
+    /// Trials in measurement order.
+    pub trials: Vec<Trial>,
+    /// Total autotuning process time (the paper's bar-chart metric).
+    pub total_process_s: f64,
+    /// Wall-clock the tuner itself spent proposing/updating.
+    pub think_s: f64,
+}
+
+impl TuningResult {
+    /// The successful trial with the smallest runtime.
+    pub fn best(&self) -> Option<&Trial> {
+        self.trials
+            .iter()
+            .filter(|t| t.runtime_s.is_some())
+            .min_by(|a, b| {
+                a.runtime_s
+                    .partial_cmp(&b.runtime_s)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// Number of evaluations performed.
+    pub fn len(&self) -> usize {
+        self.trials.len()
+    }
+
+    /// True when no trial ran.
+    pub fn is_empty(&self) -> bool {
+        self.trials.is_empty()
+    }
+
+    /// Running minimum runtime after each trial (convergence curve).
+    pub fn incumbent_curve(&self) -> Vec<f64> {
+        let mut best = f64::INFINITY;
+        self.trials
+            .iter()
+            .map(|t| {
+                if let Some(r) = t.runtime_s {
+                    best = best.min(r);
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+/// Run `tuner` against `evaluator` until the budget is exhausted or the
+/// tuner gives up (the paper's Step 1–5 loop).
+///
+/// Process-time accounting: the tuner's *real* `next_batch`/`update` time
+/// is measured with a wall clock and added to the evaluations' (possibly
+/// simulated) process seconds — so a model-based tuner that spends real
+/// CPU time training is charged for it, exactly as in the paper's
+/// "overall autotuning process time".
+pub fn tune(
+    tuner: &mut dyn Tuner,
+    evaluator: &dyn Evaluator,
+    opts: TuneOptions,
+) -> TuningResult {
+    let mut trials: Vec<Trial> = Vec::with_capacity(opts.max_evals);
+    let mut elapsed = 0.0f64;
+    let mut think = 0.0f64;
+
+    while trials.len() < opts.max_evals && tuner.has_next() {
+        if let Some(cap) = opts.max_process_s {
+            if elapsed >= cap {
+                break;
+            }
+        }
+        let want = opts.batch.min(opts.max_evals - trials.len());
+        let t0 = Instant::now();
+        let batch = tuner.next_batch(want);
+        let dt = t0.elapsed().as_secs_f64();
+        think += dt;
+        elapsed += dt;
+        if batch.is_empty() {
+            break;
+        }
+
+        let mut results: Vec<(Configuration, MeasureResult)> = Vec::with_capacity(batch.len());
+        for config in batch {
+            let res = evaluator.evaluate(&config);
+            elapsed += res.process_s;
+            trials.push(Trial {
+                index: trials.len(),
+                config: config.clone(),
+                runtime_s: res.runtime_s,
+                eval_process_s: res.process_s,
+                elapsed_s: elapsed,
+            });
+            results.push((config, res));
+        }
+
+        let t1 = Instant::now();
+        tuner.update(&results);
+        let dt = t1.elapsed().as_secs_f64();
+        think += dt;
+        elapsed += dt;
+    }
+
+    TuningResult {
+        tuner: tuner.name().to_string(),
+        trials,
+        total_process_s: elapsed,
+        think_s: think,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::FnEvaluator;
+    use crate::tuner::gridsearch::GridSearchTuner;
+    use crate::tuner::random::RandomTuner;
+    use configspace::{ConfigSpace, Hyperparameter};
+
+    fn space() -> ConfigSpace {
+        let mut cs = ConfigSpace::new();
+        cs.add(Hyperparameter::ordinal_ints(
+            "P0",
+            &(1..=10).collect::<Vec<i64>>(),
+        ));
+        cs.add(Hyperparameter::ordinal_ints(
+            "P1",
+            &(1..=10).collect::<Vec<i64>>(),
+        ));
+        cs
+    }
+
+    fn evaluator() -> FnEvaluator<impl Fn(&Configuration) -> MeasureResult> {
+        FnEvaluator::new(space(), |c| {
+            let r = (c.int("P0") - 7).pow(2) as f64 + (c.int("P1") - 3).pow(2) as f64 + 1.0;
+            MeasureResult::ok(r, r + 0.8)
+        })
+    }
+
+    #[test]
+    fn respects_budget() {
+        let ev = evaluator();
+        let mut t = RandomTuner::new(space(), 1);
+        let res = tune(&mut t, &ev, TuneOptions::default());
+        assert_eq!(res.len(), 100);
+        assert_eq!(res.trials.last().expect("trials").index, 99);
+    }
+
+    #[test]
+    fn elapsed_is_monotone_and_includes_eval_cost() {
+        let ev = evaluator();
+        let mut t = GridSearchTuner::new(space());
+        let res = tune(
+            &mut t,
+            &ev,
+            TuneOptions {
+                max_evals: 20,
+                batch: 4,
+                max_process_s: None,
+            },
+        );
+        assert!(res
+            .trials
+            .windows(2)
+            .all(|w| w[0].elapsed_s < w[1].elapsed_s));
+        let eval_sum: f64 = res.trials.iter().map(|t| t.eval_process_s).sum();
+        assert!(res.total_process_s >= eval_sum);
+        assert!(res.think_s >= 0.0);
+    }
+
+    #[test]
+    fn best_finds_minimum_on_full_grid() {
+        let ev = evaluator();
+        let mut t = GridSearchTuner::new(space());
+        let res = tune(
+            &mut t,
+            &ev,
+            TuneOptions {
+                max_evals: 100,
+                batch: 10,
+                max_process_s: None,
+            },
+        );
+        let best = res.best().expect("has best");
+        assert_eq!(best.runtime_s, Some(1.0));
+        assert_eq!(best.config.int("P0"), 7);
+        assert_eq!(best.config.int("P1"), 3);
+    }
+
+    #[test]
+    fn incumbent_curve_is_nonincreasing() {
+        let ev = evaluator();
+        let mut t = RandomTuner::new(space(), 5);
+        let res = tune(&mut t, &ev, TuneOptions::default());
+        let curve = res.incumbent_curve();
+        assert_eq!(curve.len(), res.len());
+        assert!(curve.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    fn process_cap_stops_early() {
+        let ev = evaluator();
+        let mut t = RandomTuner::new(space(), 2);
+        let res = tune(
+            &mut t,
+            &ev,
+            TuneOptions {
+                max_evals: 100,
+                batch: 5,
+                max_process_s: Some(30.0),
+            },
+        );
+        assert!(res.len() < 100);
+    }
+
+    #[test]
+    fn stops_when_tuner_exhausted() {
+        let mut cs = ConfigSpace::new();
+        cs.add(Hyperparameter::ordinal_ints("P0", &[1, 2, 3]));
+        let ev = FnEvaluator::new(cs.clone(), |_| MeasureResult::ok(1.0, 1.0));
+        let mut t = GridSearchTuner::new(cs);
+        let res = tune(&mut t, &ev, TuneOptions::default());
+        assert_eq!(res.len(), 3);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # autotvm — the baseline tuning framework (AutoTVM reimplementation)
+//!
+//! The paper compares its BO framework against AutoTVM with four tuner
+//! strategies; this crate provides all four over the same
+//! [`configspace::ConfigSpace`] the molds expose:
+//!
+//! * [`tuner::random::RandomTuner`] — enumerate the space in random order,
+//! * [`tuner::gridsearch::GridSearchTuner`] — enumerate in grid order,
+//! * [`tuner::ga::GaTuner`] — genetic algorithm over knob indices,
+//! * [`tuner::xgb::XgbTuner`] — gradient-boosted-tree cost model with
+//!   simulated-annealing candidate proposal (the XGBoost tuner). Like the
+//!   paper observed on the small LU/Cholesky spaces, its proposal pool can
+//!   exhaust before the trial budget and the tuner stops early (§5: "at
+//!   most 56 evaluations").
+//!
+//! [`measure`] defines the evaluation interface and the process-time
+//! accounting (build + transfer + repeated runs), and [`driver::tune`]
+//! runs the measure loop, charging the tuner's *real* think time plus the
+//! (simulated or real) evaluation cost — the quantity Figures 4–13 of the
+//! paper plot on their time axes. [`record`] persists trials as JSON, the
+//! moral equivalent of AutoTVM's tuning logs.
+
+pub mod autoscheduler;
+pub mod driver;
+pub mod measure;
+pub mod record;
+pub mod tuner;
+
+pub use autoscheduler::AutoScheduler;
+pub use driver::{tune, Trial, TuneOptions, TuningResult};
+pub use measure::{Evaluator, MeasureResult};
+pub use tuner::{ga::GaTuner, gridsearch::GridSearchTuner, random::RandomTuner, xgb::XgbTuner, Tuner};

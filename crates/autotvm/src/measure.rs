@@ -1,0 +1,103 @@
+//! Evaluation interface and measurement accounting.
+
+use configspace::{ConfigSpace, Configuration};
+
+/// Outcome of measuring one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureResult {
+    /// Kernel runtime in seconds (`None` on failure).
+    pub runtime_s: Option<f64>,
+    /// Wall-clock the evaluation consumed: build + data transfer +
+    /// `repeats` timed runs. This is what accumulates into the paper's
+    /// "autotuning process time".
+    pub process_s: f64,
+    /// Failure description, if any.
+    pub error: Option<String>,
+}
+
+impl MeasureResult {
+    /// Successful measurement.
+    pub fn ok(runtime_s: f64, process_s: f64) -> MeasureResult {
+        MeasureResult {
+            runtime_s: Some(runtime_s),
+            process_s,
+            error: None,
+        }
+    }
+
+    /// Failed measurement (still charges its process time).
+    pub fn fail(error: impl Into<String>, process_s: f64) -> MeasureResult {
+        MeasureResult {
+            runtime_s: None,
+            process_s,
+            error: Some(error.into()),
+        }
+    }
+
+    /// True when the measurement produced a runtime.
+    pub fn is_ok(&self) -> bool {
+        self.runtime_s.is_some()
+    }
+}
+
+/// Anything that can score configurations of a space.
+///
+/// Tuners are generic over this: the production implementation
+/// (`tvm_autotune::MoldEvaluator`) compiles a PolyBench code mold and
+/// measures it on a device; tests use synthetic functions.
+pub trait Evaluator {
+    /// The space being tuned.
+    fn space(&self) -> &ConfigSpace;
+
+    /// Measure one configuration.
+    fn evaluate(&self, config: &Configuration) -> MeasureResult;
+}
+
+/// A closure-backed evaluator for tests and custom problems.
+pub struct FnEvaluator<F: Fn(&Configuration) -> MeasureResult> {
+    space: ConfigSpace,
+    f: F,
+}
+
+impl<F: Fn(&Configuration) -> MeasureResult> FnEvaluator<F> {
+    /// Wrap a closure over a space.
+    pub fn new(space: ConfigSpace, f: F) -> Self {
+        FnEvaluator { space, f }
+    }
+}
+
+impl<F: Fn(&Configuration) -> MeasureResult> Evaluator for FnEvaluator<F> {
+    fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    fn evaluate(&self, config: &Configuration) -> MeasureResult {
+        (self.f)(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use configspace::Hyperparameter;
+
+    #[test]
+    fn result_constructors() {
+        let ok = MeasureResult::ok(1.5, 2.0);
+        assert!(ok.is_ok());
+        assert_eq!(ok.runtime_s, Some(1.5));
+        let bad = MeasureResult::fail("boom", 0.5);
+        assert!(!bad.is_ok());
+        assert_eq!(bad.error.as_deref(), Some("boom"));
+        assert_eq!(bad.process_s, 0.5);
+    }
+
+    #[test]
+    fn fn_evaluator_works() {
+        let mut cs = ConfigSpace::new();
+        cs.add(Hyperparameter::ordinal_ints("P0", &[1, 2, 4]));
+        let ev = FnEvaluator::new(cs, |c| MeasureResult::ok(c.int("P0") as f64, 1.0));
+        let cfg = ev.space().at(2);
+        assert_eq!(ev.evaluate(&cfg).runtime_s, Some(4.0));
+    }
+}

@@ -1,0 +1,155 @@
+//! Tuning-record persistence (AutoTVM's JSON tuning logs).
+
+use crate::driver::{Trial, TuningResult};
+use configspace::Configuration;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// One serialized trial record (one JSON object per line, like AutoTVM's
+/// log format).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct TuningRecord {
+    /// Kernel identifier, e.g. `"lu-large"`.
+    pub workload: String,
+    /// Tuner name.
+    pub tuner: String,
+    /// Evaluation index within the run.
+    pub index: usize,
+    /// The configuration.
+    pub config: Configuration,
+    /// Measured runtime (seconds), if successful.
+    pub runtime_s: Option<f64>,
+    /// Cumulative process time when the trial finished.
+    pub elapsed_s: f64,
+}
+
+impl TuningRecord {
+    /// Build records from a tuning result.
+    pub fn from_result(workload: &str, result: &TuningResult) -> Vec<TuningRecord> {
+        result
+            .trials
+            .iter()
+            .map(|t| TuningRecord {
+                workload: workload.to_string(),
+                tuner: result.tuner.clone(),
+                index: t.index,
+                config: t.config.clone(),
+                runtime_s: t.runtime_s,
+                elapsed_s: t.elapsed_s,
+            })
+            .collect()
+    }
+}
+
+/// Append records to a JSON-lines log file.
+pub fn save(path: &Path, records: &[TuningRecord]) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?,
+    );
+    for r in records {
+        let line = serde_json::to_string(r).expect("record serializes");
+        writeln!(f, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Load every record from a JSON-lines log file.
+pub fn load(path: &Path) -> std::io::Result<Vec<TuningRecord>> {
+    let f = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut out = Vec::new();
+    for line in f.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: TuningRecord = serde_json::from_str(&line).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad record: {e}"))
+        })?;
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// Best (lowest-runtime) record for a workload, like
+/// `autotvm.apply_history_best`.
+pub fn pick_best<'a>(records: &'a [TuningRecord], workload: &str) -> Option<&'a TuningRecord> {
+    records
+        .iter()
+        .filter(|r| r.workload == workload && r.runtime_s.is_some())
+        .min_by(|a, b| {
+            a.runtime_s
+                .partial_cmp(&b.runtime_s)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+}
+
+/// Reconstruct a (partial) tuning result from records — used by analysis
+/// tooling over saved logs.
+pub fn to_trials(records: &[TuningRecord]) -> Vec<Trial> {
+    records
+        .iter()
+        .map(|r| Trial {
+            index: r.index,
+            config: r.config.clone(),
+            runtime_s: r.runtime_s,
+            eval_process_s: 0.0,
+            elapsed_s: r.elapsed_s,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use configspace::ParamValue;
+
+    fn record(workload: &str, idx: usize, rt: Option<f64>) -> TuningRecord {
+        TuningRecord {
+            workload: workload.into(),
+            tuner: "test".into(),
+            index: idx,
+            config: Configuration::new(
+                vec!["P0".into()],
+                vec![ParamValue::Int(idx as i64 + 1)],
+            ),
+            runtime_s: rt,
+            elapsed_s: idx as f64,
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("tvm-autotune-test-records");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("log.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let recs = vec![record("lu-large", 0, Some(1.5)), record("lu-large", 1, None)];
+        save(&path, &recs).expect("save");
+        save(&path, &[record("lu-large", 2, Some(1.2))]).expect("append");
+        let back = load(&path).expect("load");
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0], recs[0]);
+        let best = pick_best(&back, "lu-large").expect("best");
+        assert_eq!(best.runtime_s, Some(1.2));
+        assert!(pick_best(&back, "other").is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failed_trials_skipped_by_pick_best() {
+        let recs = vec![record("w", 0, None), record("w", 1, None)];
+        assert!(pick_best(&recs, "w").is_none());
+    }
+
+    #[test]
+    fn to_trials_preserves_order() {
+        let recs = vec![record("w", 0, Some(2.0)), record("w", 1, Some(1.0))];
+        let trials = to_trials(&recs);
+        assert_eq!(trials.len(), 2);
+        assert_eq!(trials[1].runtime_s, Some(1.0));
+    }
+}

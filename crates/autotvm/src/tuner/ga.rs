@@ -1,0 +1,302 @@
+//! `GATuner`: genetic algorithm over knob-index genomes.
+
+use crate::measure::MeasureResult;
+use crate::tuner::Tuner;
+use configspace::{ConfigSpace, Configuration};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// One genome: the ordinal index of each parameter.
+type Genome = Vec<usize>;
+
+/// AutoTVM's `GATuner` (population GA with elitism, uniform crossover and
+/// point mutation; fitness = negative runtime).
+pub struct GaTuner {
+    space: ConfigSpace,
+    rng: SmallRng,
+    /// Population size (AutoTVM default 100).
+    pub pop_size: usize,
+    /// Elites carried into the next generation (AutoTVM default 3).
+    pub elite_num: usize,
+    /// Per-gene mutation probability.
+    pub mutation_prob: f64,
+    /// Current generation waiting to be measured.
+    pending: Vec<Genome>,
+    /// Measured genomes and fitness of the current generation.
+    scored: Vec<(Genome, f64)>,
+    /// All-time elites.
+    elites: Vec<(Genome, f64)>,
+    visited: HashSet<Genome>,
+    space_size: u128,
+}
+
+impl GaTuner {
+    /// New tuner with AutoTVM's defaults.
+    pub fn new(space: ConfigSpace, seed: u64) -> GaTuner {
+        let space_size = space.size().expect("GaTuner needs a discrete space");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pop_size = 100usize.min(space_size.min(u128::from(u32::MAX)) as usize);
+        let mut t = GaTuner {
+            space,
+            rng: SmallRng::seed_from_u64(0),
+            pop_size,
+            elite_num: 3,
+            mutation_prob: 0.1,
+            pending: Vec::new(),
+            scored: Vec::new(),
+            elites: Vec::new(),
+            visited: HashSet::new(),
+            space_size,
+        };
+        std::mem::swap(&mut t.rng, &mut rng);
+        t.seed_population();
+        t
+    }
+
+    fn cards(&self) -> Vec<usize> {
+        self.space
+            .params()
+            .iter()
+            .map(|p| p.cardinality().expect("discrete") as usize)
+            .collect()
+    }
+
+    fn random_genome(&mut self) -> Genome {
+        self.cards()
+            .iter()
+            .map(|&c| self.rng.gen_range(0..c))
+            .collect()
+    }
+
+    fn genome_to_config(&self, g: &Genome) -> Configuration {
+        Configuration::new(
+            self.space
+                .params()
+                .iter()
+                .map(|p| p.name().to_string())
+                .collect(),
+            g.iter()
+                .zip(self.space.params())
+                .map(|(&i, p)| p.value_at(i))
+                .collect(),
+        )
+    }
+
+    fn config_to_genome(&self, c: &Configuration) -> Genome {
+        self.space
+            .params()
+            .iter()
+            .map(|p| {
+                p.index_of(c.get(p.name()).expect("param present"))
+                    .expect("value in space")
+            })
+            .collect()
+    }
+
+    fn seed_population(&mut self) {
+        let mut attempts = 0;
+        while self.pending.len() < self.pop_size && attempts < self.pop_size * 50 {
+            attempts += 1;
+            let g = self.random_genome();
+            if !self.visited.contains(&g) {
+                self.visited.insert(g.clone());
+                self.pending.push(g);
+            }
+        }
+    }
+
+    fn breed(&mut self) {
+        // Parents: tournament over last generation + all-time elites.
+        let mut pool = self.scored.clone();
+        pool.extend(self.elites.iter().cloned());
+        if pool.is_empty() {
+            self.seed_population();
+            return;
+        }
+        let cards = self.cards();
+        let mut next: Vec<Genome> = Vec::with_capacity(self.pop_size);
+        let mut attempts = 0usize;
+        let max_attempts = self.pop_size * 100;
+        while next.len() < self.pop_size && attempts < max_attempts {
+            attempts += 1;
+            let a = self.tournament(&pool);
+            let b = self.tournament(&pool);
+            // Uniform crossover.
+            let mut child: Genome = a
+                .iter()
+                .zip(b.iter())
+                .map(|(&x, &y)| if self.rng.gen_bool(0.5) { x } else { y })
+                .collect();
+            // Point mutation.
+            for (d, gene) in child.iter_mut().enumerate() {
+                if self.rng.gen::<f64>() < self.mutation_prob {
+                    *gene = self.rng.gen_range(0..cards[d]);
+                }
+            }
+            if self.visited.insert(child.clone()) {
+                next.push(child);
+            }
+        }
+        // Couldn't breed anything unvisited (space nearly exhausted):
+        // fall back to random unvisited genomes.
+        if next.is_empty() && (self.visited.len() as u128) < self.space_size {
+            let mut attempts = 0;
+            while next.is_empty() && attempts < 10_000 {
+                attempts += 1;
+                let g = self.random_genome();
+                if self.visited.insert(g.clone()) {
+                    next.push(g);
+                }
+            }
+        }
+        self.pending = next;
+        self.scored.clear();
+    }
+
+    fn tournament(&mut self, pool: &[(Genome, f64)]) -> Genome {
+        let k = 2.min(pool.len());
+        let mut best: Option<&(Genome, f64)> = None;
+        for _ in 0..k {
+            let cand = &pool[self.rng.gen_range(0..pool.len())];
+            if best.map(|b| cand.1 > b.1).unwrap_or(true) {
+                best = Some(cand);
+            }
+        }
+        best.expect("non-empty pool").0.clone()
+    }
+}
+
+impl Tuner for GaTuner {
+    fn name(&self) -> &str {
+        "AutoTVM-GA"
+    }
+
+    fn next_batch(&mut self, n: usize) -> Vec<Configuration> {
+        if self.pending.is_empty() {
+            self.breed();
+        }
+        let take = n.min(self.pending.len());
+        let drained: Vec<Genome> = self.pending.drain(..take).collect();
+        drained.iter().map(|g| self.genome_to_config(g)).collect()
+    }
+
+    fn update(&mut self, results: &[(Configuration, MeasureResult)]) {
+        for (cfg, res) in results {
+            let fitness = match res.runtime_s {
+                Some(t) if t > 0.0 => -t,
+                _ => f64::NEG_INFINITY,
+            };
+            let g = self.config_to_genome(cfg);
+            self.scored.push((g.clone(), fitness));
+            // Maintain the elite set.
+            self.elites.push((g, fitness));
+            self.elites
+                .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            self.elites.truncate(self.elite_num);
+        }
+    }
+
+    fn has_next(&self) -> bool {
+        !self.pending.is_empty() || (self.visited.len() as u128) < self.space_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use configspace::Hyperparameter;
+
+    fn space() -> ConfigSpace {
+        let mut cs = ConfigSpace::new();
+        cs.add(Hyperparameter::ordinal_ints(
+            "P0",
+            &(1..=16).collect::<Vec<i64>>(),
+        ));
+        cs.add(Hyperparameter::ordinal_ints(
+            "P1",
+            &(1..=16).collect::<Vec<i64>>(),
+        ));
+        cs
+    }
+
+    /// Synthetic objective: minimum at (P0=12, P1=5).
+    fn runtime(c: &Configuration) -> f64 {
+        let (a, b) = (c.int("P0") as f64, c.int("P1") as f64);
+        1.0 + (a - 12.0).powi(2) + (b - 5.0).powi(2)
+    }
+
+    #[test]
+    fn converges_toward_optimum() {
+        let mut t = GaTuner::new(space(), 5);
+        let mut best = f64::INFINITY;
+        let mut evals = 0;
+        while evals < 160 && t.has_next() {
+            let batch = t.next_batch(16);
+            if batch.is_empty() {
+                break;
+            }
+            let results: Vec<_> = batch
+                .iter()
+                .map(|c| {
+                    let r = runtime(c);
+                    (c.clone(), MeasureResult::ok(r, r))
+                })
+                .collect();
+            for (_, r) in &results {
+                best = best.min(r.runtime_s.expect("ok"));
+                evals += 1;
+            }
+            t.update(&results);
+        }
+        // Random chance of hitting within distance^2 <= 8 in 160/256 draws
+        // is high anyway, but GA should find something near-optimal.
+        assert!(best < 10.0, "best={best}");
+    }
+
+    #[test]
+    fn never_repeats_configurations() {
+        let mut t = GaTuner::new(space(), 9);
+        let mut seen = HashSet::new();
+        let mut drawn = 0;
+        while drawn < 256 && t.has_next() {
+            let batch = t.next_batch(20);
+            if batch.is_empty() {
+                break;
+            }
+            let results: Vec<_> = batch
+                .iter()
+                .map(|c| {
+                    assert!(seen.insert(c.key()), "repeat: {c}");
+                    drawn += 1;
+                    let r = runtime(c);
+                    (c.clone(), MeasureResult::ok(r, r))
+                })
+                .collect();
+            t.update(&results);
+        }
+        assert!(drawn >= 200, "should cover most of the space, got {drawn}");
+    }
+
+    #[test]
+    fn exhausts_small_space() {
+        let mut cs = ConfigSpace::new();
+        cs.add(Hyperparameter::ordinal_ints("P0", &[1, 2, 3]));
+        let mut t = GaTuner::new(cs, 1);
+        let mut total = 0;
+        for _ in 0..10 {
+            let batch = t.next_batch(10);
+            let results: Vec<_> = batch
+                .iter()
+                .map(|c| (c.clone(), MeasureResult::ok(1.0, 1.0)))
+                .collect();
+            t.update(&results);
+            total += batch.len();
+            if !t.has_next() {
+                break;
+            }
+        }
+        assert_eq!(total, 3);
+        assert!(!t.has_next());
+    }
+}

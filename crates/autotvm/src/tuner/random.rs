@@ -1,0 +1,161 @@
+//! `RandomTuner`: enumerate the space in a random order.
+
+use crate::measure::MeasureResult;
+use crate::tuner::Tuner;
+use configspace::{ConfigSpace, Configuration};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Spaces up to this size get a materialized random permutation (exact
+/// no-repeat enumeration); larger spaces use rejection sampling.
+const PERMUTE_LIMIT: u128 = 1 << 20;
+
+/// AutoTVM's `RandomTuner`.
+pub struct RandomTuner {
+    space: ConfigSpace,
+    rng: SmallRng,
+    /// Pre-shuffled flat indices (small spaces).
+    perm: Option<Vec<u128>>,
+    cursor: usize,
+    /// Visited keys (large spaces).
+    visited: HashSet<String>,
+    exhausted: bool,
+}
+
+impl RandomTuner {
+    /// New tuner over `space`.
+    pub fn new(space: ConfigSpace, seed: u64) -> RandomTuner {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let size = space.size().expect("RandomTuner needs a discrete space");
+        let perm = if size <= PERMUTE_LIMIT {
+            let mut p: Vec<u128> = (0..size).collect();
+            p.shuffle(&mut rng);
+            Some(p)
+        } else {
+            None
+        };
+        RandomTuner {
+            space,
+            rng,
+            perm,
+            cursor: 0,
+            visited: HashSet::new(),
+            exhausted: false,
+        }
+    }
+}
+
+impl Tuner for RandomTuner {
+    fn name(&self) -> &str {
+        "AutoTVM-Random"
+    }
+
+    fn next_batch(&mut self, n: usize) -> Vec<Configuration> {
+        let mut out = Vec::with_capacity(n);
+        match &self.perm {
+            Some(perm) => {
+                while out.len() < n && self.cursor < perm.len() {
+                    out.push(self.space.at(perm[self.cursor]));
+                    self.cursor += 1;
+                }
+                if self.cursor >= perm.len() {
+                    self.exhausted = true;
+                }
+            }
+            None => {
+                // Huge space: collisions are vanishingly rare; bound the
+                // rejection loop anyway.
+                let mut attempts = 0usize;
+                while out.len() < n && attempts < n * 100 {
+                    attempts += 1;
+                    let size = self.space.size().expect("discrete");
+                    let idx = (self.rng.gen::<u128>()) % size;
+                    let c = self.space.at(idx);
+                    if self.visited.insert(c.key()) {
+                        out.push(c);
+                    }
+                }
+                if out.is_empty() {
+                    self.exhausted = true;
+                }
+            }
+        }
+        out
+    }
+
+    fn update(&mut self, _results: &[(Configuration, MeasureResult)]) {}
+
+    fn has_next(&self) -> bool {
+        !self.exhausted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use configspace::Hyperparameter;
+
+    fn small_space() -> ConfigSpace {
+        let mut cs = ConfigSpace::new();
+        cs.add(Hyperparameter::ordinal_ints("P0", &[1, 2, 4, 8]));
+        cs.add(Hyperparameter::ordinal_ints("P1", &[1, 2, 4]));
+        cs
+    }
+
+    #[test]
+    fn enumerates_whole_space_without_repeats() {
+        let mut t = RandomTuner::new(small_space(), 1);
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0;
+        while t.has_next() {
+            for c in t.next_batch(5) {
+                assert!(seen.insert(c.key()), "duplicate {c}");
+                total += 1;
+            }
+        }
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn order_is_random_but_seeded() {
+        let c1: Vec<String> = RandomTuner::new(small_space(), 7)
+            .next_batch(12)
+            .iter()
+            .map(|c| c.key())
+            .collect();
+        let c2: Vec<String> = RandomTuner::new(small_space(), 7)
+            .next_batch(12)
+            .iter()
+            .map(|c| c.key())
+            .collect();
+        let c3: Vec<String> = RandomTuner::new(small_space(), 8)
+            .next_batch(12)
+            .iter()
+            .map(|c| c.key())
+            .collect();
+        assert_eq!(c1, c2);
+        assert_ne!(c1, c3);
+        // And differs from grid order.
+        let grid: Vec<String> = small_space().grid().map(|c| c.key()).collect();
+        assert_ne!(c1, grid);
+    }
+
+    #[test]
+    fn huge_space_sampling_dedups() {
+        let mut cs = ConfigSpace::new();
+        for i in 0..8 {
+            cs.add(Hyperparameter::ordinal_ints(
+                format!("P{i}"),
+                &(1..=12).collect::<Vec<i64>>(),
+            ));
+        }
+        assert!(cs.size().expect("discrete") > PERMUTE_LIMIT);
+        let mut t = RandomTuner::new(cs, 3);
+        let batch = t.next_batch(50);
+        assert_eq!(batch.len(), 50);
+        let keys: std::collections::HashSet<_> = batch.iter().map(|c| c.key()).collect();
+        assert_eq!(keys.len(), 50);
+    }
+}

@@ -1,0 +1,92 @@
+//! Simulated-annealing candidate proposal (used by the XGB tuner on
+//! spaces too large to enumerate, mirroring AutoTVM's `sa_model_optimizer`).
+
+use configspace::{ConfigSpace, Configuration};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Run `chains` parallel annealing walks of `steps` steps maximizing
+/// `score` (higher is better); returns the best point of every chain,
+/// deduplicated, best first.
+pub fn anneal(
+    space: &ConfigSpace,
+    score: &dyn Fn(&Configuration) -> f64,
+    chains: usize,
+    steps: usize,
+    rng: &mut SmallRng,
+) -> Vec<(Configuration, f64)> {
+    let mut bests: Vec<(Configuration, f64)> = Vec::with_capacity(chains);
+    for _ in 0..chains {
+        let mut cur = space.sample(rng);
+        let mut cur_s = score(&cur);
+        let mut best = cur.clone();
+        let mut best_s = cur_s;
+        for step in 0..steps {
+            let temp = 1.0 - step as f64 / steps as f64; // linear cooling
+            let cand = space.neighbor(&cur, rng);
+            let cand_s = score(&cand);
+            let accept = cand_s >= cur_s || {
+                let delta = cur_s - cand_s;
+                rng.gen::<f64>() < (-delta / temp.max(1e-9)).exp()
+            };
+            if accept {
+                cur = cand;
+                cur_s = cand_s;
+                if cur_s > best_s {
+                    best = cur.clone();
+                    best_s = cur_s;
+                }
+            }
+        }
+        bests.push((best, best_s));
+    }
+    bests.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    bests.dedup_by(|a, b| a.0.key() == b.0.key());
+    bests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use configspace::Hyperparameter;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_high_score_region() {
+        let mut cs = ConfigSpace::new();
+        cs.add(Hyperparameter::ordinal_ints(
+            "P0",
+            &(0..64).collect::<Vec<i64>>(),
+        ));
+        cs.add(Hyperparameter::ordinal_ints(
+            "P1",
+            &(0..64).collect::<Vec<i64>>(),
+        ));
+        // Peak at (40, 20).
+        let score = |c: &Configuration| {
+            let (a, b) = (c.int("P0") as f64, c.int("P1") as f64);
+            -((a - 40.0).powi(2) + (b - 20.0).powi(2))
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let out = anneal(&cs, &score, 8, 200, &mut rng);
+        assert!(!out.is_empty());
+        let best = &out[0];
+        assert!(
+            best.1 > -100.0,
+            "annealing should get close to the peak, best score {}",
+            best.1
+        );
+    }
+
+    #[test]
+    fn results_sorted_and_deduped() {
+        let mut cs = ConfigSpace::new();
+        cs.add(Hyperparameter::ordinal_ints("P0", &[1, 2, 3]));
+        let score = |c: &Configuration| c.int("P0") as f64;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let out = anneal(&cs, &score, 16, 30, &mut rng);
+        assert!(out.windows(2).all(|w| w[0].1 >= w[1].1));
+        let keys: std::collections::HashSet<_> = out.iter().map(|(c, _)| c.key()).collect();
+        assert_eq!(keys.len(), out.len());
+    }
+}

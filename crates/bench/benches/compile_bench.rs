@@ -1,0 +1,38 @@
+//! Per-component cost: mold instantiation (TE build + schedule + lower)
+//! and analytical device prediction — the per-candidate compile path of
+//! every tuning evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::{cost_model, GpuSpec};
+use polybench::kernels::{cholesky::build_cholesky, lu::build_lu, mm3::build_3mm};
+use polybench::molds::mold_for;
+use polybench::{datasets::mm3_dims, KernelName, ProblemSize};
+
+fn bench_compile(c: &mut Criterion) {
+    let dims = mm3_dims(ProblemSize::ExtraLarge);
+    c.bench_function("compile/lower_3mm_xl", |b| {
+        b.iter(|| build_3mm(&dims, [50, 64, 48, 50, 48, 64]))
+    });
+    c.bench_function("compile/build_lu_large", |b| {
+        b.iter(|| build_lu(2000, 40, 50))
+    });
+    c.bench_function("compile/build_cholesky_large", |b| {
+        b.iter(|| build_cholesky(2000, 40, 50))
+    });
+
+    let spec = GpuSpec::swing_cpu_core();
+    let f3 = build_3mm(&dims, [50, 64, 48, 50, 48, 64]);
+    let flu = build_lu(2000, 40, 50);
+    c.bench_function("cost_model/3mm_xl", |b| b.iter(|| cost_model(&f3, &spec)));
+    c.bench_function("cost_model/lu_large", |b| b.iter(|| cost_model(&flu, &spec)));
+
+    // Full evaluation path through the mold API.
+    let mold = mold_for(KernelName::Mm3, ProblemSize::ExtraLarge);
+    let cfg = mold.baseline_configuration();
+    c.bench_function("compile/mold_instantiate_3mm_xl", |b| {
+        b.iter(|| mold.instantiate(&cfg))
+    });
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

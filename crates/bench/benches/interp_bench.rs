@@ -1,0 +1,72 @@
+//! Per-component cost: the reference CPU interpreter (real-numerics path
+//! used for correctness validation and the CPU examples).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tvm_runtime::{interp::execute, NDArray};
+use tvm_te::{compute, placeholder, reduce_axis, sum, DType, Schedule};
+use tvm_tir::lower::lower;
+use tvm_tir::PrimFunc;
+
+fn matmul_func(n: usize, tile: i64) -> PrimFunc {
+    let a = placeholder([n, n], DType::F32, "A");
+    let b = placeholder([n, n], DType::F32, "B");
+    let k = reduce_axis(0, n as i64, "k");
+    let c = compute([n, n], "C", |i| {
+        sum(
+            a.at(&[i[0].clone(), k.var_expr()]) * b.at(&[k.var_expr(), i[1].clone()]),
+            &[k.clone()],
+        )
+    });
+    let mut s = Schedule::create(&[c.clone()]);
+    if tile > 1 {
+        let (y, x) = (c.axis(0), c.axis(1));
+        let (yo, yi) = s.split(&c, &y, tile);
+        let (xo, xi) = s.split(&c, &x, tile);
+        s.reorder(&c, &[yo, xo, k.clone(), yi, xi]);
+    }
+    lower(&s, &[a, b, c], "mm")
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interp_matmul");
+    g.sample_size(10);
+    for &n in &[16usize, 32] {
+        for &tile in &[1i64, 8] {
+            let f = matmul_func(n, tile);
+            let args = vec![
+                NDArray::random(&[n, n], DType::F32, 1, -1.0, 1.0),
+                NDArray::random(&[n, n], DType::F32, 2, -1.0, 1.0),
+                NDArray::zeros(&[n, n], DType::F32),
+            ];
+            g.bench_with_input(
+                BenchmarkId::new(format!("tile{tile}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut a = args.clone();
+                        execute(&f, &mut a).expect("run");
+                        a
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+
+    // Guard-heavy factorization kernel (LU mini).
+    let flu = polybench::kernels::lu::build_lu(40, 8, 5);
+    let lu_args = vec![polybench::reference::spd_matrix(40, DType::F64)];
+    let mut g = c.benchmark_group("interp_lu_mini");
+    g.sample_size(10);
+    g.bench_function("tiles_8x5", |b| {
+        b.iter(|| {
+            let mut a = lu_args.clone();
+            execute(&flu, &mut a).expect("run");
+            a
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_interp);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Per-component cost: configuration-space operations (sampling,
+//! indexing, encoding) — the hot path of grid/random enumeration over the
+//! paper's 228M-point 3mm space.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polybench::spaces::space_for;
+use polybench::{KernelName, ProblemSize};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_space(c: &mut Criterion) {
+    let cs = space_for(KernelName::Mm3, ProblemSize::ExtraLarge);
+    let mut rng = SmallRng::seed_from_u64(3);
+
+    c.bench_function("space/sample_3mm_xl", |b| b.iter(|| cs.sample(&mut rng)));
+
+    let cfg = cs.sample(&mut rng);
+    c.bench_function("space/encode_3mm_xl", |b| b.iter(|| cs.encode(&cfg)));
+    c.bench_function("space/index_of_3mm_xl", |b| b.iter(|| cs.index_of(&cfg)));
+    c.bench_function("space/at_3mm_xl", |b| b.iter(|| cs.at(123_456_789)));
+    c.bench_function("space/neighbor_3mm_xl", |b| {
+        b.iter(|| cs.neighbor(&cfg, &mut rng))
+    });
+    c.bench_function("space/grid_first_1000_lu_large", |b| {
+        let lu = space_for(KernelName::Lu, ProblemSize::Large);
+        b.iter(|| lu.grid().take(400).count())
+    });
+}
+
+criterion_group!(benches, bench_space);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Per-component cost: surrogate model fit/predict — the dominant
+//! "think time" of the model-based tuners (ytopt RF, XGB GBT).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use surrogate::forest::RandomForest;
+use surrogate::gbt::GradientBoosting;
+use surrogate::tree::RegressionTree;
+use surrogate::Regressor;
+
+fn dataset(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..d).map(|j| ((i * 31 + j * 17) % 97) as f64 / 97.0).collect())
+        .collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|r| r.iter().enumerate().map(|(j, v)| v * (j + 1) as f64).sum::<f64>() + r[0] * r[1])
+        .collect();
+    (x, y)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("surrogate_fit");
+    for &n in &[50usize, 100, 200] {
+        let (x, y) = dataset(n, 6);
+        g.bench_with_input(BenchmarkId::new("rf32", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rf = RandomForest::new(32).with_seed(1);
+                rf.fit(&x, &y);
+                rf
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("gbt40", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = GradientBoosting::new(40).with_max_depth(4).with_seed(1);
+                m.fit(&x, &y);
+                m
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("tree", n), &n, |b, _| {
+            b.iter(|| {
+                let mut t = RegressionTree::new(12);
+                t.fit(&x, &y);
+                t
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let (x, y) = dataset(100, 6);
+    let mut rf = RandomForest::new(32).with_seed(1);
+    rf.fit(&x, &y);
+    let (cand, _) = dataset(400, 6);
+    c.bench_function("surrogate_predict/rf32_x400_with_std", |b| {
+        b.iter(|| rf.predict_with_std_batch(&cand))
+    });
+}
+
+criterion_group!(benches, bench_fit, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! End-to-end tuning-loop cost, one benchmark per paper experiment family
+//! (reduced budget: criterion measures the loop, the figure binaries
+//! produce the full-budget results).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polybench::{KernelName, ProblemSize};
+use tvm_bench::{run_comparison, ExperimentOptions};
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiment");
+    g.sample_size(10);
+    let workloads = [
+        ("fig4_5_lu_large", KernelName::Lu, ProblemSize::Large),
+        ("fig6_7_lu_xl", KernelName::Lu, ProblemSize::ExtraLarge),
+        ("fig8_9_cholesky_large", KernelName::Cholesky, ProblemSize::Large),
+        ("fig10_11_cholesky_xl", KernelName::Cholesky, ProblemSize::ExtraLarge),
+        ("fig12_13_3mm_xl", KernelName::Mm3, ProblemSize::ExtraLarge),
+    ];
+    for (label, kernel, size) in workloads {
+        g.bench_with_input(BenchmarkId::new(label, 20), &20usize, |b, &n| {
+            b.iter(|| {
+                run_comparison(
+                    kernel,
+                    size,
+                    ExperimentOptions {
+                        max_evals: n,
+                        seed: 1,
+                        autotvm_repeats: 1,
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Ablation A1: LCB exploration weight κ (DESIGN.md experiment index).
+//!
+//! Runs the BO tuner on LU-large with κ ∈ {0, 1, 1.96, 4} (and EI/PI for
+//! reference) and reports best runtime + process time. κ = 1.96 is
+//! ytopt's default; κ = 0 is pure exploitation.
+//!
+//! Usage: `ablation_kappa [max_evals] [seed]`
+
+use autotvm::{tune, TuneOptions};
+use gpu_sim::{GpuSpec, SimDevice};
+use polybench::molds::mold_for;
+use polybench::{KernelName, ProblemSize};
+use tvm_autotune::{MoldEvaluator, YtoptTuner};
+use ytopt_bo::acquisition::Acquisition;
+use ytopt_bo::search::SearchConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_evals = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let seed = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2023);
+
+    let variants: Vec<(String, Acquisition)> = vec![
+        ("LCB k=0.0".into(), Acquisition::Lcb { kappa: 0.0 }),
+        ("LCB k=1.0".into(), Acquisition::Lcb { kappa: 1.0 }),
+        ("LCB k=1.96".into(), Acquisition::Lcb { kappa: 1.96 }),
+        ("LCB k=4.0".into(), Acquisition::Lcb { kappa: 4.0 }),
+        ("EI".into(), Acquisition::Ei),
+        ("PI".into(), Acquisition::Pi),
+    ];
+
+    println!("# Ablation A1: acquisition function on lu/large ({max_evals} evals, seed {seed})");
+    println!(
+        "{:<12} {:>12} {:>16} {:>20}",
+        "acquisition", "best (s)", "process (s)", "best tensor size"
+    );
+    for (label, acq) in variants {
+        let mold = mold_for(KernelName::Lu, ProblemSize::Large);
+        let dev = SimDevice::new(GpuSpec::swing_cpu_core()).with_seed(seed);
+        let ev = MoldEvaluator::simulated(mold, dev);
+        let space = ev.space().clone();
+        let mut tuner = YtoptTuner::with_config(
+            space,
+            SearchConfig {
+                acquisition: acq,
+                seed,
+                ..Default::default()
+            },
+        );
+        let res = tune(
+            &mut tuner,
+            &ev,
+            TuneOptions {
+                max_evals,
+                batch: 1,
+                max_process_s: None,
+            },
+        );
+        let best = res.best().expect("ran");
+        let cfg = best
+            .config
+            .ints()
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("x");
+        println!(
+            "{:<12} {:>12.4} {:>16.2} {:>20}",
+            label,
+            best.runtime_s.expect("ok"),
+            res.total_process_s,
+            cfg
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Ablation A2: surrogate model choice (DESIGN.md experiment index).
+//!
+//! Compares the convergence of the RF-surrogate BO (ytopt), the GBT cost
+//! model (XGB tuner) and pure random search on LU-large: incumbent best
+//! at checkpoints of the evaluation budget.
+//!
+//! Usage: `ablation_surrogate [max_evals] [seed]`
+
+use autotvm::{tune, RandomTuner, TuneOptions, XgbTuner};
+use gpu_sim::{GpuSpec, SimDevice};
+use polybench::molds::mold_for;
+use polybench::spaces::space_for;
+use polybench::{KernelName, ProblemSize};
+use tvm_autotune::{MoldEvaluator, YtoptTuner};
+
+fn evaluator(seed: u64) -> MoldEvaluator {
+    let mold = mold_for(KernelName::Lu, ProblemSize::Large);
+    let dev = SimDevice::new(GpuSpec::swing_cpu_core()).with_seed(seed);
+    MoldEvaluator::simulated(mold, dev)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_evals: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let seed = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2023);
+    let space = space_for(KernelName::Lu, ProblemSize::Large);
+    let opts = TuneOptions {
+        max_evals,
+        batch: 1,
+        max_process_s: None,
+    };
+
+    let checkpoints: Vec<usize> = [10usize, 25, 50, 100]
+        .iter()
+        .copied()
+        .filter(|&c| c <= max_evals)
+        .collect();
+
+    println!("# Ablation A2: surrogate choice on lu/large (incumbent best at checkpoints)");
+    print!("{:<22}", "surrogate");
+    for c in &checkpoints {
+        print!(" {:>10}", format!("@{c}"));
+    }
+    println!(" {:>12}", "process(s)");
+
+    let mut rows: Vec<(String, Vec<f64>, f64)> = Vec::new();
+
+    let ev = evaluator(seed);
+    let mut rf = YtoptTuner::new(space.clone(), seed);
+    let res = tune(&mut rf, &ev, opts);
+    rows.push((
+        "RandomForest+LCB".into(),
+        curve_at(&res.incumbent_curve(), &checkpoints),
+        res.total_process_s,
+    ));
+
+    let ev = evaluator(seed);
+    let mut xgb = XgbTuner::new(space.clone(), seed);
+    let res = tune(&mut xgb, &ev, opts);
+    rows.push((
+        "GradientBoosting(XGB)".into(),
+        curve_at(&res.incumbent_curve(), &checkpoints),
+        res.total_process_s,
+    ));
+
+    let ev = evaluator(seed);
+    let mut random = RandomTuner::new(space, seed);
+    let res = tune(&mut random, &ev, opts);
+    rows.push((
+        "none (random)".into(),
+        curve_at(&res.incumbent_curve(), &checkpoints),
+        res.total_process_s,
+    ));
+
+    for (name, curve, process) in rows {
+        print!("{name:<22}");
+        for v in curve {
+            if v.is_finite() {
+                print!(" {v:>10.4}");
+            } else {
+                print!(" {:>10}", "-");
+            }
+        }
+        println!(" {process:>12.2}");
+    }
+}
+
+fn curve_at(curve: &[f64], checkpoints: &[usize]) -> Vec<f64> {
+    checkpoints
+        .iter()
+        .map(|&c| {
+            curve
+                .get(c.saturating_sub(1).min(curve.len().saturating_sub(1)))
+                .copied()
+                .unwrap_or(f64::INFINITY)
+        })
+        .collect()
+}

@@ -1,0 +1,33 @@
+//! Figures 5, 7, 9, 11, 13: minimum runtimes (and best tensor sizes) per
+//! tuner.
+//!
+//! Usage: `figure_minruntimes <kernel> <size> [max_evals] [seed]`
+//! e.g. `figure_minruntimes lu large` regenerates Figure 5.
+
+use polybench::{KernelName, ProblemSize};
+use tvm_bench::{run_comparison, ExperimentOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let kernel = args
+        .get(1)
+        .and_then(|s| KernelName::parse(s))
+        .unwrap_or(KernelName::Lu);
+    let size = args
+        .get(2)
+        .and_then(|s| ProblemSize::parse(s))
+        .unwrap_or(ProblemSize::Large);
+    let max_evals = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let seed = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(2023);
+
+    let opts = ExperimentOptions {
+        max_evals,
+        seed,
+        ..Default::default()
+    };
+    let e = run_comparison(kernel, size, opts);
+    if let Some((_, min_fig)) = tvm_bench::figure_ids(kernel, size) {
+        println!("# {min_fig}: minimum runtimes, {kernel} {size}");
+    }
+    tvm_bench::print_experiment(&e, false);
+}

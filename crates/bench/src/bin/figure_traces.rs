@@ -1,0 +1,44 @@
+//! Figures 4, 6, 8, 10, 12: the autotuning process over time.
+//!
+//! Usage: `figure_traces <kernel> <size> [max_evals] [seed]`
+//! e.g. `figure_traces lu large` regenerates Figure 4's five series.
+//!
+//! Each printed CSV row is one evaluation: `tuner,index,elapsed_s,runtime_s`
+//! — the paper plots runtime (y) against elapsed process time (x).
+
+use polybench::{KernelName, ProblemSize};
+use tvm_bench::{run_comparison, ExperimentOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let kernel = args
+        .get(1)
+        .and_then(|s| KernelName::parse(s))
+        .unwrap_or(KernelName::Lu);
+    let size = args
+        .get(2)
+        .and_then(|s| ProblemSize::parse(s))
+        .unwrap_or(ProblemSize::Large);
+    let max_evals = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let seed = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(2023);
+
+    let opts = ExperimentOptions {
+        max_evals,
+        seed,
+        ..Default::default()
+    };
+    let e = run_comparison(kernel, size, opts);
+    if let Some((trace_fig, _)) = tvm_bench::figure_ids(kernel, size) {
+        println!("# {trace_fig}: autotuning process over time, {kernel} {size}");
+    }
+    println!("tuner,index,elapsed_s,runtime_s");
+    for o in &e.outcomes {
+        for (i, (t, r)) in o.trace.iter().enumerate() {
+            println!("{},{},{:.3},{:.5}", o.tuner, i, t, r);
+        }
+    }
+    eprintln!();
+    tvm_bench::print_experiment(&e, false);
+    println!();
+    print!("{}", tvm_bench::render_traces(&e, 100, 24));
+}

@@ -1,0 +1,43 @@
+//! Calibration probe: sweep tile sizes on each paper workload and print
+//! the modeled runtime landscape (not a paper artifact; used to sanity
+//! check the device model and pick documentation examples).
+
+use gpu_sim::{GpuSpec, SimDevice};
+use polybench::molds::mold_for;
+use polybench::{KernelName, ProblemSize};
+use tvm_autotune::MoldEvaluator;
+
+fn main() {
+    for (kernel, size) in [
+        (KernelName::Lu, ProblemSize::Large),
+        (KernelName::Lu, ProblemSize::ExtraLarge),
+        (KernelName::Cholesky, ProblemSize::Large),
+    ] {
+        let mold = mold_for(kernel, size);
+        let ev = MoldEvaluator::simulated(mold, SimDevice::new(GpuSpec::swing_cpu_core()).with_noise(0.0));
+        let space = ev.space().clone();
+        println!("== {kernel} {size} ==");
+        let p0 = space.get("P0").expect("P0");
+        let p1 = space.get("P1").expect("P1");
+        let c0 = p0.cardinality().expect("discrete") as usize;
+        let c1 = p1.cardinality().expect("discrete") as usize;
+        let mut best = (f64::INFINITY, 0i64, 0i64);
+        for i in 0..c0 {
+            for j in 0..c1 {
+                let cfg = configspace::Configuration::new(
+                    vec!["P0".into(), "P1".into()],
+                    vec![p0.value_at(i), p1.value_at(j)],
+                );
+                let r = autotvm::Evaluator::evaluate(&ev, &cfg);
+                let t = r.runtime_s.expect("ok");
+                if t < best.0 {
+                    best = (t, cfg.int("P0"), cfg.int("P1"));
+                }
+                if i % 4 == 0 && j % 4 == 0 {
+                    println!("ty={:>5} tx={:>5} t={:.4}s", cfg.int("P0"), cfg.int("P1"), t);
+                }
+            }
+        }
+        println!("BEST: {}x{} -> {:.4}s", best.1, best.2, best.0);
+    }
+}

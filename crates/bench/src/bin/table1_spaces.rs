@@ -1,0 +1,23 @@
+//! Table 1: parameter-space cardinality for each kernel/problem size.
+//!
+//! Usage: `table1_spaces`
+
+use polybench::spaces::{space_for, table1};
+
+fn main() {
+    println!("# Table 1: Parameter space for each application");
+    println!("{:<10} {:<12} {:>16}", "Kernels", "Problem Size", "Parameter Space");
+    for (kernel, size, cardinality) in table1() {
+        println!("{:<10} {:<12} {:>16}", kernel.to_string(), size.to_string(), cardinality);
+    }
+    println!();
+    println!("# Per-parameter detail (extralarge 3mm, the paper's §4 listing)");
+    let cs = space_for(polybench::KernelName::Mm3, polybench::ProblemSize::ExtraLarge);
+    for p in cs.params() {
+        let card = p.cardinality().expect("discrete");
+        let values: Vec<String> = (0..card as usize)
+            .map(|i| p.value_at(i).to_string())
+            .collect();
+        println!("{} ({} values): [{}]", p.name(), card, values.join(", "));
+    }
+}

@@ -1,0 +1,151 @@
+//! Terminal scatter plots for the tuning-trace figures.
+//!
+//! The paper's Figures 4/6/8/10/12 are scatter plots of per-evaluation
+//! runtime (y) against elapsed process time (x), one series per tuner.
+//! This renders the same picture in a terminal so a reproduction run can
+//! be eyeballed against the paper without leaving the shell.
+
+/// One named series of `(x, y)` points.
+pub struct Series<'a> {
+    /// Legend label.
+    pub label: &'a str,
+    /// Plot glyph.
+    pub glyph: char,
+    /// Data points.
+    pub points: &'a [(f64, f64)],
+}
+
+/// Render series into an `width`×`height` character grid with labeled
+/// axes. The y axis is log-scaled when the data spans more than two
+/// decades (tuning traces usually do: bad corners are 10–50× the best).
+pub fn scatter(series: &[Series<'_>], width: usize, height: usize) -> String {
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite() && *y > 0.0)
+        .collect();
+    if pts.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(y);
+        ymax = ymax.max(y);
+    }
+    if xmax <= xmin {
+        xmax = xmin + 1.0;
+    }
+    let log_y = ymax / ymin > 100.0;
+    let (tymin, tymax) = if log_y {
+        (ymin.ln(), ymax.ln())
+    } else {
+        (ymin, ymax)
+    };
+    let tspan = if tymax > tymin { tymax - tymin } else { 1.0 };
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        for &(x, y) in s.points {
+            if !(x.is_finite() && y.is_finite()) || y <= 0.0 {
+                continue;
+            }
+            let ty = if log_y { y.ln() } else { y };
+            let col = (((x - xmin) / (xmax - xmin)) * (width - 1) as f64).round() as usize;
+            let row = (((ty - tymin) / tspan) * (height - 1) as f64).round() as usize;
+            let r = height - 1 - row.min(height - 1);
+            let c = col.min(width - 1);
+            // Overlaps show the later series' glyph.
+            grid[r][c] = s.glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let frac = 1.0 - r as f64 / (height - 1) as f64;
+        let label_val = if log_y {
+            (tymin + frac * tspan).exp()
+        } else {
+            tymin + frac * tspan
+        };
+        out.push_str(&format!("{label_val:>9.3} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>9} +{}\n{:>10} {:<.3}{}{:>.3}  (x: elapsed process time, s{})\n",
+        "",
+        "-".repeat(width),
+        "",
+        xmin,
+        " ".repeat(width.saturating_sub(12)),
+        xmax,
+        if log_y { "; y: runtime, log scale" } else { "; y: runtime" }
+    ));
+    for s in series {
+        out.push_str(&format!("  {} {}\n", s.glyph, s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_within_bounds() {
+        let a = [(0.0, 1.0), (5.0, 2.0), (10.0, 10.0)];
+        let b = [(2.0, 8.0), (9.0, 1.5)];
+        let out = scatter(
+            &[
+                Series {
+                    label: "ytopt",
+                    glyph: 'o',
+                    points: &a,
+                },
+                Series {
+                    label: "grid",
+                    glyph: 'x',
+                    points: &b,
+                },
+            ],
+            40,
+            10,
+        );
+        assert!(out.contains('o'));
+        assert!(out.contains('x'));
+        assert!(out.contains("ytopt"));
+        assert!(out.lines().count() >= 12);
+    }
+
+    #[test]
+    fn log_scale_kicks_in_for_wide_ranges() {
+        let a = [(0.0, 0.01), (1.0, 100.0)];
+        let out = scatter(
+            &[Series {
+                label: "s",
+                glyph: '*',
+                points: &a,
+            }],
+            20,
+            6,
+        );
+        assert!(out.contains("log scale"));
+    }
+
+    #[test]
+    fn empty_data_is_graceful() {
+        let out = scatter(
+            &[Series {
+                label: "s",
+                glyph: '*',
+                points: &[],
+            }],
+            20,
+            6,
+        );
+        assert_eq!(out, "(no data)\n");
+    }
+}

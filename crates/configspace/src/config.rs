@@ -1,0 +1,128 @@
+//! Configurations: one concrete assignment of every parameter.
+
+use crate::value::ParamValue;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A full assignment of values, ordered like the owning
+/// [`crate::ConfigSpace`]'s parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Configuration {
+    /// Parameter names (aligned with `values`).
+    pub names: Vec<String>,
+    /// Assigned values.
+    pub values: Vec<ParamValue>,
+}
+
+impl Configuration {
+    /// Build from parallel name/value lists.
+    pub fn new(names: Vec<String>, values: Vec<ParamValue>) -> Configuration {
+        assert_eq!(names.len(), values.len());
+        Configuration { names, values }
+    }
+
+    /// Value of a parameter by name.
+    pub fn get(&self, name: &str) -> Option<&ParamValue> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| &self.values[i])
+    }
+
+    /// Integer value of a parameter by name (panics if absent or
+    /// non-integer) — the common case for the paper's tile factors.
+    pub fn int(&self, name: &str) -> i64 {
+        self.get(name)
+            .unwrap_or_else(|| panic!("parameter `{name}` not in configuration"))
+            .as_int()
+            .unwrap_or_else(|| panic!("parameter `{name}` is not an integer"))
+    }
+
+    /// All integer values in parameter order — convenient for tile-factor
+    /// tuples like the paper's `(P0..P5)`.
+    pub fn ints(&self) -> Vec<i64> {
+        self.values
+            .iter()
+            .map(|v| v.as_int().expect("integer configuration"))
+            .collect()
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Stable textual key for dedup/visited-sets.
+    pub fn key(&self) -> String {
+        let mut s = String::new();
+        for (n, v) in self.names.iter().zip(&self.values) {
+            s.push_str(n);
+            s.push('=');
+            s.push_str(&v.to_string());
+            s.push(';');
+        }
+        s
+    }
+}
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (n, v)) in self.names.iter().zip(&self.values).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}: {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Configuration {
+        Configuration::new(
+            vec!["P0".into(), "P1".into()],
+            vec![ParamValue::Int(8), ParamValue::Int(50)],
+        )
+    }
+
+    #[test]
+    fn get_and_int() {
+        let c = cfg();
+        assert_eq!(c.get("P1"), Some(&ParamValue::Int(50)));
+        assert_eq!(c.int("P0"), 8);
+        assert_eq!(c.ints(), vec![8, 50]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn key_is_stable_and_distinct() {
+        let a = cfg();
+        let mut b = cfg();
+        assert_eq!(a.key(), b.key());
+        b.values[1] = ParamValue::Int(51);
+        assert_ne!(a.key(), b.key());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = cfg();
+        let s = serde_json::to_string(&c).expect("ser");
+        let back: Configuration = serde_json::from_str(&s).expect("de");
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", cfg()), "{P0: 8, P1: 50}");
+    }
+}

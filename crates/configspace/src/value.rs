@@ -1,0 +1,94 @@
+//! Values a hyperparameter can take.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One concrete value of a hyperparameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum ParamValue {
+    /// Integer value (the paper's tiling factors).
+    Int(i64),
+    /// Floating-point value.
+    Float(f64),
+    /// String/categorical token.
+    Str(String),
+}
+
+impl ParamValue {
+    /// Integer view (floats truncate; strings yield `None`).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            ParamValue::Int(v) => Some(*v),
+            ParamValue::Float(v) => Some(*v as i64),
+            ParamValue::Str(_) => None,
+        }
+    }
+
+    /// Float view.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            ParamValue::Int(v) => Some(*v as f64),
+            ParamValue::Float(v) => Some(*v),
+            ParamValue::Str(_) => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ParamValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::Int(v) => write!(f, "{v}"),
+            ParamValue::Float(v) => write!(f, "{v}"),
+            ParamValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for ParamValue {
+    fn from(v: i64) -> Self {
+        ParamValue::Int(v)
+    }
+}
+impl From<f64> for ParamValue {
+    fn from(v: f64) -> Self {
+        ParamValue::Float(v)
+    }
+}
+impl From<&str> for ParamValue {
+    fn from(v: &str) -> Self {
+        ParamValue::Str(v.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(ParamValue::from(3i64).as_int(), Some(3));
+        assert_eq!(ParamValue::from(2.5).as_float(), Some(2.5));
+        assert_eq!(ParamValue::from(2.5).as_int(), Some(2));
+        assert_eq!(ParamValue::from("x").as_str(), Some("x"));
+        assert_eq!(ParamValue::from("x").as_int(), None);
+    }
+
+    #[test]
+    fn serde_untagged() {
+        let v: ParamValue = serde_json::from_str("42").expect("int");
+        assert_eq!(v, ParamValue::Int(42));
+        let v: ParamValue = serde_json::from_str("1.5").expect("float");
+        assert_eq!(v, ParamValue::Float(1.5));
+        let v: ParamValue = serde_json::from_str("\"hi\"").expect("str");
+        assert_eq!(v, ParamValue::Str("hi".into()));
+    }
+}

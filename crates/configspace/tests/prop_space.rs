@@ -1,0 +1,97 @@
+//! Property tests over randomly shaped configuration spaces.
+
+use configspace::{ConfigSpace, Hyperparameter};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Random discrete space: 1–5 ordinal parameters with 1–9 strictly
+/// increasing integer values each.
+fn space_strategy() -> impl Strategy<Value = ConfigSpace> {
+    prop::collection::vec(
+        prop::collection::btree_set(1i64..200, 1..9),
+        1..5,
+    )
+    .prop_map(|params| {
+        let mut cs = ConfigSpace::new();
+        for (i, values) in params.into_iter().enumerate() {
+            let seq: Vec<i64> = values.into_iter().collect();
+            cs.add(Hyperparameter::ordinal_ints(format!("P{i}"), &seq));
+        }
+        cs
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn size_equals_grid_count(cs in space_strategy()) {
+        let size = cs.size().expect("discrete") as usize;
+        // Only enumerate small grids.
+        prop_assume!(size <= 4096);
+        prop_assert_eq!(cs.grid().count(), size);
+    }
+
+    #[test]
+    fn at_index_roundtrip(cs in space_strategy(), seed in 0u64..1000) {
+        let size = cs.size().expect("discrete");
+        let idx = seed as u128 % size;
+        let cfg = cs.at(idx);
+        prop_assert!(cs.validate(&cfg));
+        prop_assert_eq!(cs.index_of(&cfg), Some(idx));
+    }
+
+    #[test]
+    fn samples_are_valid_and_roundtrip(cs in space_strategy(), seed in 0u64..1000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..10 {
+            let cfg = cs.sample(&mut rng);
+            prop_assert!(cs.validate(&cfg));
+            let idx = cs.index_of(&cfg).expect("indexable");
+            prop_assert_eq!(cs.at(idx).key(), cfg.key());
+        }
+    }
+
+    #[test]
+    fn neighbors_stay_valid_and_move_at_most_one_rank(
+        cs in space_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = cs.sample(&mut rng);
+        for _ in 0..10 {
+            let n = cs.neighbor(&cfg, &mut rng);
+            prop_assert!(cs.validate(&n));
+            let moved: f64 = cs
+                .encode(&cfg)
+                .iter()
+                .zip(cs.encode(&n).iter())
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            prop_assert!(moved <= 1.0 + 1e-9, "moved {moved} ranks");
+        }
+    }
+
+    #[test]
+    fn encode_is_injective_on_grid(cs in space_strategy()) {
+        let size = cs.size().expect("discrete") as usize;
+        prop_assume!(size <= 1024);
+        let mut seen: Vec<Vec<u64>> = Vec::with_capacity(size);
+        for cfg in cs.grid() {
+            let enc: Vec<u64> = cs.encode(&cfg).iter().map(|v| v.to_bits()).collect();
+            prop_assert!(!seen.contains(&enc), "encoding collision");
+            seen.push(enc);
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_configs(cs in space_strategy(), seed in 0u64..100) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = cs.sample(&mut rng);
+        let json = serde_json::to_string(&cfg).expect("ser");
+        let back: configspace::Configuration = serde_json::from_str(&json).expect("de");
+        prop_assert_eq!(back.key(), cfg.key());
+        prop_assert!(cs.validate(&back));
+    }
+}

@@ -1,0 +1,122 @@
+//! Acquisition functions over the surrogate's (mean, std) prediction.
+//!
+//! All scores are *minimized* (the tuning metric is runtime).
+
+/// Acquisition strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Acquisition {
+    /// Lower confidence bound `μ − κ·σ` — ytopt's choice; `κ` trades
+    /// exploration (large) against exploitation (small).
+    Lcb {
+        /// Exploration weight (ytopt default 1.96).
+        kappa: f64,
+    },
+    /// Negative expected improvement over the incumbent.
+    Ei,
+    /// Negative probability of improvement over the incumbent.
+    Pi,
+}
+
+impl Default for Acquisition {
+    fn default() -> Self {
+        Acquisition::Lcb { kappa: 1.96 }
+    }
+}
+
+/// Standard normal PDF.
+fn phi(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal CDF via the complementary error function
+/// (Abramowitz–Stegun 7.1.26 polynomial, |err| < 1.5e-7).
+fn big_phi(x: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.3275911 * x.abs() / std::f64::consts::SQRT_2);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let erf_abs = 1.0 - poly * (-(x / std::f64::consts::SQRT_2).powi(2)).exp();
+    let erf = if x >= 0.0 { erf_abs } else { -erf_abs };
+    0.5 * (1.0 + erf)
+}
+
+impl Acquisition {
+    /// Score a candidate (lower is better) given the surrogate prediction
+    /// and the best runtime observed so far.
+    pub fn score(&self, mean: f64, std: f64, best: f64) -> f64 {
+        match *self {
+            Acquisition::Lcb { kappa } => mean - kappa * std,
+            Acquisition::Ei => {
+                if std <= 1e-12 {
+                    // No uncertainty: improvement is deterministic.
+                    return -(best - mean).max(0.0);
+                }
+                let z = (best - mean) / std;
+                let ei = (best - mean) * big_phi(z) + std * phi(z);
+                -ei
+            }
+            Acquisition::Pi => {
+                if std <= 1e-12 {
+                    return if mean < best { -1.0 } else { 0.0 };
+                }
+                let z = (best - mean) / std;
+                -big_phi(z)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_cdf_sane() {
+        assert!((big_phi(0.0) - 0.5).abs() < 1e-7);
+        assert!((big_phi(1.96) - 0.975).abs() < 1e-3);
+        assert!((big_phi(-1.96) - 0.025).abs() < 1e-3);
+        assert!(big_phi(8.0) > 0.999999);
+    }
+
+    #[test]
+    fn lcb_prefers_low_mean_and_high_std() {
+        let a = Acquisition::Lcb { kappa: 2.0 };
+        // Lower mean wins at equal std.
+        assert!(a.score(1.0, 0.1, 2.0) < a.score(2.0, 0.1, 2.0));
+        // Higher std wins at equal mean (exploration).
+        assert!(a.score(1.0, 0.5, 2.0) < a.score(1.0, 0.1, 2.0));
+    }
+
+    #[test]
+    fn kappa_zero_is_pure_exploitation() {
+        let a = Acquisition::Lcb { kappa: 0.0 };
+        assert_eq!(a.score(1.5, 10.0, 0.0), 1.5);
+    }
+
+    #[test]
+    fn ei_prefers_likely_improvements() {
+        let a = Acquisition::Ei;
+        let good = a.score(0.5, 0.2, 1.0); // predicted well below incumbent
+        let bad = a.score(2.0, 0.2, 1.0); // predicted well above
+        assert!(good < bad);
+        // EI of a hopeless point approaches zero.
+        assert!(a.score(10.0, 0.01, 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pi_bounded_in_minus_one_zero() {
+        let a = Acquisition::Pi;
+        for (m, s) in [(0.1, 0.5), (5.0, 0.5), (1.0, 0.0)] {
+            let v = a.score(m, s, 1.0);
+            assert!((-1.0..=0.0).contains(&v), "score {v}");
+        }
+    }
+
+    #[test]
+    fn zero_std_cases() {
+        assert_eq!(Acquisition::Ei.score(0.5, 0.0, 1.0), -0.5);
+        assert_eq!(Acquisition::Ei.score(1.5, 0.0, 1.0), 0.0);
+        assert_eq!(Acquisition::Pi.score(0.5, 0.0, 1.0), -1.0);
+        assert_eq!(Acquisition::Pi.score(1.5, 0.0, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! The performance database: every evaluated configuration with its
+//! runtime, queryable for the best result (ytopt's `results.csv`).
+
+use configspace::Configuration;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// One database row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DbRecord {
+    /// Evaluation index.
+    pub index: usize,
+    /// The configuration.
+    pub config: Configuration,
+    /// Runtime in seconds (`None` on failure).
+    pub runtime_s: Option<f64>,
+    /// Cumulative process time at completion.
+    pub elapsed_s: f64,
+}
+
+/// In-memory performance database with JSON and CSV persistence.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PerformanceDatabase {
+    /// Problem name.
+    pub problem: String,
+    /// All records, in evaluation order.
+    pub records: Vec<DbRecord>,
+}
+
+impl PerformanceDatabase {
+    /// Empty database for a problem.
+    pub fn new(problem: impl Into<String>) -> PerformanceDatabase {
+        PerformanceDatabase {
+            problem: problem.into(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Append one record.
+    pub fn push(&mut self, record: DbRecord) {
+        self.records.push(record);
+    }
+
+    /// Best successful record ("we query the performance database to
+    /// output the optimization specification for the best configuration").
+    pub fn best(&self) -> Option<&DbRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.runtime_s.is_some())
+            .min_by(|a, b| {
+                a.runtime_s
+                    .partial_cmp(&b.runtime_s)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Save as pretty JSON.
+    pub fn save_json(&self, path: &Path) -> std::io::Result<()> {
+        let s = serde_json::to_string_pretty(self).expect("database serializes");
+        std::fs::write(path, s)
+    }
+
+    /// Load from JSON.
+    pub fn load_json(path: &Path) -> std::io::Result<PerformanceDatabase> {
+        let s = std::fs::read_to_string(path)?;
+        serde_json::from_str(&s)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Save as a ytopt-style `results.csv` (param columns, objective,
+    /// elapsed).
+    pub fn save_csv(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        let names: Vec<String> = self
+            .records
+            .first()
+            .map(|r| r.config.names.clone())
+            .unwrap_or_default();
+        writeln!(f, "{},objective,elapsed_sec", names.join(","))?;
+        for r in &self.records {
+            let vals: Vec<String> = r.config.values.iter().map(|v| v.to_string()).collect();
+            let obj = r
+                .runtime_s
+                .map(|t| format!("{t}"))
+                .unwrap_or_else(|| "inf".into());
+            writeln!(f, "{},{},{}", vals.join(","), obj, r.elapsed_s)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use configspace::ParamValue;
+
+    fn rec(i: usize, rt: Option<f64>) -> DbRecord {
+        DbRecord {
+            index: i,
+            config: Configuration::new(
+                vec!["P0".into(), "P1".into()],
+                vec![ParamValue::Int(i as i64), ParamValue::Int(2)],
+            ),
+            runtime_s: rt,
+            elapsed_s: i as f64 * 2.0,
+        }
+    }
+
+    #[test]
+    fn best_skips_failures() {
+        let mut db = PerformanceDatabase::new("lu");
+        db.push(rec(0, None));
+        db.push(rec(1, Some(3.0)));
+        db.push(rec(2, Some(1.5)));
+        assert_eq!(db.best().expect("best").index, 2);
+        assert_eq!(db.len(), 3);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut db = PerformanceDatabase::new("lu");
+        db.push(rec(0, Some(2.0)));
+        let dir = std::env::temp_dir().join("ytopt-bo-db-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("db.json");
+        db.save_json(&path).expect("save");
+        let back = PerformanceDatabase::load_json(&path).expect("load");
+        assert_eq!(back.problem, "lu");
+        assert_eq!(back.records, db.records);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut db = PerformanceDatabase::new("lu");
+        db.push(rec(0, Some(2.0)));
+        db.push(rec(1, None));
+        let dir = std::env::temp_dir().join("ytopt-bo-db-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("results.csv");
+        db.save_csv(&path).expect("save");
+        let text = std::fs::read_to_string(&path).expect("read");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "P0,P1,objective,elapsed_sec");
+        assert!(lines[2].contains("inf"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! # ytopt-bo — Bayesian-optimization autotuning (the paper's framework)
+//!
+//! A native reimplementation of the ytopt autotuner the paper plugs into
+//! TVM: sample a few random configurations, fit a **Random-Forest
+//! surrogate** over the (configuration → runtime) pairs, and repeatedly
+//! evaluate the configuration minimizing the **lower-confidence-bound
+//! (LCB)** acquisition over the surrogate's mean/uncertainty — balancing
+//! exploitation (low predicted runtime) against exploration (high
+//! ensemble variance).
+//!
+//! * [`problem::Problem`] — what to tune: a [`configspace::ConfigSpace`]
+//!   plus an evaluation function (step 2–4 of the paper's framework:
+//!   configure the code mold, compile, execute),
+//! * [`search::BayesianOptimizer`] — ask/tell search (with constant-liar
+//!   batch proposals as an extension),
+//! * [`acquisition::Acquisition`] — LCB (the paper's choice), plus EI and
+//!   PI for the ablation benches,
+//! * [`optimizer::run`] — the budgeted loop (step 1–5), recording every
+//!   trial into a [`database::PerformanceDatabase`].
+//!
+//! ```
+//! use configspace::{ConfigSpace, Hyperparameter};
+//! use ytopt_bo::{optimizer, problem::FnProblem, BoOptions};
+//!
+//! let mut cs = ConfigSpace::new();
+//! cs.add(Hyperparameter::ordinal_ints("P0", &(1..=32).collect::<Vec<_>>()));
+//! let problem = FnProblem::new(cs, |c| {
+//!     let x = c.int("P0") as f64;
+//!     ytopt_bo::problem::Evaluation::ok((x - 20.0).abs() + 1.0, 1.0)
+//! });
+//! let result = optimizer::run(&problem, BoOptions { max_evals: 40, ..Default::default() });
+//! assert!(result.best().expect("ran").runtime_s.expect("ok") < 4.0);
+//! ```
+
+pub mod acquisition;
+pub mod database;
+pub mod optimizer;
+pub mod problem;
+pub mod search;
+
+pub use acquisition::Acquisition;
+pub use database::PerformanceDatabase;
+pub use optimizer::{run, run_parallel, BoOptions, BoResult, BoTrial};
+pub use problem::{Evaluation, Problem};
+pub use search::BayesianOptimizer;

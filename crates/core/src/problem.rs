@@ -1,0 +1,116 @@
+//! Problem definition: what the optimizer tunes.
+
+use configspace::{ConfigSpace, Configuration};
+
+/// Outcome of evaluating one configuration (step 4–5 of the paper's
+/// iterative phase).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// The user-defined metric — application runtime in seconds
+    /// (`None` on failure).
+    pub runtime_s: Option<f64>,
+    /// Wall-clock consumed by this evaluation (compile + execute).
+    pub process_s: f64,
+    /// Failure description, if any.
+    pub error: Option<String>,
+}
+
+impl Evaluation {
+    /// Successful evaluation.
+    pub fn ok(runtime_s: f64, process_s: f64) -> Evaluation {
+        Evaluation {
+            runtime_s: Some(runtime_s),
+            process_s,
+            error: None,
+        }
+    }
+
+    /// Failed evaluation.
+    pub fn fail(error: impl Into<String>, process_s: f64) -> Evaluation {
+        Evaluation {
+            runtime_s: None,
+            process_s,
+            error: Some(error.into()),
+        }
+    }
+}
+
+/// A tuning problem: the parameter space plus the user-defined evaluation
+/// interface (the paper's "code mold + interface" pair).
+pub trait Problem {
+    /// The tunable parameter space.
+    fn space(&self) -> &ConfigSpace;
+
+    /// Evaluate one configuration end to end.
+    fn evaluate(&self, config: &Configuration) -> Evaluation;
+
+    /// Optional problem name for records.
+    fn name(&self) -> &str {
+        "problem"
+    }
+}
+
+/// Closure-backed problem, for custom kernels and tests.
+pub struct FnProblem<F: Fn(&Configuration) -> Evaluation> {
+    space: ConfigSpace,
+    name: String,
+    f: F,
+}
+
+impl<F: Fn(&Configuration) -> Evaluation> FnProblem<F> {
+    /// Wrap a closure over a space.
+    pub fn new(space: ConfigSpace, f: F) -> Self {
+        FnProblem {
+            space,
+            name: "fn-problem".into(),
+            f,
+        }
+    }
+
+    /// Builder: set the problem name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+impl<F: Fn(&Configuration) -> Evaluation> Problem for FnProblem<F> {
+    fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    fn evaluate(&self, config: &Configuration) -> Evaluation {
+        (self.f)(config)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use configspace::Hyperparameter;
+
+    #[test]
+    fn evaluation_constructors() {
+        let e = Evaluation::ok(2.0, 3.0);
+        assert_eq!(e.runtime_s, Some(2.0));
+        assert!(e.error.is_none());
+        let f = Evaluation::fail("oom", 1.0);
+        assert!(f.runtime_s.is_none());
+        assert_eq!(f.error.as_deref(), Some("oom"));
+    }
+
+    #[test]
+    fn fn_problem() {
+        let mut cs = ConfigSpace::new();
+        cs.add(Hyperparameter::ordinal_ints("P0", &[1, 2]));
+        let p = FnProblem::new(cs, |c| Evaluation::ok(c.int("P0") as f64, 0.0))
+            .with_name("toy");
+        assert_eq!(p.name(), "toy");
+        let c = p.space().at(1);
+        assert_eq!(p.evaluate(&c).runtime_s, Some(2.0));
+    }
+}

@@ -1,0 +1,67 @@
+//! Divisor enumeration — the paper builds every ordinal tuning space from
+//! "the common factors of each matrix rank".
+
+/// All positive divisors of `n`, ascending.
+pub fn divisors(n: u64) -> Vec<i64> {
+    assert!(n > 0, "divisors of 0 are undefined");
+    let mut small = Vec::new();
+    let mut large = Vec::new();
+    let mut d = 1u64;
+    while d * d <= n {
+        if n % d == 0 {
+            small.push(d as i64);
+            if d * d != n {
+                large.push((n / d) as i64);
+            }
+        }
+        d += 1;
+    }
+    large.reverse();
+    small.extend(large);
+    small
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_cases() {
+        assert_eq!(divisors(1), vec![1]);
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(16), vec![1, 2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn paper_cardinalities() {
+        // These counts generate Table 1 of the paper.
+        assert_eq!(divisors(2000).len(), 20); // LU/Cholesky large, 3mm-xl M
+        assert_eq!(divisors(4000).len(), 24); // LU/Cholesky extralarge
+        assert_eq!(divisors(1600).len(), 21); // 3mm-xl N
+        assert_eq!(divisors(2400).len(), 36); // 3mm-xl P
+        assert_eq!(divisors(1000).len(), 16); // 3mm-large M
+        assert_eq!(divisors(800).len(), 18); // 3mm-large N
+        assert_eq!(divisors(1200).len(), 30); // 3mm-large P
+    }
+
+    #[test]
+    fn matches_paper_p0_sequence() {
+        // Paper's P0 list for 3mm extralarge (divisors of 2000).
+        assert_eq!(
+            divisors(2000),
+            vec![
+                1, 2, 4, 5, 8, 10, 16, 20, 25, 40, 50, 80, 100, 125, 200, 250, 400, 500, 1000,
+                2000
+            ]
+        );
+    }
+
+    #[test]
+    fn every_divisor_divides() {
+        for n in [36u64, 100, 2000, 2400] {
+            for d in divisors(n) {
+                assert_eq!(n % d as u64, 0);
+            }
+        }
+    }
+}

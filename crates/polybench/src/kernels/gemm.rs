@@ -1,0 +1,130 @@
+//! PolyBench `gemm` (`C' = α·A·B + β·C`) — extension kernel showing the
+//! mold machinery generalizes beyond the paper's three benchmarks.
+
+use crate::datasets::{gemm_dims, ProblemSize};
+use crate::molds::CodeMold;
+use crate::spaces::space_for;
+use configspace::{ConfigSpace, Configuration};
+use tvm_runtime::NDArray;
+use tvm_te::{compute, placeholder, reduce_axis, sum, DType, PrimExpr, Schedule};
+use tvm_tir::lower::lower;
+use tvm_tir::PrimFunc;
+
+/// Element type (`DATA_TYPE double`).
+pub const DTYPE: DType = DType::F64;
+/// PolyBench's `alpha`.
+pub const ALPHA: f64 = 1.5;
+/// PolyBench's `beta`.
+pub const BETA: f64 = 1.2;
+
+/// Build gemm with tiles `(ty, tx)` on the multiplication stage.
+pub fn build_gemm(ni: usize, nj: usize, nk: usize, ty: i64, tx: i64) -> PrimFunc {
+    let a = placeholder([ni, nk], DTYPE, "A");
+    let b = placeholder([nk, nj], DTYPE, "B");
+    let c = placeholder([ni, nj], DTYPE, "C");
+    let k = reduce_axis(0, nk as i64, "k");
+    let t = compute([ni, nj], "T", |i| {
+        sum(
+            a.at(&[i[0].clone(), k.var_expr()]) * b.at(&[k.var_expr(), i[1].clone()]),
+            &[k.clone()],
+        )
+    });
+    let out = compute([ni, nj], "Out", |i| {
+        PrimExpr::FloatImm(ALPHA, DTYPE) * t.at(&[i[0].clone(), i[1].clone()])
+            + PrimExpr::FloatImm(BETA, DTYPE) * c.at(&[i[0].clone(), i[1].clone()])
+    });
+    let mut s = Schedule::create(&[out.clone()]);
+    let tt = s.stages[0].tensor.clone();
+    super::tile_matmul_stage(&mut s, &tt, &k, ty, tx);
+    lower(&s, &[a, b, c, out], "gemm")
+}
+
+/// The gemm code mold.
+pub struct GemmMold {
+    size: ProblemSize,
+    dims: (usize, usize, usize),
+    space: ConfigSpace,
+}
+
+impl GemmMold {
+    /// Mold for a problem-size class.
+    pub fn new(size: ProblemSize) -> GemmMold {
+        GemmMold {
+            size,
+            dims: gemm_dims(size),
+            space: space_for(crate::datasets::KernelName::Gemm, size),
+        }
+    }
+}
+
+impl CodeMold for GemmMold {
+    fn name(&self) -> &str {
+        "gemm"
+    }
+
+    fn size(&self) -> ProblemSize {
+        self.size
+    }
+
+    fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    fn instantiate(&self, config: &Configuration) -> PrimFunc {
+        assert!(
+            self.space.validate(config),
+            "configuration {config} is not in the gemm space"
+        );
+        let (ni, nj, nk) = self.dims;
+        build_gemm(ni, nj, nk, config.int("P0"), config.int("P1"))
+    }
+
+    fn init_args(&self) -> Vec<NDArray> {
+        let (ni, nj, nk) = self.dims;
+        let a = NDArray::from_fn(&[ni, nk], DTYPE, |i| {
+            (i[0] * i[1] + 1) as f64 % ni as f64 / ni as f64
+        });
+        let b = NDArray::from_fn(&[nk, nj], DTYPE, |i| {
+            (i[0] * (i[1] + 1)) as f64 % nj as f64 / nj as f64
+        });
+        let c = NDArray::from_fn(&[ni, nj], DTYPE, |i| {
+            (i[0] * (i[1] + 2)) as f64 % nj as f64 / nj as f64
+        });
+        let out = NDArray::zeros(&[ni, nj], DTYPE);
+        vec![a, b, c, out]
+    }
+
+    fn reference_args(&self) -> Vec<Option<NDArray>> {
+        let args = self.init_args();
+        let out = crate::reference::gemm(ALPHA, &args[0], &args[1], BETA, &args[2]);
+        vec![None, None, None, Some(out)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm_runtime::interp::execute;
+
+    #[test]
+    fn gemm_matches_reference() {
+        let mold = GemmMold::new(ProblemSize::Mini);
+        let cfg = mold.baseline_configuration();
+        let f = mold.instantiate(&cfg);
+        let mut args = mold.init_args();
+        execute(&f, &mut args).expect("run");
+        let expect = mold.reference_args()[3].clone().expect("out");
+        assert!(
+            args[3].allclose(&expect, 1e-9, 1e-9),
+            "max diff {}",
+            args[3].max_abs_diff(&expect)
+        );
+    }
+
+    #[test]
+    fn space_uses_divisors_of_output_dims() {
+        let mold = GemmMold::new(ProblemSize::Mini); // (20, 25, 30)
+        assert_eq!(mold.space().get("P0").unwrap().cardinality(), Some(6)); // div(20)
+        assert_eq!(mold.space().get("P1").unwrap().cardinality(), Some(3)); // div(25)
+    }
+}

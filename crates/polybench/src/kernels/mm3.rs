@@ -1,0 +1,234 @@
+//! The `3mm` kernel: `E = A·B; F = C·D; G = E·F` through the full
+//! TE → schedule → lower pipeline, with the paper's six split parameters.
+
+use crate::datasets::{mm3_dims, Mm3Dims, ProblemSize};
+use crate::molds::CodeMold;
+use crate::spaces::space_for;
+use configspace::{ConfigSpace, Configuration};
+use tvm_runtime::NDArray;
+use tvm_te::{compute, placeholder, reduce_axis, sum, DType, Schedule, Tensor};
+use tvm_tir::lower::lower;
+use tvm_tir::PrimFunc;
+
+/// Element type of the PolyBench kernels (`DATA_TYPE double`).
+pub const DTYPE: DType = DType::F64;
+
+/// Build the 3mm TE graph; returns `(args, G, reduce axes of E/F/G)`.
+fn build_graph(d: &Mm3Dims) -> ([Tensor; 4], Tensor, [tvm_te::IterVar; 3]) {
+    let a = placeholder([d.n, d.l], DTYPE, "A");
+    let b = placeholder([d.l, d.m], DTYPE, "B");
+    let c = placeholder([d.m, d.o], DTYPE, "C");
+    let dd = placeholder([d.o, d.p], DTYPE, "D");
+    let k = reduce_axis(0, d.l as i64, "k");
+    let e = compute([d.n, d.m], "E", |i| {
+        sum(
+            a.at(&[i[0].clone(), k.var_expr()]) * b.at(&[k.var_expr(), i[1].clone()]),
+            &[k.clone()],
+        )
+    });
+    let l = reduce_axis(0, d.o as i64, "l");
+    let f = compute([d.m, d.p], "F", |i| {
+        sum(
+            c.at(&[i[0].clone(), l.var_expr()]) * dd.at(&[l.var_expr(), i[1].clone()]),
+            &[l.clone()],
+        )
+    });
+    let m = reduce_axis(0, d.m as i64, "m");
+    let g = compute([d.n, d.p], "G", |i| {
+        sum(
+            e.at(&[i[0].clone(), m.var_expr()]) * f.at(&[m.var_expr(), i[1].clone()]),
+            &[m.clone()],
+        )
+    });
+    ([a, b, c, dd], g, [k, l, m])
+}
+
+/// Lower 3mm with the six tile factors `(P0..P5)` of the paper's mold:
+/// `P0/P1` tile stage `E`, `P2/P3` stage `F`, `P4/P5` stage `G`.
+pub fn build_3mm(d: &Mm3Dims, tiles: [i64; 6]) -> PrimFunc {
+    let (args, g, [k, l, m]) = build_graph(d);
+    let mut s = Schedule::create(&[g.clone()]);
+    // Stage tensors: E and F are the first two stages.
+    let e = s.stages[0].tensor.clone();
+    let f = s.stages[1].tensor.clone();
+    super::tile_matmul_stage(&mut s, &e, &k, tiles[0], tiles[1]);
+    super::tile_matmul_stage(&mut s, &f, &l, tiles[2], tiles[3]);
+    super::tile_matmul_stage(&mut s, &g, &m, tiles[4], tiles[5]);
+    let [a, b, c, dd] = args;
+    lower(&s, &[a, b, c, dd, g], "mm3")
+}
+
+/// Lower 3mm with operator fusion via `compute_at`: `G` is tiled by
+/// `(ty, tx)`; `E` is attached at `G`'s row-tile loop (computed once per
+/// row tile) and, optionally, `F` at the column-tile loop (recomputed per
+/// tile pair — the locality-vs-recompute trade the fusion ablation
+/// measures).
+pub fn build_3mm_fused(d: &Mm3Dims, ty: i64, tx: i64, attach_f: bool) -> PrimFunc {
+    let (args, g, [_k, _l, m]) = build_graph(d);
+    let mut s = Schedule::create(&[g.clone()]);
+    let e = s.stages[0].tensor.clone();
+    let f = s.stages[1].tensor.clone();
+    let (y, x) = (g.axis(0), g.axis(1));
+    let (yo, yi) = s.split(&g, &y, ty);
+    let (xo, xi) = s.split(&g, &x, tx);
+    s.reorder(&g, &[yo.clone(), xo.clone(), m.clone(), yi, xi]);
+    s.compute_at(&e, &g, &yo);
+    if attach_f {
+        s.compute_at(&f, &g, &xo);
+    }
+    let [a, b, c, dd] = args;
+    lower(&s, &[a, b, c, dd, g], "mm3_fused")
+}
+
+/// The 3mm code mold.
+pub struct Mm3Mold {
+    size: ProblemSize,
+    dims: Mm3Dims,
+    space: ConfigSpace,
+}
+
+impl Mm3Mold {
+    /// Mold for a problem-size class.
+    pub fn new(size: ProblemSize) -> Mm3Mold {
+        Mm3Mold {
+            size,
+            dims: mm3_dims(size),
+            space: space_for(crate::datasets::KernelName::Mm3, size),
+        }
+    }
+
+    /// Kernel dimensions.
+    pub fn dims(&self) -> &Mm3Dims {
+        &self.dims
+    }
+}
+
+impl CodeMold for Mm3Mold {
+    fn name(&self) -> &str {
+        "3mm"
+    }
+
+    fn size(&self) -> ProblemSize {
+        self.size
+    }
+
+    fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    fn instantiate(&self, config: &Configuration) -> PrimFunc {
+        assert!(
+            self.space.validate(config),
+            "configuration {config} is not in the 3mm space"
+        );
+        let t = config.ints();
+        build_3mm(&self.dims, [t[0], t[1], t[2], t[3], t[4], t[5]])
+    }
+
+    fn init_args(&self) -> Vec<NDArray> {
+        let [a, b, c, d] = crate::reference::mm3_inputs(&self.dims, DTYPE);
+        let g = NDArray::zeros(&[self.dims.n, self.dims.p], DTYPE);
+        vec![a, b, c, d, g]
+    }
+
+    fn reference_args(&self) -> Vec<Option<NDArray>> {
+        let [a, b, c, d] = crate::reference::mm3_inputs(&self.dims, DTYPE);
+        let g = crate::reference::mm3(&a, &b, &c, &d);
+        vec![None, None, None, None, Some(g)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm_runtime::interp::execute;
+
+    #[test]
+    fn graph_shapes() {
+        let d = mm3_dims(ProblemSize::Mini);
+        let (_, g, _) = build_graph(&d);
+        assert_eq!(g.shape(), &[d.n, d.p]);
+    }
+
+    #[test]
+    fn untiled_equals_reference() {
+        let mold = Mm3Mold::new(ProblemSize::Mini);
+        let cfg = Configuration::new(
+            (0..6).map(|i| format!("P{i}")).collect(),
+            vec![configspace::ParamValue::Int(1); 6],
+        );
+        let f = mold.instantiate(&cfg);
+        let mut args = mold.init_args();
+        execute(&f, &mut args).expect("run");
+        let expect = mold.reference_args();
+        let g = expect[4].as_ref().expect("G");
+        assert!(
+            args[4].allclose(g, 1e-9, 1e-9),
+            "max diff {}",
+            args[4].max_abs_diff(g)
+        );
+    }
+
+    #[test]
+    fn tiled_equals_reference() {
+        let mold = Mm3Mold::new(ProblemSize::Mini);
+        // Valid divisor picks for mini dims (m=20, n=16, p=24).
+        let cfg = Configuration::new(
+            (0..6).map(|i| format!("P{i}")).collect(),
+            [4i64, 8, 6, 5, 12, 2]
+                .iter()
+                .map(|&v| configspace::ParamValue::Int(v))
+                .collect(),
+        );
+        assert!(mold.space().validate(&cfg), "pick valid divisors");
+        let f = mold.instantiate(&cfg);
+        let mut args = mold.init_args();
+        execute(&f, &mut args).expect("run");
+        let expect = mold.reference_args();
+        let g = expect[4].as_ref().expect("G");
+        assert!(
+            args[4].allclose(g, 1e-9, 1e-9),
+            "max diff {}",
+            args[4].max_abs_diff(g)
+        );
+    }
+
+    #[test]
+    fn lowered_structure_has_three_update_nests() {
+        let mold = Mm3Mold::new(ProblemSize::Mini);
+        let f = mold.instantiate(&mold.baseline_configuration());
+        // 3 init stores + 3 update stores.
+        assert_eq!(f.body.store_count(), 6);
+        // E and F are internal allocations; params are A,B,C,D,G.
+        assert_eq!(f.params.len(), 5);
+        assert_eq!(f.allocs.len(), 2);
+    }
+
+    #[test]
+    fn fused_3mm_matches_reference() {
+        let mold = Mm3Mold::new(ProblemSize::Mini);
+        for attach_f in [false, true] {
+            let f = build_3mm_fused(mold.dims(), 4, 6, attach_f);
+            let mut args = mold.init_args();
+            execute(&f, &mut args).expect("run");
+            let expect = mold.reference_args();
+            let g = expect[4].as_ref().expect("G");
+            assert!(
+                args[4].allclose(g, 1e-9, 1e-9),
+                "attach_f={attach_f}: max diff {}",
+                args[4].max_abs_diff(g)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the 3mm space")]
+    fn foreign_config_rejected() {
+        let mold = Mm3Mold::new(ProblemSize::Mini);
+        let cfg = Configuration::new(
+            (0..6).map(|i| format!("P{i}")).collect(),
+            vec![configspace::ParamValue::Int(7); 6], // 7 divides nothing here
+        );
+        let _ = mold.instantiate(&cfg);
+    }
+}

@@ -1,0 +1,198 @@
+//! PolyBench `syrk` (`C = α·A·Aᵀ + β·C`, lower triangle) — extension
+//! kernel with a triangular output domain.
+//!
+//! ```text
+//! for io, jo, ii, ji (i tiled by P0, j tiled by P1):
+//!   if j <= i:
+//!     C[i,j] *= beta
+//!     for k in 0..M:  C[i,j] += alpha * A[i,k] * A[j,k]
+//! ```
+//!
+//! Every `(i, j)` element is independent, so any tiling is valid; only
+//! the lower triangle (including the diagonal) is written.
+
+use crate::datasets::{syrk_dims, ProblemSize};
+use crate::molds::CodeMold;
+use crate::spaces::space_for;
+use configspace::{ConfigSpace, Configuration};
+use tvm_runtime::NDArray;
+use tvm_te::ops::cmp;
+use tvm_te::{placeholder, DType, PrimExpr};
+use tvm_tir::builder::{seq, ser, store, when, FuncBuilder};
+use tvm_tir::PrimFunc;
+
+/// Element type (`DATA_TYPE double`).
+pub const DTYPE: DType = DType::F64;
+/// PolyBench's `alpha`.
+pub const ALPHA: f64 = 1.5;
+/// PolyBench's `beta`.
+pub const BETA: f64 = 1.2;
+
+fn imm(v: f64) -> PrimExpr {
+    PrimExpr::FloatImm(v, DTYPE)
+}
+
+/// Build tiled syrk for `C: n×n`, `A: n×m` with tiles `(ty, tx)`.
+pub fn build_syrk(m: usize, n: usize, ty: i64, tx: i64) -> PrimFunc {
+    assert!(ty >= 1 && tx >= 1);
+    let n_i = n as i64;
+    let a = placeholder([n, m], DTYPE, "A");
+    let c = placeholder([n, n], DTYPE, "C");
+    let mut fb = FuncBuilder::new("syrk");
+    let ab = fb.param(&a);
+    let cb = fb.param(&c);
+    let _ = &ab; // A is read-only; registered for the calling convention.
+
+    let tiles_y = n_i.div_euclid(ty) + i64::from(n_i % ty != 0);
+    let tiles_x = n_i.div_euclid(tx) + i64::from(n_i % tx != 0);
+
+    let body = ser("io", tiles_y, |io| {
+        let (a, c, cb) = (a.clone(), c.clone(), cb.clone());
+        ser("jo", tiles_x, move |jo| {
+            let (a, c, cb) = (a.clone(), c.clone(), cb.clone());
+            let io = io.clone();
+            ser("ii", ty, move |ii| {
+                let (a, c, cb) = (a.clone(), c.clone(), cb.clone());
+                let (io, jo) = (io.clone(), jo.clone());
+                ser("ji", tx, move |ji| {
+                    let i = io * ty + ii.clone();
+                    let j = jo * tx + ji;
+                    let active = cmp::and(
+                        cmp::and(
+                            cmp::lt(i.clone(), PrimExpr::from(n_i)),
+                            cmp::lt(j.clone(), PrimExpr::from(n_i)),
+                        ),
+                        cmp::le(j.clone(), i.clone()),
+                    );
+                    let scale = store(
+                        &cb,
+                        &[i.clone(), j.clone()],
+                        c.at(&[i.clone(), j.clone()]) * imm(BETA),
+                    );
+                    let (ic, jc) = (i, j);
+                    let (a1, c1, cb1) = (a.clone(), c.clone(), cb.clone());
+                    let update = ser("k", m as i64, move |k| {
+                        store(
+                            &cb1,
+                            &[ic.clone(), jc.clone()],
+                            c1.at(&[ic.clone(), jc.clone()])
+                                + imm(ALPHA)
+                                    * a1.at(&[ic.clone(), k.clone()])
+                                    * a1.at(&[jc.clone(), k]),
+                        )
+                    });
+                    when(active, seq([scale, update]))
+                })
+            })
+        })
+    });
+    fb.build(body)
+}
+
+/// The syrk code mold.
+pub struct SyrkMold {
+    size: ProblemSize,
+    dims: (usize, usize),
+    space: ConfigSpace,
+}
+
+impl SyrkMold {
+    /// Mold for a problem-size class.
+    pub fn new(size: ProblemSize) -> SyrkMold {
+        SyrkMold {
+            size,
+            dims: syrk_dims(size),
+            space: space_for(crate::datasets::KernelName::Syrk, size),
+        }
+    }
+}
+
+impl CodeMold for SyrkMold {
+    fn name(&self) -> &str {
+        "syrk"
+    }
+
+    fn size(&self) -> ProblemSize {
+        self.size
+    }
+
+    fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    fn instantiate(&self, config: &Configuration) -> PrimFunc {
+        assert!(
+            self.space.validate(config),
+            "configuration {config} is not in the syrk space"
+        );
+        let (m, n) = self.dims;
+        build_syrk(m, n, config.int("P0"), config.int("P1"))
+    }
+
+    fn init_args(&self) -> Vec<NDArray> {
+        let (m, n) = self.dims;
+        let a = NDArray::from_fn(&[n, m], DTYPE, |i| {
+            ((i[0] * i[1] + 1) % n) as f64 / n as f64
+        });
+        let c = NDArray::from_fn(&[n, n], DTYPE, |i| {
+            ((i[0] * i[1] + 2) % m) as f64 / m as f64
+        });
+        vec![a, c]
+    }
+
+    fn reference_args(&self) -> Vec<Option<NDArray>> {
+        let args = self.init_args();
+        let c = crate::reference::syrk(ALPHA, BETA, &args[0], &args[1]);
+        vec![None, Some(c)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm_runtime::interp::execute;
+
+    fn check(ty: i64, tx: i64) {
+        let mold = SyrkMold::new(ProblemSize::Mini);
+        let (m, n) = mold.dims;
+        let f = build_syrk(m, n, ty, tx);
+        let mut args = mold.init_args();
+        execute(&f, &mut args).expect("run");
+        let expect = mold.reference_args()[1].clone().expect("C");
+        assert!(
+            args[1].allclose(&expect, 1e-9, 1e-9),
+            "tiles ({ty},{tx}): max diff {}",
+            args[1].max_abs_diff(&expect)
+        );
+    }
+
+    #[test]
+    fn untiled_matches_reference() {
+        check(1, 1);
+    }
+
+    #[test]
+    fn tiled_matches_reference() {
+        check(6, 5);
+    }
+
+    #[test]
+    fn nondivisible_tiles_match_reference() {
+        check(7, 11);
+    }
+
+    #[test]
+    fn upper_triangle_untouched() {
+        let mold = SyrkMold::new(ProblemSize::Mini);
+        let (m, n) = mold.dims;
+        let f = build_syrk(m, n, 5, 6);
+        let input = mold.init_args()[1].clone();
+        let mut args = mold.init_args();
+        execute(&f, &mut args).expect("run");
+        for i in 0..n {
+            for j in i + 1..n {
+                assert_eq!(args[1].get(&[i, j]), input.get(&[i, j]));
+            }
+        }
+    }
+}

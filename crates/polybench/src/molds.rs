@@ -1,0 +1,104 @@
+//! Code molds: parameterized kernels that instantiate to lowered TIR.
+//!
+//! A *code mold* is the paper's term for a kernel template whose tunable
+//! statements (`split(y, #P0)` …) are holes filled in with a configuration
+//! — step 2 of the proposed framework's iterative phase.
+
+use crate::datasets::{KernelName, ProblemSize};
+use configspace::{ConfigSpace, Configuration};
+use tvm_runtime::NDArray;
+use tvm_tir::PrimFunc;
+
+/// A tunable kernel: a parameter space plus an instantiation function.
+pub trait CodeMold: Send + Sync {
+    /// Kernel name (e.g. `"3mm"`).
+    fn name(&self) -> &str;
+
+    /// Problem-size class this mold was built for.
+    fn size(&self) -> ProblemSize;
+
+    /// The tuning space (the paper's `cs` object).
+    fn space(&self) -> &ConfigSpace;
+
+    /// Fill the mold's holes with `config` and lower to TIR.
+    ///
+    /// # Panics
+    /// If `config` does not belong to [`CodeMold::space`].
+    fn instantiate(&self, config: &Configuration) -> PrimFunc;
+
+    /// Allocate and initialize the argument arrays (inputs followed by
+    /// outputs, matching the instantiated function's parameter order).
+    fn init_args(&self) -> Vec<NDArray>;
+
+    /// Expected output arrays for [`CodeMold::init_args`], computed by the
+    /// reference implementation — same length/order as the function's
+    /// parameters, with `None` for pure inputs that the kernel must not
+    /// modify beyond its contract.
+    fn reference_args(&self) -> Vec<Option<NDArray>>;
+
+    /// The untuned baseline of the paper's §4 listings (`tile = 8`
+    /// everywhere, clamped into the space).
+    fn baseline_configuration(&self) -> Configuration {
+        let space = self.space();
+        let names: Vec<String> = space.params().iter().map(|p| p.name().to_string()).collect();
+        let values = space
+            .params()
+            .iter()
+            .map(|p| {
+                // Closest value to 8 in the ordinal sequence.
+                let card = p.cardinality().expect("mold spaces are discrete");
+                let mut best = p.value_at(0);
+                let mut bd = f64::INFINITY;
+                for i in 0..card as usize {
+                    let v = p.value_at(i);
+                    let d = (v.as_int().unwrap_or(0) - 8).abs() as f64;
+                    if d < bd {
+                        bd = d;
+                        best = v;
+                    }
+                }
+                best
+            })
+            .collect();
+        Configuration::new(names, values)
+    }
+}
+
+/// Construct the mold for a kernel at a problem size.
+pub fn mold_for(kernel: KernelName, size: ProblemSize) -> Box<dyn CodeMold> {
+    match kernel {
+        KernelName::Mm3 => Box::new(crate::kernels::mm3::Mm3Mold::new(size)),
+        KernelName::Lu => Box::new(crate::kernels::lu::LuMold::new(size)),
+        KernelName::Cholesky => Box::new(crate::kernels::cholesky::CholeskyMold::new(size)),
+        KernelName::Gemm => Box::new(crate::kernels::gemm::GemmMold::new(size)),
+        KernelName::Mm2 => Box::new(crate::kernels::mm2::Mm2Mold::new(size)),
+        KernelName::Syrk => Box::new(crate::kernels::syrk::SyrkMold::new(size)),
+        KernelName::Trmm => Box::new(crate::kernels::trmm::TrmmMold::new(size)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_config_snaps_to_eight() {
+        let mold = mold_for(KernelName::Lu, ProblemSize::Large);
+        let base = mold.baseline_configuration();
+        // divisors of 2000 include 8 exactly.
+        assert_eq!(base.ints(), vec![8, 8]);
+        assert!(mold.space().validate(&base));
+    }
+
+    #[test]
+    fn mold_names_match() {
+        assert_eq!(mold_for(KernelName::Mm3, ProblemSize::Mini).name(), "3mm");
+        assert_eq!(mold_for(KernelName::Lu, ProblemSize::Mini).name(), "lu");
+        assert_eq!(
+            mold_for(KernelName::Cholesky, ProblemSize::Mini).name(),
+            "cholesky"
+        );
+        assert_eq!(mold_for(KernelName::Gemm, ProblemSize::Mini).name(), "gemm");
+        assert_eq!(mold_for(KernelName::Mm2, ProblemSize::Mini).name(), "2mm");
+    }
+}

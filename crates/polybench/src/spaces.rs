@@ -1,0 +1,149 @@
+//! The paper's tuning spaces, derived exactly as §4 describes: each split
+//! factor is an ordinal hyperparameter over "the common factors of each
+//! matrix rank". [`space_for`] reproduces Table 1's cardinalities.
+
+use crate::datasets::{factorization_n, gemm_dims, mm2_dims, mm3_dims, syrk_dims, trmm_dims, KernelName, ProblemSize};
+use crate::divisors::divisors;
+use configspace::{ConfigSpace, Hyperparameter};
+
+/// Tuning space for a kernel at a problem size.
+///
+/// * `3mm`: six ordinals `P0..P5`. Following the paper's ConfigSpace
+///   listing, `P0`/`P3` range over the divisors of `M`, `P1`/`P5` over the
+///   divisors of `N`, and `P2`/`P4` over the divisors of `P`
+///   (large: 16·18·30·16·30·18 = 74,649,600; extralarge:
+///   20·21·36·20·36·21 = 228,614,400 — Table 1).
+/// * `lu`, `cholesky`: two ordinals (`tile_y`, `tile_x`) over the divisors
+///   of `N` (large: 20² = 400; extralarge: 24² = 576 — Table 1).
+/// * `gemm` / `2mm` (extensions): the analogous divisor spaces.
+pub fn space_for(kernel: KernelName, size: ProblemSize) -> ConfigSpace {
+    let mut cs = ConfigSpace::new();
+    match kernel {
+        KernelName::Mm3 => {
+            let d = mm3_dims(size);
+            let (dm, dn, dp) = (
+                divisors(d.m as u64),
+                divisors(d.n as u64),
+                divisors(d.p as u64),
+            );
+            cs.add(Hyperparameter::ordinal_ints("P0", &dm));
+            cs.add(Hyperparameter::ordinal_ints("P1", &dn));
+            cs.add(Hyperparameter::ordinal_ints("P2", &dp));
+            cs.add(Hyperparameter::ordinal_ints("P3", &dm));
+            cs.add(Hyperparameter::ordinal_ints("P4", &dp));
+            cs.add(Hyperparameter::ordinal_ints("P5", &dn));
+        }
+        KernelName::Lu | KernelName::Cholesky => {
+            let n = factorization_n(size);
+            let dn = divisors(n as u64);
+            cs.add(Hyperparameter::ordinal_ints("P0", &dn));
+            cs.add(Hyperparameter::ordinal_ints("P1", &dn));
+        }
+        KernelName::Gemm => {
+            let (ni, nj, _) = gemm_dims(size);
+            cs.add(Hyperparameter::ordinal_ints("P0", &divisors(ni as u64)));
+            cs.add(Hyperparameter::ordinal_ints("P1", &divisors(nj as u64)));
+        }
+        KernelName::Syrk => {
+            let (_, n) = syrk_dims(size);
+            let dn = divisors(n as u64);
+            cs.add(Hyperparameter::ordinal_ints("P0", &dn));
+            cs.add(Hyperparameter::ordinal_ints("P1", &dn));
+        }
+        KernelName::Trmm => {
+            let (m, n) = trmm_dims(size);
+            cs.add(Hyperparameter::ordinal_ints("P0", &divisors(m as u64)));
+            cs.add(Hyperparameter::ordinal_ints("P1", &divisors(n as u64)));
+        }
+        KernelName::Mm2 => {
+            let (ni, nj, _, nl) = mm2_dims(size);
+            cs.add(Hyperparameter::ordinal_ints("P0", &divisors(ni as u64)));
+            cs.add(Hyperparameter::ordinal_ints("P1", &divisors(nj as u64)));
+            cs.add(Hyperparameter::ordinal_ints("P2", &divisors(ni as u64)));
+            cs.add(Hyperparameter::ordinal_ints("P3", &divisors(nl as u64)));
+        }
+    }
+    cs
+}
+
+/// The rows of the paper's Table 1: `(kernel, size, cardinality)`.
+pub fn table1() -> Vec<(KernelName, ProblemSize, u128)> {
+    let mut rows = Vec::new();
+    for kernel in KernelName::paper_kernels() {
+        for size in [ProblemSize::Large, ProblemSize::ExtraLarge] {
+            let sz = space_for(kernel, size)
+                .size()
+                .expect("paper spaces are discrete");
+            rows.push((kernel, size, sz));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_cardinalities_match_paper() {
+        let expect = [
+            (KernelName::Mm3, ProblemSize::Large, 74_649_600u128),
+            (KernelName::Mm3, ProblemSize::ExtraLarge, 228_614_400),
+            (KernelName::Cholesky, ProblemSize::Large, 400),
+            (KernelName::Cholesky, ProblemSize::ExtraLarge, 576),
+            (KernelName::Lu, ProblemSize::Large, 400),
+            (KernelName::Lu, ProblemSize::ExtraLarge, 576),
+        ];
+        for (k, s, expected) in expect {
+            let got = space_for(k, s).size().expect("discrete");
+            assert_eq!(got, expected, "{k} {s}");
+        }
+    }
+
+    #[test]
+    fn table1_helper_covers_all_rows() {
+        let rows = table1();
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().any(|&(_, _, sz)| sz == 228_614_400));
+    }
+
+    #[test]
+    fn mm3_xl_p0_matches_paper_listing() {
+        let cs = space_for(KernelName::Mm3, ProblemSize::ExtraLarge);
+        let p0 = cs.get("P0").expect("P0");
+        assert_eq!(p0.cardinality(), Some(20));
+        assert_eq!(
+            p0.value_at(0).as_int(),
+            Some(1),
+            "sequence starts at 1"
+        );
+        assert_eq!(p0.value_at(19).as_int(), Some(2000));
+        let p2 = cs.get("P2").expect("P2");
+        assert_eq!(p2.cardinality(), Some(36));
+    }
+
+    #[test]
+    fn paper_best_configs_are_in_space() {
+        // Fig. 5: LU large best 400x50; Fig. 7: LU xl best 40x32;
+        // Fig. 9: Cholesky large 125x50; Fig. 11: Cholesky xl 80x32.
+        use configspace::ParamValue;
+        let inspace = |k, s, ty: i64, tx: i64| {
+            let cs = space_for(k, s);
+            cs.get("P0").unwrap().index_of(&ParamValue::Int(ty)).is_some()
+                && cs.get("P1").unwrap().index_of(&ParamValue::Int(tx)).is_some()
+        };
+        assert!(inspace(KernelName::Lu, ProblemSize::Large, 400, 50));
+        assert!(inspace(KernelName::Lu, ProblemSize::ExtraLarge, 40, 32));
+        assert!(inspace(KernelName::Cholesky, ProblemSize::Large, 125, 50));
+        assert!(inspace(KernelName::Cholesky, ProblemSize::ExtraLarge, 80, 32));
+    }
+
+    #[test]
+    fn extension_spaces_are_discrete() {
+        for k in [KernelName::Gemm, KernelName::Mm2] {
+            for s in [ProblemSize::Mini, ProblemSize::Large] {
+                assert!(space_for(k, s).size().is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Device abstraction: anything that can run and time a lowered function.
+
+use crate::interp::{execute, ExecError};
+use crate::ndarray::NDArray;
+use std::time::Instant;
+use tvm_tir::PrimFunc;
+
+/// Failure while building or running a kernel on a device.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// The interpreter rejected or failed the kernel.
+    Exec(ExecError),
+    /// The device's compile/cost model rejected the kernel (e.g. a
+    /// configuration exceeding simulated shared memory).
+    Rejected(String),
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::Exec(e) => write!(f, "execution error: {e}"),
+            DeviceError::Rejected(s) => write!(f, "kernel rejected: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+impl From<ExecError> for DeviceError {
+    fn from(e: ExecError) -> Self {
+        DeviceError::Exec(e)
+    }
+}
+
+/// A measurement target: runs a kernel and reports seconds per run.
+///
+/// Implemented by [`CpuDevice`] (real host execution via the interpreter)
+/// and by `gpu_sim::SimDevice` (analytical A100 model). Both are driven by
+/// the same tuner code, which is exactly the role TVM's measure
+/// infrastructure plays between AutoTVM and remote runners.
+///
+/// `Send + Sync` so evaluators can measure candidate batches from worker
+/// threads (the BO framework's parallel evaluation mode).
+pub trait Device: Send + Sync {
+    /// Human-readable device name (e.g. `"cpu"`, `"sim-a100"`).
+    fn name(&self) -> &str;
+
+    /// Run the kernel once against `args`, returning elapsed seconds.
+    ///
+    /// For analytical devices the returned time is modeled and `args` may
+    /// be left untouched.
+    fn run(&self, func: &PrimFunc, args: &mut [NDArray]) -> Result<f64, DeviceError>;
+
+    /// Simulated/real cost of *compiling* the kernel, in seconds.
+    ///
+    /// Used by autotuning process-time accounting (the paper's "autotuning
+    /// process time" includes per-candidate build cost). The default
+    /// charges nothing.
+    fn build_cost(&self, _func: &PrimFunc) -> f64 {
+        0.0
+    }
+
+    /// Run `repeats` times and return the minimum observed seconds —
+    /// TVM's standard timing discipline (min filters scheduler noise).
+    fn time(
+        &self,
+        func: &PrimFunc,
+        args: &mut [NDArray],
+        repeats: usize,
+    ) -> Result<f64, DeviceError> {
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats.max(1) {
+            best = best.min(self.run(func, args)?);
+        }
+        Ok(best)
+    }
+}
+
+/// Host CPU device executing kernels through the reference interpreter.
+#[derive(Debug, Clone, Default)]
+pub struct CpuDevice;
+
+impl CpuDevice {
+    /// New CPU device.
+    pub fn new() -> CpuDevice {
+        CpuDevice
+    }
+}
+
+impl Device for CpuDevice {
+    fn name(&self) -> &str {
+        "cpu"
+    }
+
+    fn run(&self, func: &PrimFunc, args: &mut [NDArray]) -> Result<f64, DeviceError> {
+        let t0 = Instant::now();
+        execute(func, args)?;
+        Ok(t0.elapsed().as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm_te::{compute, placeholder, DType, Schedule};
+    use tvm_tir::lower::lower;
+
+    #[test]
+    fn cpu_device_times_execution() {
+        let a = placeholder([64], DType::F32, "A");
+        let b = compute([64], "B", |i| a.at(&[i[0].clone()]) * 2i64);
+        let s = Schedule::create(&[b.clone()]);
+        let f = lower(&s, &[a, b], "dbl");
+        let dev = CpuDevice::new();
+        let mut args = [
+            NDArray::random(&[64], DType::F32, 3, 0.0, 1.0),
+            NDArray::zeros(&[64], DType::F32),
+        ];
+        let t = dev.run(&f, &mut args).expect("run");
+        assert!(t >= 0.0);
+        assert!(args[1].to_f64_vec()[0] > 0.0 || args[1].to_f64_vec().iter().any(|&v| v != 0.0));
+        let tmin = dev.time(&f, &mut args, 3).expect("time");
+        assert!(tmin <= t * 10.0 + 1.0);
+        assert_eq!(dev.build_cost(&f), 0.0);
+        assert_eq!(dev.name(), "cpu");
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! # tvm-runtime — tensors and a CPU interpreter for lowered TIR
+//!
+//! Executes [`tvm_tir::PrimFunc`]s produced by lowering (or the imperative
+//! builder) against [`NDArray`] arguments. This is the *real numerics* path
+//! of the reproduction: every candidate configuration the tuners propose
+//! can be validated against PolyBench reference kernels at small sizes,
+//! and timed on the host CPU.
+//!
+//! The paper's large-scale measurements (N = 2000/4000 on A100 GPUs) run
+//! against the analytical device in the sibling `gpu-sim` crate instead;
+//! both implement the same [`device::Device`] trait.
+//!
+//! ```
+//! use tvm_te::{compute, placeholder, DType, Schedule};
+//! use tvm_tir::lower::lower;
+//! use tvm_runtime::{Module, NDArray};
+//!
+//! let a = placeholder([4], DType::F32, "A");
+//! let b = compute([4], "B", |i| a.at(&[i[0].clone()]) + 1i64);
+//! let s = Schedule::create(&[b.clone()]);
+//! let m = Module::new(lower(&s, &[a, b], "add1"));
+//! let x = NDArray::from_f32(&[4], &[1.0, 2.0, 3.0, 4.0]);
+//! let mut args = [x, NDArray::zeros(&[4], DType::F32)];
+//! m.run(&mut args).unwrap();
+//! assert_eq!(args[1].to_f64_vec(), vec![2.0, 3.0, 4.0, 5.0]);
+//! ```
+
+pub mod device;
+pub mod interp;
+pub mod module;
+pub mod ndarray;
+
+pub use device::{CpuDevice, Device, DeviceError};
+pub use module::Module;
+pub use ndarray::{NDArray, TensorData};

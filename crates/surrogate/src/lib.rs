@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! # surrogate — from-scratch regression models for autotuning
+//!
+//! The two learned components of the paper's tuner line-up, implemented
+//! natively:
+//!
+//! * [`forest::RandomForest`] — bagged CART regression trees with
+//!   ensemble-variance uncertainty; this is ytopt's surrogate (scikit-learn
+//!   `RandomForestRegressor`) and feeds the LCB acquisition function in
+//!   `ytopt-bo`.
+//! * [`gbt::GradientBoosting`] — gradient-boosted regression trees with
+//!   shrinkage and subsampling; this is the XGBoost cost model behind
+//!   AutoTVM's `XGBTuner` (squared loss is all the tuner needs: it ranks
+//!   candidates).
+//!
+//! Both build on the same [`tree::RegressionTree`] (variance-reduction
+//! CART splitter). [`metrics`] provides the evaluation helpers used by
+//! tests and the ablation benches.
+//!
+//! ```
+//! use surrogate::forest::RandomForest;
+//! use surrogate::Regressor;
+//! let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+//! let y: Vec<f64> = (0..40).map(|i| (i * i) as f64).collect();
+//! let mut rf = RandomForest::new(20).with_seed(7);
+//! rf.fit(&x, &y);
+//! let (mean, std) = rf.predict_with_std(&[20.0]);
+//! assert!((mean - 400.0).abs() < 150.0);
+//! assert!(std >= 0.0);
+//! ```
+
+pub mod forest;
+pub mod gbt;
+pub mod metrics;
+pub mod tree;
+
+/// Common interface for regressors used as tuner surrogates.
+pub trait Regressor {
+    /// Fit on rows `x` (feature vectors) and targets `y`.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]);
+    /// Predict a single row.
+    fn predict_one(&self, row: &[f64]) -> f64;
+    /// Predict many rows.
+    fn predict(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict_one(r)).collect()
+    }
+}

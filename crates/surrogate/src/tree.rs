@@ -1,0 +1,302 @@
+//! CART regression trees (variance-reduction splitting).
+
+use crate::Regressor;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One node of a fitted tree, stored in an arena.
+#[derive(Debug, Clone)]
+enum Node {
+    /// Internal split: rows with `x[feature] <= threshold` go left.
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+    /// Leaf prediction.
+    Leaf { value: f64 },
+}
+
+/// A CART regression tree.
+///
+/// Splits greedily minimize the summed squared error of the two children;
+/// `max_features` (feature subsampling per split) supplies the
+/// decorrelation random forests need.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required in each child of a split.
+    pub min_samples_leaf: usize,
+    /// Features considered per split (`None` = all).
+    pub max_features: Option<usize>,
+    /// RNG seed for feature subsampling.
+    pub seed: u64,
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Tree with the given depth cap and default leaf size 1.
+    pub fn new(max_depth: usize) -> RegressionTree {
+        RegressionTree {
+            max_depth,
+            min_samples_leaf: 1,
+            max_features: None,
+            seed: 0,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Builder: minimum samples per leaf.
+    pub fn with_min_samples_leaf(mut self, m: usize) -> Self {
+        self.min_samples_leaf = m.max(1);
+        self
+    }
+
+    /// Builder: features per split.
+    pub fn with_max_features(mut self, m: usize) -> Self {
+        self.max_features = Some(m.max(1));
+        self
+    }
+
+    /// Builder: RNG seed.
+    pub fn with_seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Number of nodes of the fitted tree (0 before fitting).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn mean(y: &[f64], idx: &[usize]) -> f64 {
+        idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64
+    }
+
+    /// Best (feature, threshold, sse) split of `idx`, or `None` when no
+    /// split satisfies the leaf-size constraint or reduces error.
+    fn best_split(
+        &self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: &[usize],
+        features: &[usize],
+    ) -> Option<(usize, f64, f64)> {
+        let n = idx.len();
+        let total_sum: f64 = idx.iter().map(|&i| y[i]).sum();
+        let mut best: Option<(usize, f64, f64)> = None;
+
+        let mut order: Vec<usize> = idx.to_vec();
+        for &f in features {
+            order.sort_by(|&a, &b| {
+                x[a][f]
+                    .partial_cmp(&x[b][f])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            let total_sq: f64 = idx.iter().map(|&i| y[i] * y[i]).sum();
+            for pos in 0..n - 1 {
+                let i = order[pos];
+                left_sum += y[i];
+                left_sq += y[i] * y[i];
+                let nl = pos + 1;
+                let nr = n - nl;
+                if nl < self.min_samples_leaf || nr < self.min_samples_leaf {
+                    continue;
+                }
+                // Can't split between equal feature values.
+                if x[order[pos]][f] == x[order[pos + 1]][f] {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let sse_l = left_sq - left_sum * left_sum / nl as f64;
+                let sse_r = right_sq - right_sum * right_sum / nr as f64;
+                let sse = sse_l + sse_r;
+                if best.map(|(_, _, b)| sse < b).unwrap_or(true) {
+                    let thr = 0.5 * (x[order[pos]][f] + x[order[pos + 1]][f]);
+                    best = Some((f, thr, sse));
+                }
+            }
+        }
+        best
+    }
+
+    fn build(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: Vec<usize>,
+        depth: usize,
+        rng: &mut SmallRng,
+    ) -> usize {
+        let leaf_value = Self::mean(y, &idx);
+        let homogeneous = idx.iter().all(|&i| y[i] == y[idx[0]]);
+        if depth >= self.max_depth || idx.len() < 2 * self.min_samples_leaf || homogeneous {
+            self.nodes.push(Node::Leaf { value: leaf_value });
+            return self.nodes.len() - 1;
+        }
+
+        let n_feat = x[0].len();
+        let mut all_feats: Vec<usize> = (0..n_feat).collect();
+        let feats: Vec<usize> = match self.max_features {
+            Some(m) if m < n_feat => {
+                all_feats.shuffle(rng);
+                all_feats.truncate(m);
+                all_feats
+            }
+            _ => all_feats,
+        };
+
+        match self.best_split(x, y, &idx, &feats) {
+            Some((feature, threshold, _)) => {
+                let (li, ri): (Vec<usize>, Vec<usize>) =
+                    idx.into_iter().partition(|&i| x[i][feature] <= threshold);
+                // Reserve a slot for this split node, fill after children.
+                let slot = self.nodes.len();
+                self.nodes.push(Node::Leaf { value: leaf_value });
+                let left = self.build(x, y, li, depth + 1, rng);
+                let right = self.build(x, y, ri, depth + 1, rng);
+                self.nodes[slot] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                slot
+            }
+            None => {
+                self.nodes.push(Node::Leaf { value: leaf_value });
+                self.nodes.len() - 1
+            }
+        }
+    }
+}
+
+impl Regressor for RegressionTree {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty(), "cannot fit on an empty dataset");
+        self.nodes.clear();
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let root = self.build(x, y, idx, 0, &mut rng);
+        debug_assert_eq!(root, 0);
+    }
+
+    fn predict_one(&self, row: &[f64]) -> f64 {
+        assert!(!self.nodes.is_empty(), "predict before fit");
+        let mut cur = 0usize;
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    cur = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 1 if x0 > 5 else 0
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i > 5 { 1.0 } else { 0.0 }).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn learns_step_function_exactly() {
+        let (x, y) = step_data();
+        let mut t = RegressionTree::new(4);
+        t.fit(&x, &y);
+        assert_eq!(t.predict_one(&[2.0]), 0.0);
+        assert_eq!(t.predict_one(&[9.0]), 1.0);
+    }
+
+    #[test]
+    fn depth_zero_predicts_mean() {
+        let (x, y) = step_data();
+        let mut t = RegressionTree::new(0);
+        t.fit(&x, &y);
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        assert!((t.predict_one(&[3.0]) - mean).abs() < 1e-12);
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let (x, y) = step_data();
+        let mut t = RegressionTree::new(10).with_min_samples_leaf(10);
+        t.fit(&x, &y);
+        // With leaves >= 10 of 20 samples only one split is possible.
+        assert!(t.node_count() <= 3);
+    }
+
+    #[test]
+    fn two_feature_interaction() {
+        // y = x0 XOR x1 on a 2D grid — needs depth 2.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..2 {
+            for b in 0..2 {
+                for _ in 0..5 {
+                    x.push(vec![a as f64, b as f64]);
+                    y.push(((a ^ b) as f64).abs());
+                }
+            }
+        }
+        let mut t = RegressionTree::new(3);
+        t.fit(&x, &y);
+        assert_eq!(t.predict_one(&[0.0, 0.0]), 0.0);
+        assert_eq!(t.predict_one(&[1.0, 0.0]), 1.0);
+        assert_eq!(t.predict_one(&[0.0, 1.0]), 1.0);
+        assert_eq!(t.predict_one(&[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn constant_target_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![3.5; 10];
+        let mut t = RegressionTree::new(8);
+        t.fit(&x, &y);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict_one(&[100.0]), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_fit_panics() {
+        let mut t = RegressionTree::new(2);
+        t.fit(&[], &[]);
+    }
+
+    #[test]
+    fn feature_subsampling_is_deterministic() {
+        let (x, y) = step_data();
+        let mut a = RegressionTree::new(4).with_max_features(1).with_seed(9);
+        let mut b = RegressionTree::new(4).with_max_features(1).with_seed(9);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        for i in 0..20 {
+            assert_eq!(a.predict_one(&[i as f64]), b.predict_one(&[i as f64]));
+        }
+    }
+}

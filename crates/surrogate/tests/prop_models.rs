@@ -1,0 +1,101 @@
+//! Property tests on the surrogate models' structural guarantees.
+
+use proptest::prelude::*;
+use surrogate::forest::RandomForest;
+use surrogate::gbt::GradientBoosting;
+use surrogate::metrics::rmse;
+use surrogate::tree::RegressionTree;
+use surrogate::Regressor;
+
+fn dataset_strategy() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    prop::collection::vec((prop::array::uniform3(-10.0f64..10.0), -100.0f64..100.0), 5..40)
+        .prop_map(|rows| {
+            rows.into_iter()
+                .map(|(x, y)| (x.to_vec(), y))
+                .unzip()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A tree's prediction is always a mean of training targets, hence
+    /// bounded by their range.
+    #[test]
+    fn tree_predictions_bounded_by_targets(
+        (x, y) in dataset_strategy(),
+        probe in prop::array::uniform3(-20.0f64..20.0),
+    ) {
+        let mut t = RegressionTree::new(8);
+        t.fit(&x, &y);
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let p = t.predict_one(&probe);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+    }
+
+    /// So is a forest's (a mean of tree means), and its std is
+    /// non-negative and bounded by the target half-range.
+    #[test]
+    fn forest_mean_and_std_bounded(
+        (x, y) in dataset_strategy(),
+        probe in prop::array::uniform3(-20.0f64..20.0),
+    ) {
+        let mut rf = RandomForest::new(8).with_seed(1);
+        rf.fit(&x, &y);
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let (mean, std) = rf.predict_with_std(&probe);
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+        prop_assert!(std >= 0.0);
+        prop_assert!(std <= (hi - lo) / 2.0 + 1e-9);
+    }
+
+    /// A deep unconstrained tree interpolates distinct training points.
+    #[test]
+    fn deep_tree_interpolates((x, y) in dataset_strategy()) {
+        // Require distinct feature rows (ties make targets ambiguous).
+        let mut keys: Vec<String> = x.iter().map(|r| format!("{r:?}")).collect();
+        keys.sort();
+        keys.dedup();
+        prop_assume!(keys.len() == x.len());
+        let mut t = RegressionTree::new(64);
+        t.fit(&x, &y);
+        for (xi, yi) in x.iter().zip(&y) {
+            prop_assert!((t.predict_one(xi) - yi).abs() < 1e-9);
+        }
+    }
+
+    /// More boosting rounds never increase training RMSE (squared-loss
+    /// boosting with full subsample is monotone on the training set).
+    #[test]
+    fn boosting_monotone_on_training((x, y) in dataset_strategy()) {
+        let mut weak = GradientBoosting::new(2).with_seed(3);
+        weak.fit(&x, &y);
+        let mut strong = GradientBoosting::new(30).with_seed(3);
+        strong.fit(&x, &y);
+        let e_weak = rmse(&weak.predict(&x), &y);
+        let e_strong = rmse(&strong.predict(&x), &y);
+        prop_assert!(e_strong <= e_weak + 1e-9, "weak {e_weak} < strong {e_strong}");
+    }
+
+    /// Fitting is permutation-invariant for trees without subsampling
+    /// (split search scans all rows).
+    #[test]
+    fn tree_fit_is_permutation_invariant((x, y) in dataset_strategy(), seed in 0u64..100) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        order.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(seed));
+        let (px, py): (Vec<Vec<f64>>, Vec<f64>) =
+            order.iter().map(|&i| (x[i].clone(), y[i])).unzip();
+
+        let mut a = RegressionTree::new(6);
+        a.fit(&x, &y);
+        let mut b = RegressionTree::new(6);
+        b.fit(&px, &py);
+        for probe in x.iter().take(10) {
+            prop_assert!((a.predict_one(probe) - b.predict_one(probe)).abs() < 1e-9);
+        }
+    }
+}

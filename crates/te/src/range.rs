@@ -1,0 +1,68 @@
+//! Half-open integer ranges used as iteration domains.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open range `[min, min + extent)` describing an iteration domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Range {
+    /// Inclusive lower bound.
+    pub min: i64,
+    /// Number of iterations; the exclusive upper bound is `min + extent`.
+    pub extent: i64,
+}
+
+impl Range {
+    /// Range `[min, min+extent)`.
+    pub fn new(min: i64, extent: i64) -> Range {
+        assert!(extent >= 0, "range extent must be non-negative, got {extent}");
+        Range { min, extent }
+    }
+
+    /// Range `[0, extent)`.
+    pub fn from_extent(extent: i64) -> Range {
+        Range::new(0, extent)
+    }
+
+    /// Exclusive upper bound.
+    pub fn end(&self) -> i64 {
+        self.min + self.extent
+    }
+
+    /// Whether `v` lies inside the range.
+    pub fn contains(&self, v: i64) -> bool {
+        v >= self.min && v < self.end()
+    }
+
+    /// True when the range holds no iterations.
+    pub fn is_empty(&self) -> bool {
+        self.extent == 0
+    }
+}
+
+impl fmt::Display for Range {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.min, self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let r = Range::new(2, 5);
+        assert_eq!(r.end(), 7);
+        assert!(r.contains(2) && r.contains(6));
+        assert!(!r.contains(7) && !r.contains(1));
+        assert!(!r.is_empty());
+        assert!(Range::from_extent(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_extent_panics() {
+        let _ = Range::new(0, -1);
+    }
+}

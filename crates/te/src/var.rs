@@ -1,0 +1,147 @@
+//! Scalar variables and iteration variables.
+
+use crate::dtype::DType;
+use crate::expr::PrimExpr;
+use crate::range::Range;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_VAR_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A scalar variable with a unique identity.
+///
+/// Two `Var`s are equal iff they were created by the same call — names are
+/// purely cosmetic, so shadowing (`i`, `i.outer`, `i.inner`) is safe.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Var {
+    /// Globally unique id; the sole basis of identity.
+    pub id: u64,
+    /// Display name.
+    pub name: String,
+    /// Scalar type (loop variables are `I64`).
+    pub dtype: DType,
+}
+
+impl Var {
+    /// Fresh variable with a unique id.
+    pub fn new(name: impl Into<String>, dtype: DType) -> Var {
+        Var {
+            id: NEXT_VAR_ID.fetch_add(1, Ordering::Relaxed),
+            name: name.into(),
+            dtype,
+        }
+    }
+
+    /// Fresh `I64` loop/index variable.
+    pub fn index(name: impl Into<String>) -> Var {
+        Var::new(name, DType::I64)
+    }
+
+    /// This variable as an expression.
+    pub fn expr(&self) -> PrimExpr {
+        PrimExpr::Var(self.clone())
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// How an [`IterVar`] iterates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IterVarType {
+    /// Data-parallel axis (an output axis of a compute op).
+    DataPar,
+    /// Reduction axis (created by [`reduce_axis`]).
+    Reduce,
+    /// Axis bound to a GPU thread index (blockIdx/threadIdx).
+    ThreadIndex,
+    /// Opaque axis (not currently produced; reserved for scan/extern ops).
+    Opaque,
+}
+
+/// An iteration variable: a [`Var`] plus its iteration [`Range`] and kind.
+///
+/// This corresponds to `tvm.tir.IterVar`; output axes of `compute` and the
+/// axes returned by `Stage::split`/`fuse` are all `IterVar`s.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IterVar {
+    /// Underlying loop variable.
+    pub var: Var,
+    /// Iteration domain.
+    pub dom: Range,
+    /// Iteration kind.
+    pub iter_type: IterVarType,
+}
+
+impl IterVar {
+    /// New iteration variable over `dom`.
+    pub fn new(dom: Range, name: impl Into<String>, iter_type: IterVarType) -> IterVar {
+        IterVar {
+            var: Var::index(name),
+            dom,
+            iter_type,
+        }
+    }
+
+    /// Data-parallel axis `[0, extent)`.
+    pub fn data_par(extent: i64, name: impl Into<String>) -> IterVar {
+        IterVar::new(Range::from_extent(extent), name, IterVarType::DataPar)
+    }
+
+    /// The variable as an expression (`i` usable inside compute bodies).
+    pub fn var_expr(&self) -> PrimExpr {
+        self.var.expr()
+    }
+
+    /// Extent of the iteration domain.
+    pub fn extent(&self) -> i64 {
+        self.dom.extent
+    }
+
+    /// True if this is a reduction axis.
+    pub fn is_reduce(&self) -> bool {
+        self.iter_type == IterVarType::Reduce
+    }
+}
+
+impl fmt::Display for IterVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.var, self.dom)
+    }
+}
+
+/// Create a reduction axis over `[min, min+extent)`, like `te.reduce_axis`.
+pub fn reduce_axis(min: i64, extent: i64, name: impl Into<String>) -> IterVar {
+    IterVar::new(Range::new(min, extent), name, IterVarType::Reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vars_have_unique_identity() {
+        let a = Var::index("i");
+        let b = Var::index("i");
+        assert_ne!(a, b, "same-named vars must differ by id");
+        assert_eq!(a, a.clone());
+    }
+
+    #[test]
+    fn reduce_axis_kind() {
+        let k = reduce_axis(0, 16, "k");
+        assert!(k.is_reduce());
+        assert_eq!(k.extent(), 16);
+        assert_eq!(k.var.dtype, DType::I64);
+    }
+
+    #[test]
+    fn data_par_axis() {
+        let i = IterVar::data_par(8, "i");
+        assert!(!i.is_reduce());
+        assert_eq!(i.dom, Range::from_extent(8));
+    }
+}

@@ -1,0 +1,64 @@
+//! Autotune LU end to end with the BO framework proper (`ytopt_bo::run`),
+//! exporting the performance database exactly like ytopt's `results.csv`.
+//!
+//! Run: `cargo run --release --example autotune_lu -- [size] [max_evals]`
+//! (size: large | extralarge; default large, 100 evaluations)
+
+use tvm_autotune::bo::{run, BoOptions, Problem};
+use tvm_autotune::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let size = args
+        .get(1)
+        .and_then(|s| ProblemSize::parse(s))
+        .unwrap_or(ProblemSize::Large);
+    let max_evals = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100);
+
+    let mold = mold_for(KernelName::Lu, size);
+    println!(
+        "autotuning lu/{size}: space size {}",
+        mold.space().size().expect("discrete")
+    );
+    let device = SimDevice::new(GpuSpec::swing_cpu_core());
+    let problem = MoldEvaluator::simulated(mold, device);
+
+    let result = run(
+        &problem,
+        BoOptions {
+            max_evals,
+            ..Default::default()
+        },
+    );
+
+    // Convergence curve (every time the incumbent improves).
+    let mut best = f64::INFINITY;
+    println!("\n  eval   elapsed(s)   runtime(s)  (improvements only)");
+    for t in &result.trials {
+        if let Some(r) = t.runtime_s {
+            if r < best {
+                best = r;
+                println!("{:>6} {:>12.2} {:>12.4}  {}", t.index, t.elapsed_s, r, t.config);
+            }
+        }
+    }
+
+    let best = result.best().expect("ran");
+    println!(
+        "\nbest configuration: {} -> {:.4} s",
+        best.config,
+        best.runtime_s.expect("ok")
+    );
+    println!("total autotuning process time: {:.1} s", result.total_process_s);
+
+    // Persist the performance database (ytopt writes results.csv).
+    let db = result.to_database(&format!("lu-{size}"));
+    let dir = std::env::temp_dir().join("tvm-autotune");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let csv = dir.join("results.csv");
+    let json = dir.join("results.json");
+    db.save_csv(&csv).expect("csv");
+    db.save_json(&json).expect("json");
+    println!("performance database written to {} and {}", csv.display(), json.display());
+    println!("Problem::name() = {}", Problem::name(&problem));
+}

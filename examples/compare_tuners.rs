@@ -1,0 +1,82 @@
+//! The paper's §5 head-to-head at example scale: all five tuners on one
+//! kernel, printed like Figures 5/7/9/11/13.
+//!
+//! Run: `cargo run --release --example compare_tuners -- [kernel] [size] [evals]`
+//! (defaults: cholesky large 50)
+
+use tvm_autotune::autotvm::{GaTuner, GridSearchTuner, RandomTuner, XgbTuner};
+use tvm_autotune::prelude::*;
+
+fn evaluator(kernel: KernelName, size: ProblemSize, repeats: usize) -> MoldEvaluator {
+    let mold = mold_for(kernel, size);
+    MoldEvaluator::simulated(mold, SimDevice::new(GpuSpec::swing_cpu_core())).with_repeats(repeats)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let kernel = args
+        .get(1)
+        .and_then(|s| KernelName::parse(s))
+        .unwrap_or(KernelName::Cholesky);
+    let size = args
+        .get(2)
+        .and_then(|s| ProblemSize::parse(s))
+        .unwrap_or(ProblemSize::Large);
+    let max_evals = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(50);
+
+    let space = tvm_autotune::polybench::spaces::space_for(kernel, size);
+    println!(
+        "comparing 5 tuners on {kernel}/{size} (space {}, {max_evals} evaluations)\n",
+        space.size().expect("discrete")
+    );
+
+    let opts = TuneOptions {
+        max_evals,
+        batch: 8,
+        max_process_s: None,
+    };
+    let bo_opts = TuneOptions { batch: 1, ..opts };
+
+    let mut results: Vec<TuningResult> = Vec::new();
+    // AutoTVM measures each candidate 3 times; ytopt evaluates once.
+    let ev = evaluator(kernel, size, 3);
+    results.push(tune(&mut GaTuner::new(space.clone(), 7), &ev, opts));
+    results.push(tune(&mut RandomTuner::new(space.clone(), 7), &ev, opts));
+    results.push(tune(&mut GridSearchTuner::new(space.clone()), &ev, opts));
+    results.push(tune(&mut XgbTuner::new(space.clone(), 7), &ev, opts));
+    let ev1 = evaluator(kernel, size, 1);
+    results.push(tune(&mut YtoptTuner::new(space, 7), &ev1, bo_opts));
+
+    println!(
+        "{:<20} {:>6} {:>12} {:>14} {:>18}",
+        "tuner", "evals", "best (s)", "process (s)", "best tensor size"
+    );
+    for r in &results {
+        let best = r.best().expect("ran");
+        let cfg = best
+            .config
+            .ints()
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("x");
+        println!(
+            "{:<20} {:>6} {:>12.4} {:>14.2} {:>18}",
+            r.tuner,
+            r.len(),
+            best.runtime_s.expect("ok"),
+            r.total_process_s,
+            cfg
+        );
+    }
+
+    let fastest = results
+        .iter()
+        .min_by(|a, b| {
+            a.total_process_s
+                .partial_cmp(&b.total_process_s)
+                .expect("finite")
+        })
+        .expect("nonempty");
+    println!("\nsmallest autotuning process time: {}", fastest.tuner);
+}

@@ -1,0 +1,79 @@
+#![warn(missing_docs)]
+//! # tvm-autotune — autotuning TVM-style scientific kernels with Bayesian optimization
+//!
+//! A Rust reproduction of *"Autotuning Apache TVM-based Scientific
+//! Applications Using Bayesian Optimization"* (Wu, Paramasivam, Taylor;
+//! SC 2023 workshops), built from scratch:
+//!
+//! | Paper component | Crate |
+//! |---|---|
+//! | TVM tensor-expression language + schedules | [`te`] |
+//! | TVM lowering, TIR, passes | [`tir`] |
+//! | TVM runtime (tensors, CPU interpreter) | [`runtime`] |
+//! | Swing cluster (NVIDIA A100) | [`sim`] — analytical device model |
+//! | PolyBench 4.2 kernels (3mm, LU, Cholesky, …) | [`polybench`] |
+//! | ConfigSpace | [`configspace`] |
+//! | scikit-learn RF / XGBoost | [`surrogate`] |
+//! | AutoTVM (Random/GridSearch/GA/XGB tuners) | [`autotvm`] |
+//! | ytopt (RF surrogate + LCB Bayesian optimization) | [`bo`] |
+//!
+//! This umbrella crate re-exports everything and adds the two glue types
+//! the experiments are built on:
+//!
+//! * [`MoldEvaluator`] — measures a PolyBench code mold on a device with
+//!   the paper's process-time accounting (instantiate + build + transfer
+//!   + repeated runs); implements both the AutoTVM
+//!   [`autotvm::Evaluator`] and the ytopt [`bo::Problem`] interfaces,
+//! * [`YtoptTuner`] — exposes the BO search through the AutoTVM `Tuner`
+//!   interface, literally "replacing the autotuning module" as Figure 3
+//!   of the paper describes, so one driver runs all five strategies.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tvm_autotune::{MoldEvaluator, YtoptTuner};
+//! use tvm_autotune::polybench::{molds::mold_for, KernelName, ProblemSize};
+//! use tvm_autotune::sim::{GpuSpec, SimDevice};
+//! use tvm_autotune::autotvm::{tune, Tuner, TuneOptions};
+//!
+//! let mold = mold_for(KernelName::Lu, ProblemSize::Large);
+//! let dev = SimDevice::new(GpuSpec::a100());
+//! let eval = MoldEvaluator::simulated(mold, dev);
+//! let mut tuner = YtoptTuner::new(eval.space().clone(), 42);
+//! let result = tune(&mut tuner, &eval, TuneOptions { max_evals: 20, ..Default::default() });
+//! assert_eq!(result.len(), 20);
+//! assert!(result.best().is_some());
+//! ```
+
+pub use autotvm;
+pub use configspace;
+pub use gpu_sim as sim;
+pub use polybench;
+pub use surrogate;
+pub use tvm_runtime as runtime;
+pub use tvm_te as te;
+pub use tvm_tir as tir;
+pub use ytopt_bo as bo;
+
+mod adapter;
+mod evaluator;
+
+pub use adapter::YtoptTuner;
+pub use evaluator::{EvalMode, MoldEvaluator};
+
+/// Convenient glob import for examples and downstream users.
+pub mod prelude {
+    pub use crate::adapter::YtoptTuner;
+    pub use crate::evaluator::{EvalMode, MoldEvaluator};
+    pub use autotvm::{
+        tune, Evaluator, GaTuner, GridSearchTuner, RandomTuner, TuneOptions, Tuner, TuningResult,
+        XgbTuner,
+    };
+    pub use configspace::{ConfigSpace, Configuration, Hyperparameter, ParamValue};
+    pub use gpu_sim::{GpuSpec, SimDevice};
+    pub use polybench::{molds::mold_for, CodeMold, KernelName, ProblemSize};
+    pub use tvm_runtime::{CpuDevice, Device, Module, NDArray};
+    pub use tvm_te::{compute, placeholder, reduce_axis, sum, DType, Schedule};
+    pub use tvm_tir::lower::lower;
+    pub use ytopt_bo::{BoOptions, Problem};
+}

@@ -1,0 +1,157 @@
+//! Integration: `compute_at` must be semantics-preserving — attached
+//! schedules produce bit-identical results to root schedules, across
+//! elementwise and reduction producers, divisible and ragged tiles.
+
+use proptest::prelude::*;
+use tvm_autotune::prelude::*;
+use tvm_autotune::te::Tensor;
+
+fn elementwise_chain(n: usize) -> (Tensor, Tensor, Tensor) {
+    let a = placeholder([n, n], DType::F32, "A");
+    let t = compute([n, n], "T", |i| {
+        a.at(&[i[0].clone(), i[1].clone()]) * a.at(&[i[0].clone(), i[1].clone()]) + 1i64
+    });
+    let o = compute([n, n], "O", |i| t.at(&[i[0].clone(), i[1].clone()]) * 3i64);
+    (a, t, o)
+}
+
+fn run(module: &Module, n: usize) -> NDArray {
+    let mut args = module.alloc_args();
+    args[0] = NDArray::random(&[n, n], DType::F32, 21, -1.0, 1.0);
+    // Last argument is the output for these graphs.
+    module.run(&mut args).expect("execute");
+    args.last().expect("args").clone()
+}
+
+#[test]
+fn elementwise_attach_matches_root() {
+    let n = 16;
+    // Root schedule.
+    let (a0, _t0, o0) = elementwise_chain(n);
+    let s0 = Schedule::create(&[o0.clone()]);
+    let root = Module::new(lower(&s0, &[a0, o0], "root"));
+
+    // Attached schedule (tile 4x4, attach under yo).
+    let (a1, t1, o1) = elementwise_chain(n);
+    let mut s1 = Schedule::create(&[o1.clone()]);
+    let (y, x) = (o1.axis(0), o1.axis(1));
+    let (yo, _yi) = s1.split(&o1, &y, 4);
+    let (_xo, _xi) = s1.split(&o1, &x, 4);
+    s1.compute_at(&t1, &o1, &yo);
+    let fused = Module::new(lower(&s1, &[a1, o1], "fused"));
+
+    let r = run(&root, n);
+    let f = run(&fused, n);
+    assert!(r.allclose(&f, 1e-6, 1e-7), "diff {}", r.max_abs_diff(&f));
+}
+
+#[test]
+fn reduce_producer_attach_matches_root() {
+    // 2mm-like: E = A·B, O = E·C, attach E inside O's row tiles.
+    let n = 12usize;
+    let build = |attach: bool| {
+        let a = placeholder([n, n], DType::F64, "A");
+        let b = placeholder([n, n], DType::F64, "B");
+        let c = placeholder([n, n], DType::F64, "C");
+        let k = reduce_axis(0, n as i64, "k");
+        let e = compute([n, n], "E", |i| {
+            sum(
+                a.at(&[i[0].clone(), k.var_expr()]) * b.at(&[k.var_expr(), i[1].clone()]),
+                &[k.clone()],
+            )
+        });
+        let l = reduce_axis(0, n as i64, "l");
+        let o = compute([n, n], "O", |i| {
+            sum(
+                e.at(&[i[0].clone(), l.var_expr()]) * c.at(&[l.var_expr(), i[1].clone()]),
+                &[l.clone()],
+            )
+        });
+        let mut s = Schedule::create(&[o.clone()]);
+        let y = o.axis(0);
+        let (yo, _yi) = s.split(&o, &y, 3);
+        if attach {
+            s.compute_at(&e, &o, &yo);
+        }
+        Module::new(lower(&s, &[a, b, c, o], "mm2"))
+    };
+    let root = build(false);
+    let fused = build(true);
+
+    let mk_args = |m: &Module| {
+        let mut args = m.alloc_args();
+        args[0] = NDArray::random(&[n, n], DType::F64, 1, -1.0, 1.0);
+        args[1] = NDArray::random(&[n, n], DType::F64, 2, -1.0, 1.0);
+        args[2] = NDArray::random(&[n, n], DType::F64, 3, -1.0, 1.0);
+        args
+    };
+    let mut ra = mk_args(&root);
+    root.run(&mut ra).expect("root");
+    let mut fa = mk_args(&fused);
+    fused.run(&mut fa).expect("fused");
+    assert!(
+        ra[3].allclose(&fa[3], 1e-10, 1e-12),
+        "diff {}",
+        ra[3].max_abs_diff(&fa[3])
+    );
+}
+
+#[test]
+fn stencil_window_attach_matches_root() {
+    // Consumer reads a 3-wide window of the producer: the region must
+    // cover the halo.
+    let n = 18usize;
+    let build = |attach: bool| {
+        let a = placeholder([n], DType::F64, "A");
+        let t = compute([n], "T", |i| a.at(&[i[0].clone()]) * 2i64);
+        let o = compute([n - 2], "O", |i| {
+            t.at(&[i[0].clone()]) + t.at(&[i[0].clone() + 1]) + t.at(&[i[0].clone() + 2])
+        });
+        let mut s = Schedule::create(&[o.clone()]);
+        let x = o.axis(0);
+        let (xo, _xi) = s.split(&o, &x, 4);
+        if attach {
+            s.compute_at(&t, &o, &xo);
+        }
+        Module::new(lower(&s, &[a, o], "stencil"))
+    };
+    let root = build(false);
+    let fused = build(true);
+    let mut ra = root.alloc_args();
+    ra[0] = NDArray::random(&[n], DType::F64, 5, -1.0, 1.0);
+    let mut fa = fused.alloc_args();
+    fa[0] = ra[0].clone();
+    root.run(&mut ra).expect("root");
+    fused.run(&mut fa).expect("fused");
+    assert!(
+        ra[1].allclose(&fa[1], 1e-12, 1e-12),
+        "diff {}",
+        ra[1].max_abs_diff(&fa[1])
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Attaching at the outer tile loop is semantics-preserving for any
+    /// tile sizes, including ragged ones.
+    #[test]
+    fn prop_attach_any_tiles(ty in 1i64..10, tx in 1i64..10) {
+        let n = 14;
+        let (a0, _t0, o0) = elementwise_chain(n);
+        let s0 = Schedule::create(&[o0.clone()]);
+        let root = Module::new(lower(&s0, &[a0, o0], "root"));
+
+        let (a1, t1, o1) = elementwise_chain(n);
+        let mut s1 = Schedule::create(&[o1.clone()]);
+        let (y, x) = (o1.axis(0), o1.axis(1));
+        let (yo, _yi) = s1.split(&o1, &y, ty);
+        let (_xo, _xi) = s1.split(&o1, &x, tx);
+        s1.compute_at(&t1, &o1, &yo);
+        let fused = Module::new(lower(&s1, &[a1, o1], "fused"));
+
+        let r = run(&root, n);
+        let f = run(&fused, n);
+        prop_assert!(r.allclose(&f, 1e-6, 1e-7));
+    }
+}

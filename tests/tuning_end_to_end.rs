@@ -1,0 +1,168 @@
+//! Integration: tuners driving real code molds on the simulated device.
+
+use tvm_autotune::autotvm::{GaTuner, GridSearchTuner, RandomTuner, XgbTuner};
+use tvm_autotune::prelude::*;
+
+fn evaluator(kernel: KernelName, size: ProblemSize, seed: u64) -> MoldEvaluator {
+    let mold = mold_for(kernel, size);
+    let dev = SimDevice::new(GpuSpec::swing_cpu_core()).with_seed(seed);
+    MoldEvaluator::simulated(mold, dev)
+}
+
+#[test]
+fn ytopt_beats_random_start_on_lu_large() {
+    let ev = evaluator(KernelName::Lu, ProblemSize::Large, 1);
+    let mut tuner = YtoptTuner::new(ev.space().clone(), 1);
+    let res = tune(
+        &mut tuner,
+        &ev,
+        TuneOptions {
+            max_evals: 40,
+            batch: 1,
+            max_process_s: None,
+        },
+    );
+    assert_eq!(res.len(), 40);
+    let curve = res.incumbent_curve();
+    // The model-based phase (after 10 random points) must improve on the
+    // random warmup.
+    assert!(
+        curve[39] <= curve[9],
+        "BO phase should not regress: {} vs {}",
+        curve[39],
+        curve[9]
+    );
+    // And land on the plateau of the landscape (probed global best ~1.9 s).
+    assert!(curve[39] < 2.6, "best after 40 evals: {}", curve[39]);
+}
+
+#[test]
+fn all_five_tuners_complete_on_cholesky() {
+    let space = tvm_autotune::polybench::spaces::space_for(KernelName::Cholesky, ProblemSize::Large);
+    let opts = TuneOptions {
+        max_evals: 15,
+        batch: 4,
+        max_process_s: None,
+    };
+    let ev = evaluator(KernelName::Cholesky, ProblemSize::Large, 2);
+    let results = vec![
+        tune(&mut GaTuner::new(space.clone(), 2), &ev, opts),
+        tune(&mut RandomTuner::new(space.clone(), 2), &ev, opts),
+        tune(&mut GridSearchTuner::new(space.clone()), &ev, opts),
+        tune(&mut XgbTuner::new(space.clone(), 2), &ev, opts),
+        tune(&mut YtoptTuner::new(space, 2), &ev, opts),
+    ];
+    for r in &results {
+        assert!(r.len() >= 1 && r.len() <= 15, "{}: {} evals", r.tuner, r.len());
+        assert!(r.best().is_some(), "{} found nothing", r.tuner);
+        assert!(r.total_process_s > 0.0);
+        // All proposed configurations must be unique.
+        let mut keys: Vec<String> = r.trials.iter().map(|t| t.config.key()).collect();
+        keys.sort();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(before, keys.len(), "{} repeated configurations", r.tuner);
+    }
+}
+
+#[test]
+fn xgb_stops_early_on_small_spaces() {
+    // The paper: "XGBoost search tuner could only do at most 56
+    // evaluations no matter how many evaluations are set".
+    let ev = evaluator(KernelName::Lu, ProblemSize::Large, 3);
+    let mut xgb = XgbTuner::new(ev.space().clone(), 3);
+    let res = tune(
+        &mut xgb,
+        &ev,
+        TuneOptions {
+            max_evals: 400, // entire space as budget
+            batch: 8,
+            max_process_s: None,
+        },
+    );
+    assert!(
+        res.len() < 150,
+        "XGB should exhaust its competitive pool early, did {} evals",
+        res.len()
+    );
+    assert!(res.best().is_some());
+}
+
+#[test]
+fn experiments_are_reproducible() {
+    let run = |seed: u64| {
+        let ev = evaluator(KernelName::Lu, ProblemSize::Large, seed);
+        let mut t = YtoptTuner::new(ev.space().clone(), seed);
+        let res = tune(
+            &mut t,
+            &ev,
+            TuneOptions {
+                max_evals: 20,
+                batch: 1,
+                max_process_s: None,
+            },
+        );
+        res.trials
+            .iter()
+            .map(|t| (t.config.key(), t.runtime_s))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(7), run(7), "same seed must reproduce exactly");
+    assert_ne!(run(7), run(8), "different seeds must differ");
+}
+
+#[test]
+fn bo_finds_global_optimum_of_enumerable_space() {
+    // Exhaustively grade a small space, then check BO's answer against
+    // the true optimum at a fraction of the budget.
+    let ev = evaluator(KernelName::Lu, ProblemSize::Mini, 4);
+    let space = ev.space().clone();
+    let size = space.size().expect("discrete") as usize;
+    let mut truth: Vec<(String, f64)> = Vec::with_capacity(size);
+    for cfg in space.grid() {
+        let r = tvm_autotune::autotvm::Evaluator::evaluate(&ev, &cfg);
+        truth.push((cfg.key(), r.runtime_s.expect("ok")));
+    }
+    let global_best = truth
+        .iter()
+        .map(|(_, t)| *t)
+        .fold(f64::INFINITY, f64::min);
+
+    let mut tuner = YtoptTuner::new(space, 4);
+    let res = tune(
+        &mut tuner,
+        &ev,
+        TuneOptions {
+            max_evals: size / 2,
+            batch: 1,
+            max_process_s: None,
+        },
+    );
+    let found = res.best().expect("ran").runtime_s.expect("ok");
+    assert!(
+        found <= global_best * 1.12,
+        "BO with half budget should get within 12% of optimum: {found} vs {global_best}"
+    );
+}
+
+#[test]
+fn real_cpu_tuning_on_mini_kernel() {
+    // The Real evaluation mode: actually execute candidates on the
+    // interpreter while tuning (tiny budget — interpretation is slow).
+    let mold = mold_for(KernelName::Lu, ProblemSize::Mini);
+    let ev = MoldEvaluator::real(mold, CpuDevice::new());
+    let mut tuner = YtoptTuner::new(ev.space().clone(), 5);
+    let res = tune(
+        &mut tuner,
+        &ev,
+        TuneOptions {
+            max_evals: 4,
+            batch: 1,
+            max_process_s: None,
+        },
+    );
+    assert_eq!(res.len(), 4);
+    for t in &res.trials {
+        assert!(t.runtime_s.expect("real run succeeded") > 0.0);
+    }
+}
