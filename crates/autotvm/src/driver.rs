@@ -1,10 +1,22 @@
 //! The tuning driver: runs a tuner against an evaluator and records the
 //! trial history with process-time accounting.
+//!
+//! Three entry points share one measure loop: [`tune`] (in-memory only),
+//! [`tune_journaled`] (every completed trial fsync'd to an append-only
+//! JSONL journal) and [`resume_from_journal`] (replay a journal's
+//! completed trials through the tuner — re-feeding `update` without
+//! re-measuring anything — then continue live until the budget is
+//! reached). Every tuner is a deterministic function of (seed, observed
+//! history), so a killed-and-resumed run follows the identical remaining
+//! trajectory as an uninterrupted one.
 
 use crate::measure::{Evaluator, MeasureResult};
 use crate::tuner::Tuner;
 use configspace::Configuration;
+use std::path::Path;
 use std::time::Instant;
+use ytopt_bo::fault::MeasureError;
+use ytopt_bo::journal::{divergence_error, TrialJournal, TrialRecord};
 
 /// Budget and batching options (the paper: `max_evals = 100`).
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +49,8 @@ pub struct Trial {
     pub config: Configuration,
     /// Kernel runtime, seconds (`None` on failure).
     pub runtime_s: Option<f64>,
+    /// Failure class when the measurement produced no runtime.
+    pub error: Option<MeasureError>,
     /// Process time this evaluation consumed.
     pub eval_process_s: f64,
     /// Cumulative process time (tuner think time + evaluations) when this
@@ -55,6 +69,9 @@ pub struct TuningResult {
     pub total_process_s: f64,
     /// Wall-clock the tuner itself spent proposing/updating.
     pub think_s: f64,
+    /// How many trials were replayed from a journal rather than measured
+    /// live (0 for fresh runs).
+    pub replayed: usize,
 }
 
 impl TuningResult {
@@ -80,6 +97,11 @@ impl TuningResult {
         self.trials.is_empty()
     }
 
+    /// Number of failed trials.
+    pub fn failed(&self) -> usize {
+        self.trials.iter().filter(|t| t.runtime_s.is_none()).count()
+    }
+
     /// Running minimum runtime after each trial (convergence curve).
     pub fn incumbent_curve(&self) -> Vec<f64> {
         let mut best = f64::INFINITY;
@@ -103,14 +125,55 @@ impl TuningResult {
 /// simulated) process seconds — so a model-based tuner that spends real
 /// CPU time training is charged for it, exactly as in the paper's
 /// "overall autotuning process time".
-pub fn tune(
+pub fn tune(tuner: &mut dyn Tuner, evaluator: &dyn Evaluator, opts: TuneOptions) -> TuningResult {
+    tune_inner(tuner, evaluator, opts, None, Vec::new())
+        .expect("journal-free tuning cannot do I/O")
+}
+
+/// Like [`tune`], but write every completed trial to a crash-consistent
+/// journal at `path` (truncating any previous journal there). See
+/// `ytopt_bo::journal` for the format and durability guarantees.
+pub fn tune_journaled(
     tuner: &mut dyn Tuner,
     evaluator: &dyn Evaluator,
     opts: TuneOptions,
-) -> TuningResult {
+    path: impl AsRef<Path>,
+) -> std::io::Result<TuningResult> {
+    let mut journal = TrialJournal::create(path)?;
+    tune_inner(tuner, evaluator, opts, Some(&mut journal), Vec::new())
+}
+
+/// Resume a (possibly interrupted) journaled run: replay every completed
+/// trial from the journal at `path` through the tuner's normal
+/// propose/update cycle — without re-measuring anything — then continue
+/// live until the budget is reached, appending new trials to the same
+/// journal.
+///
+/// Requires the same tuner construction (seed included), options and
+/// evaluator as the original run; a mismatch is detected when the tuner's
+/// proposals diverge from the journal and reported as `InvalidData`.
+pub fn resume_from_journal(
+    tuner: &mut dyn Tuner,
+    evaluator: &dyn Evaluator,
+    opts: TuneOptions,
+    path: impl AsRef<Path>,
+) -> std::io::Result<TuningResult> {
+    let (mut journal, replay) = TrialJournal::open_resume(path)?;
+    tune_inner(tuner, evaluator, opts, Some(&mut journal), replay)
+}
+
+fn tune_inner(
+    tuner: &mut dyn Tuner,
+    evaluator: &dyn Evaluator,
+    opts: TuneOptions,
+    mut journal: Option<&mut TrialJournal>,
+    replay: Vec<TrialRecord>,
+) -> std::io::Result<TuningResult> {
     let mut trials: Vec<Trial> = Vec::with_capacity(opts.max_evals);
     let mut elapsed = 0.0f64;
     let mut think = 0.0f64;
+    let mut replay = replay.into_iter();
+    let mut replayed = 0usize;
 
     while trials.len() < opts.max_evals && tuner.has_next() {
         if let Some(cap) = opts.max_process_s {
@@ -130,15 +193,49 @@ pub fn tune(
 
         let mut results: Vec<(Configuration, MeasureResult)> = Vec::with_capacity(batch.len());
         for config in batch {
-            let res = evaluator.evaluate(&config);
+            let (res, live) = match replay.next() {
+                Some(rec) => {
+                    if rec.config.key() != config.key() {
+                        return Err(divergence_error(
+                            trials.len(),
+                            &rec.config.key(),
+                            &config.key(),
+                        ));
+                    }
+                    replayed += 1;
+                    (
+                        MeasureResult {
+                            runtime_s: rec.runtime_s,
+                            process_s: rec.eval_process_s,
+                            error: rec.error,
+                        },
+                        false,
+                    )
+                }
+                None => (evaluator.evaluate(&config), true),
+            };
             elapsed += res.process_s;
-            trials.push(Trial {
+            let trial = Trial {
                 index: trials.len(),
                 config: config.clone(),
                 runtime_s: res.runtime_s,
+                error: res.error.clone(),
                 eval_process_s: res.process_s,
                 elapsed_s: elapsed,
-            });
+            };
+            if live {
+                if let Some(journal) = journal.as_deref_mut() {
+                    journal.append(&TrialRecord {
+                        index: trial.index,
+                        config: trial.config.clone(),
+                        runtime_s: trial.runtime_s,
+                        error: trial.error.clone(),
+                        eval_process_s: trial.eval_process_s,
+                        elapsed_s: trial.elapsed_s,
+                    })?;
+                }
+            }
+            trials.push(trial);
             results.push((config, res));
         }
 
@@ -149,12 +246,13 @@ pub fn tune(
         elapsed += dt;
     }
 
-    TuningResult {
+    Ok(TuningResult {
         tuner: tuner.name().to_string(),
         trials,
         total_process_s: elapsed,
         think_s: think,
-    }
+        replayed,
+    })
 }
 
 #[cfg(test)]
@@ -185,6 +283,12 @@ mod tests {
         })
     }
 
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("autotvm-driver-tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(name)
+    }
+
     #[test]
     fn respects_budget() {
         let ev = evaluator();
@@ -192,6 +296,7 @@ mod tests {
         let res = tune(&mut t, &ev, TuneOptions::default());
         assert_eq!(res.len(), 100);
         assert_eq!(res.trials.last().expect("trials").index, 99);
+        assert_eq!(res.replayed, 0);
     }
 
     #[test]
@@ -269,5 +374,110 @@ mod tests {
         let mut t = GridSearchTuner::new(cs);
         let res = tune(&mut t, &ev, TuneOptions::default());
         assert_eq!(res.len(), 3);
+    }
+
+    #[test]
+    fn failed_trials_carry_their_error() {
+        let ev = FnEvaluator::new(space(), |c| {
+            if c.int("P0") % 2 == 0 {
+                MeasureResult::fail(MeasureError::BuildFailed("even P0".into()), 0.2)
+            } else {
+                MeasureResult::ok(1.0, 1.0)
+            }
+        });
+        let mut t = GridSearchTuner::new(space());
+        let res = tune(
+            &mut t,
+            &ev,
+            TuneOptions {
+                max_evals: 20,
+                batch: 5,
+                max_process_s: None,
+            },
+        );
+        assert!(res.failed() > 0);
+        for t in &res.trials {
+            match t.runtime_s {
+                Some(_) => assert!(t.error.is_none()),
+                None => {
+                    assert_eq!(t.error.as_ref().map(|e| e.kind()), Some("build_failed"));
+                }
+            }
+        }
+        assert!(res.best().expect("best").error.is_none());
+    }
+
+    #[test]
+    fn journaled_run_resumes_identically() {
+        let path = tmp("driver-resume.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let ev = evaluator();
+        let opts = TuneOptions {
+            max_evals: 40,
+            batch: 8,
+            max_process_s: None,
+        };
+
+        // Reference: uninterrupted run.
+        let mut t_full = RandomTuner::new(space(), 42);
+        let full = tune(&mut t_full, &ev, opts);
+
+        // Interrupted: journal 16 trials, then resume with a *fresh*
+        // identically-seeded tuner (as a restarted process would).
+        let mut t_part = RandomTuner::new(space(), 42);
+        let partial = tune_journaled(
+            &mut t_part,
+            &ev,
+            TuneOptions {
+                max_evals: 16,
+                ..opts
+            },
+            &path,
+        )
+        .expect("journaled run");
+        assert_eq!(partial.len(), 16);
+
+        let mut t_res = RandomTuner::new(space(), 42);
+        let resumed = resume_from_journal(&mut t_res, &ev, opts, &path).expect("resume");
+        assert_eq!(resumed.len(), 40);
+        assert_eq!(resumed.replayed, 16);
+        assert_eq!(TrialJournal::load(&path).expect("load").len(), 40);
+
+        let keys = |r: &TuningResult| -> Vec<String> {
+            r.trials.iter().map(|t| t.config.key()).collect()
+        };
+        assert_eq!(keys(&full), keys(&resumed), "identical trajectory");
+        assert_eq!(
+            full.best().expect("best").config.key(),
+            resumed.best().expect("best").config.key()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_with_wrong_seed_reports_divergence() {
+        let path = tmp("driver-diverge.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let ev = evaluator();
+        let opts = TuneOptions {
+            max_evals: 10,
+            batch: 5,
+            max_process_s: None,
+        };
+        let mut t = RandomTuner::new(space(), 1);
+        tune_journaled(&mut t, &ev, opts, &path).expect("journaled run");
+        let mut wrong = RandomTuner::new(space(), 2);
+        let err = resume_from_journal(
+            &mut wrong,
+            &ev,
+            TuneOptions {
+                max_evals: 20,
+                ..opts
+            },
+            &path,
+        )
+        .expect_err("must diverge");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
     }
 }

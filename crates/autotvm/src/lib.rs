@@ -20,14 +20,25 @@
 //! (simulated or real) evaluation cost — the quantity Figures 4–13 of the
 //! paper plot on their time axes. [`record`] persists trials as JSON, the
 //! moral equivalent of AutoTVM's tuning logs.
+//!
+//! Fault tolerance: [`harness::HarnessedEvaluator`] wraps any evaluator
+//! with panic isolation, wall-clock timeouts and transient-failure retry;
+//! [`harness::FaultInjector`] is its deterministic chaos-testing
+//! counterpart; [`driver::tune_journaled`] /
+//! [`driver::resume_from_journal`] give crash-consistent checkpointing of
+//! tuning runs.
 
 pub mod autoscheduler;
 pub mod driver;
+pub mod harness;
 pub mod measure;
 pub mod record;
 pub mod tuner;
 
 pub use autoscheduler::AutoScheduler;
-pub use driver::{tune, Trial, TuneOptions, TuningResult};
-pub use measure::{Evaluator, MeasureResult};
+pub use driver::{
+    resume_from_journal, tune, tune_journaled, Trial, TuneOptions, TuningResult,
+};
+pub use harness::{FaultInjector, FaultPlan, HarnessOptions, HarnessedEvaluator, RetryPolicy};
+pub use measure::{Evaluator, MeasureError, MeasureResult};
 pub use tuner::{ga::GaTuner, gridsearch::GridSearchTuner, random::RandomTuner, xgb::XgbTuner, Tuner};

@@ -1,6 +1,14 @@
 //! Evaluation interface and measurement accounting.
+//!
+//! Failures are classified into the structured taxonomy shared with the
+//! BO framework ([`MeasureError`]); [`MeasureResult`] and the BO side's
+//! `ytopt_bo::problem::Evaluation` carry the same information and convert
+//! into each other losslessly, so the fault-tolerance harness
+//! ([`crate::harness`]) wraps either interface without copy-paste.
 
 use configspace::{ConfigSpace, Configuration};
+pub use ytopt_bo::fault::MeasureError;
+use ytopt_bo::problem::Evaluation;
 
 /// Outcome of measuring one configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -11,8 +19,8 @@ pub struct MeasureResult {
     /// `repeats` timed runs. This is what accumulates into the paper's
     /// "autotuning process time".
     pub process_s: f64,
-    /// Failure description, if any.
-    pub error: Option<String>,
+    /// Structured failure, if any.
+    pub error: Option<MeasureError>,
 }
 
 impl MeasureResult {
@@ -25,8 +33,10 @@ impl MeasureResult {
         }
     }
 
-    /// Failed measurement (still charges its process time).
-    pub fn fail(error: impl Into<String>, process_s: f64) -> MeasureResult {
+    /// Failed measurement (still charges its process time). Accepts a
+    /// [`MeasureError`] directly or any string-ish message (classified
+    /// into the taxonomy).
+    pub fn fail(error: impl Into<MeasureError>, process_s: f64) -> MeasureResult {
         MeasureResult {
             runtime_s: None,
             process_s,
@@ -37,6 +47,26 @@ impl MeasureResult {
     /// True when the measurement produced a runtime.
     pub fn is_ok(&self) -> bool {
         self.runtime_s.is_some()
+    }
+}
+
+impl From<Evaluation> for MeasureResult {
+    fn from(e: Evaluation) -> MeasureResult {
+        MeasureResult {
+            runtime_s: e.runtime_s,
+            process_s: e.process_s,
+            error: e.error,
+        }
+    }
+}
+
+impl From<MeasureResult> for Evaluation {
+    fn from(r: MeasureResult) -> Evaluation {
+        Evaluation {
+            runtime_s: r.runtime_s,
+            process_s: r.process_s,
+            error: r.error,
+        }
     }
 }
 
@@ -88,8 +118,22 @@ mod tests {
         assert_eq!(ok.runtime_s, Some(1.5));
         let bad = MeasureResult::fail("boom", 0.5);
         assert!(!bad.is_ok());
-        assert_eq!(bad.error.as_deref(), Some("boom"));
+        assert_eq!(bad.error.as_ref().map(|e| e.message()), Some("boom"));
+        assert_eq!(bad.error.as_ref().map(|e| e.kind()), Some("runtime_crash"));
         assert_eq!(bad.process_s, 0.5);
+        let typed = MeasureResult::fail(MeasureError::BuildFailed("no codegen".into()), 0.2);
+        assert_eq!(typed.error.as_ref().map(|e| e.kind()), Some("build_failed"));
+    }
+
+    #[test]
+    fn converts_to_and_from_evaluation() {
+        let r = MeasureResult::fail(MeasureError::Timeout { limit_s: 2.0 }, 2.0);
+        let e: Evaluation = r.clone().into();
+        assert_eq!(e.runtime_s, None);
+        assert_eq!(e.process_s, 2.0);
+        assert_eq!(e.error.as_ref().map(|x| x.kind()), Some("timeout"));
+        let back: MeasureResult = e.into();
+        assert_eq!(back, r);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use configspace::Configuration;
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, Write};
 use std::path::Path;
+use ytopt_bo::fault::MeasureError;
 
 /// One serialized trial record (one JSON object per line, like AutoTVM's
 /// log format).
@@ -20,6 +21,10 @@ pub struct TuningRecord {
     pub config: Configuration,
     /// Measured runtime (seconds), if successful.
     pub runtime_s: Option<f64>,
+    /// Failure class, when the trial failed (absent in logs written
+    /// before the fault taxonomy existed).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error: Option<MeasureError>,
     /// Cumulative process time when the trial finished.
     pub elapsed_s: f64,
 }
@@ -36,6 +41,7 @@ impl TuningRecord {
                 index: t.index,
                 config: t.config.clone(),
                 runtime_s: t.runtime_s,
+                error: t.error.clone(),
                 elapsed_s: t.elapsed_s,
             })
             .collect()
@@ -96,6 +102,7 @@ pub fn to_trials(records: &[TuningRecord]) -> Vec<Trial> {
             index: r.index,
             config: r.config.clone(),
             runtime_s: r.runtime_s,
+            error: r.error.clone(),
             eval_process_s: 0.0,
             elapsed_s: r.elapsed_s,
         })
@@ -117,6 +124,9 @@ mod tests {
                 vec![ParamValue::Int(idx as i64 + 1)],
             ),
             runtime_s: rt,
+            error: rt
+                .is_none()
+                .then(|| MeasureError::Timeout { limit_s: 1.0 }),
             elapsed_s: idx as f64,
         }
     }

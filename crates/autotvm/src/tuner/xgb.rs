@@ -41,6 +41,7 @@ pub struct XgbTuner {
     pub n_rounds: usize,
     observed: Vec<(Vec<f64>, f64)>,
     best_runtime: f64,
+    worst_runtime: f64,
     pending: Vec<Configuration>,
     visited: HashSet<String>,
     exhausted: bool,
@@ -58,6 +59,7 @@ impl XgbTuner {
             n_rounds: 40,
             observed: Vec::new(),
             best_runtime: f64::INFINITY,
+            worst_runtime: f64::NEG_INFINITY,
             pending: Vec::new(),
             visited: HashSet::new(),
             exhausted: false,
@@ -154,9 +156,24 @@ impl Tuner for XgbTuner {
     fn update(&mut self, results: &[(Configuration, MeasureResult)]) {
         for (cfg, res) in results {
             self.visited.insert(cfg.key());
-            if let Some(t) = res.runtime_s {
-                self.observed.push((self.space.encode(cfg), t));
-                self.best_runtime = self.best_runtime.min(t);
+            match res.runtime_s {
+                Some(t) => {
+                    self.observed.push((self.space.encode(cfg), t));
+                    self.best_runtime = self.best_runtime.min(t);
+                    self.worst_runtime = self.worst_runtime.max(t);
+                }
+                None => {
+                    // Teach the model that this region fails, as AutoTVM
+                    // does (a failed measurement gets the worst score):
+                    // a large-but-finite penalty keeps the regression
+                    // well-posed while steering proposals away.
+                    let penalty = if self.worst_runtime.is_finite() {
+                        self.worst_runtime * 10.0
+                    } else {
+                        1e6
+                    };
+                    self.observed.push((self.space.encode(cfg), penalty));
+                }
             }
         }
     }
@@ -266,5 +283,25 @@ mod tests {
         t.update(&results);
         assert!(t.has_next());
         assert!(!t.next_batch(4).is_empty());
+    }
+
+    #[test]
+    fn failed_measurements_penalize_the_model() {
+        let mut t = XgbTuner::new(space(10), 2);
+        let batch = t.next_batch(4);
+        assert_eq!(t.observed_count(), 0);
+        // One success fixes the penalty scale; failures train at 10×.
+        let mut results: Vec<_> = batch
+            .iter()
+            .skip(1)
+            .map(|c| (c.clone(), MeasureResult::fail("compile error", 0.1)))
+            .collect();
+        results.push((batch[0].clone(), MeasureResult::ok(2.0, 2.0)));
+        t.update(&results);
+        assert_eq!(t.observed_count(), 4, "failures become training points");
+        assert!(t
+            .observed
+            .iter()
+            .any(|(_, y)| (*y - 20.0).abs() < 1e-9));
     }
 }

@@ -1,0 +1,139 @@
+//! Chaos sweep: all five tuners under increasing injected-failure rates.
+//!
+//! Wraps the LU-large mold evaluator in a deterministic
+//! [`autotvm::FaultInjector`] (per-class failure rates) plus the
+//! [`autotvm::HarnessedEvaluator`] (panic isolation + transient retry),
+//! then runs the full five-tuner comparison at each rate. This is the
+//! robustness experiment behind DESIGN.md's "Fault model and recovery":
+//! no failure rate may crash a tuner or stop it short of its budget
+//! (XGB's model-driven early stop excepted), and the best configuration
+//! must always come from a successful trial.
+//!
+//! Usage: `chaos_sweep [kernel] [size] [max_evals] [seed]`
+//! Writes `results/chaos_sweep.csv` next to the printed table.
+
+use autotvm::{
+    tune, FaultInjector, FaultPlan, GaTuner, GridSearchTuner, HarnessedEvaluator, RandomTuner,
+    TuneOptions, TuningResult, XgbTuner,
+};
+use gpu_sim::{GpuSpec, SimDevice};
+use polybench::molds::mold_for;
+use polybench::{KernelName, ProblemSize};
+use std::io::Write;
+use tvm_autotune::{MoldEvaluator, YtoptTuner};
+
+const RATES: [f64; 6] = [0.0, 0.05, 0.1, 0.2, 0.3, 0.5];
+
+fn harnessed(
+    kernel: KernelName,
+    size: ProblemSize,
+    rate: f64,
+    seed: u64,
+) -> HarnessedEvaluator<FaultInjector<MoldEvaluator>> {
+    let mold = mold_for(kernel, size);
+    let dev = SimDevice::new(GpuSpec::swing_cpu_core()).with_seed(seed);
+    let ev = MoldEvaluator::simulated(mold, dev);
+    HarnessedEvaluator::new(FaultInjector::new(ev, FaultPlan::uniform(rate, seed)))
+}
+
+struct Row {
+    rate: f64,
+    tuner: String,
+    evals: usize,
+    failed: usize,
+    best_runtime_s: Option<f64>,
+    total_process_s: f64,
+}
+
+fn row(rate: f64, r: &TuningResult) -> Row {
+    Row {
+        rate,
+        tuner: r.tuner.clone(),
+        evals: r.len(),
+        failed: r.failed(),
+        best_runtime_s: r.best().and_then(|t| t.runtime_s),
+        total_process_s: r.total_process_s,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let kernel = args
+        .get(1)
+        .and_then(|s| KernelName::parse(s))
+        .unwrap_or(KernelName::Lu);
+    let size = args
+        .get(2)
+        .and_then(|s| ProblemSize::parse(s))
+        .unwrap_or(ProblemSize::Large);
+    let max_evals = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let seed: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(2023);
+
+    let space = polybench::spaces::space_for(kernel, size);
+    let opts = TuneOptions {
+        max_evals,
+        batch: 8,
+        max_process_s: None,
+    };
+    let bo_opts = TuneOptions {
+        max_evals,
+        batch: 1,
+        max_process_s: None,
+    };
+
+    println!("# chaos sweep: {kernel} {size}, budget {max_evals}, seed {seed}");
+    println!(
+        "{:<6} {:<20} {:>6} {:>7} {:>14} {:>18}",
+        "rate", "tuner", "evals", "failed", "best (s)", "process time (s)"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for rate in RATES {
+        let ev = harnessed(kernel, size, rate, seed);
+
+        let mut ga = GaTuner::new(space.clone(), seed);
+        rows.push(row(rate, &tune(&mut ga, &ev, opts)));
+
+        let mut random = RandomTuner::new(space.clone(), seed);
+        rows.push(row(rate, &tune(&mut random, &ev, opts)));
+
+        let mut grid = GridSearchTuner::new(space.clone());
+        rows.push(row(rate, &tune(&mut grid, &ev, opts)));
+
+        let mut xgb = XgbTuner::new(space.clone(), seed);
+        rows.push(row(rate, &tune(&mut xgb, &ev, opts)));
+
+        let mut ytopt = YtoptTuner::new(space.clone(), seed);
+        rows.push(row(rate, &tune(&mut ytopt, &ev, bo_opts)));
+    }
+
+    for r in &rows {
+        let best = r
+            .best_runtime_s
+            .map(|b| format!("{b:.4}"))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<6} {:<20} {:>6} {:>7} {:>14} {:>18.2}",
+            r.rate, r.tuner, r.evals, r.failed, best, r.total_process_s
+        );
+    }
+
+    std::fs::create_dir_all("results").expect("mkdir results");
+    let mut f = std::io::BufWriter::new(
+        std::fs::File::create("results/chaos_sweep.csv").expect("create csv"),
+    );
+    writeln!(f, "rate,tuner,evals,failed,best_runtime_s,total_process_s").expect("write");
+    for r in &rows {
+        let best = r
+            .best_runtime_s
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| "inf".into());
+        writeln!(
+            f,
+            "{},{},{},{},{},{}",
+            r.rate, r.tuner, r.evals, r.failed, best, r.total_process_s
+        )
+        .expect("write");
+    }
+    println!("wrote results/chaos_sweep.csv ({} rows)", rows.len());
+}

@@ -1,6 +1,7 @@
 //! The performance database: every evaluated configuration with its
 //! runtime, queryable for the best result (ytopt's `results.csv`).
 
+use crate::fault::MeasureError;
 use configspace::Configuration;
 use serde::{Deserialize, Serialize};
 use std::io::Write;
@@ -15,6 +16,9 @@ pub struct DbRecord {
     pub config: Configuration,
     /// Runtime in seconds (`None` on failure).
     pub runtime_s: Option<f64>,
+    /// Failure class, when the evaluation failed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error: Option<MeasureError>,
     /// Cumulative process time at completion.
     pub elapsed_s: f64,
 }
@@ -113,6 +117,9 @@ mod tests {
                 vec![ParamValue::Int(i as i64), ParamValue::Int(2)],
             ),
             runtime_s: rt,
+            error: rt
+                .is_none()
+                .then(|| MeasureError::Transient("injected".into())),
             elapsed_s: i as f64 * 2.0,
         }
     }

@@ -1,0 +1,246 @@
+//! Crash-consistent trial journal: an append-only JSONL log, fsync'd per
+//! trial, shared by the AutoTVM driver and the BO optimizer.
+//!
+//! Every completed evaluation is serialized as one JSON line and synced
+//! to disk before the next proposal is made, so a crash (or `kill -9`)
+//! loses at most the trial in flight. [`TrialJournal::load`] tolerates a
+//! torn final line — the signature of a crash mid-append — by dropping
+//! it; corruption anywhere *before* the tail is a hard error, because it
+//! means the file was edited, not interrupted.
+//!
+//! Resume works by *replaying the tape*: the driver/optimizer runs its
+//! normal propose loop, and as long as journal records remain, each
+//! proposal is satisfied from the journal instead of being evaluated
+//! (after verifying the proposed configuration matches the recorded
+//! one). Because every tuner is a deterministic function of (seed,
+//! history), the continued run's remaining trajectory is identical to an
+//! uninterrupted run's.
+
+use crate::fault::MeasureError;
+use configspace::Configuration;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One journaled trial (superset of the information in
+/// `autotvm::record::TuningRecord`: failures keep their error class).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialRecord {
+    /// 0-based evaluation index within the run.
+    pub index: usize,
+    /// The evaluated configuration.
+    pub config: Configuration,
+    /// Measured runtime, seconds (`None` on failure).
+    pub runtime_s: Option<f64>,
+    /// Failure class, if the trial failed.
+    #[serde(default)]
+    pub error: Option<MeasureError>,
+    /// Process time this evaluation consumed (including harness retries
+    /// and timeout charges).
+    pub eval_process_s: f64,
+    /// Cumulative process time when the trial finished.
+    pub elapsed_s: f64,
+}
+
+/// An open, append-only journal file.
+pub struct TrialJournal {
+    file: File,
+    path: PathBuf,
+    written: usize,
+}
+
+impl TrialJournal {
+    /// Start a fresh journal at `path`, truncating any existing file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<TrialJournal> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(TrialJournal {
+            file,
+            path,
+            written: 0,
+        })
+    }
+
+    /// Open `path` for appending, first loading every intact record
+    /// already present (empty when the file does not exist yet).
+    pub fn open_resume(
+        path: impl AsRef<Path>,
+    ) -> std::io::Result<(TrialJournal, Vec<TrialRecord>)> {
+        let path = path.as_ref().to_path_buf();
+        let existing = TrialJournal::load(&path)?;
+        // Rewrite the intact prefix so a torn tail line (crash mid-append)
+        // does not corrupt the resumed journal.
+        let mut journal = TrialJournal::create(&path)?;
+        for rec in &existing {
+            journal.append(rec)?;
+        }
+        Ok((journal, existing))
+    }
+
+    /// Append one record: serialize, write, flush, fsync. When this
+    /// returns `Ok`, the trial survives a crash.
+    pub fn append(&mut self, record: &TrialRecord) -> std::io::Result<()> {
+        let line = serde_json::to_string(record).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+        })?;
+        writeln!(self.file, "{line}")?;
+        self.file.flush()?;
+        self.file.sync_data()?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Records appended through this handle.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Load every intact record from `path`. A missing file is an empty
+    /// journal; a malformed *final* line (torn write) is dropped;
+    /// malformed earlier lines are an error.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Vec<TrialRecord>> {
+        let path = path.as_ref();
+        if !path.exists() {
+            return Ok(Vec::new());
+        }
+        let text = std::fs::read_to_string(path)?;
+        let lines: Vec<&str> = text.lines().collect();
+        let mut out = Vec::with_capacity(lines.len());
+        for (i, line) in lines.iter().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<TrialRecord>(line) {
+                Ok(rec) => out.push(rec),
+                Err(e) => {
+                    let tail_is_blank = lines[i + 1..].iter().all(|l| l.trim().is_empty());
+                    if tail_is_blank {
+                        // Torn final line: the crash we are designed for.
+                        break;
+                    }
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("journal {path:?} corrupt at line {}: {e}", i + 1),
+                    ));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Error for a resume whose journal disagrees with the tuner's proposals
+/// (different seed, options, or evaluator than the original run).
+pub fn divergence_error(index: usize, expected: &str, proposed: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!(
+            "journal diverges at trial {index}: journal has {expected}, tuner proposed {proposed} \
+             (resume requires the same seed, options and evaluator as the original run)"
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use configspace::ParamValue;
+
+    fn rec(i: usize, rt: Option<f64>, err: Option<MeasureError>) -> TrialRecord {
+        TrialRecord {
+            index: i,
+            config: Configuration::new(
+                vec!["P0".into()],
+                vec![ParamValue::Int(i as i64 + 1)],
+            ),
+            runtime_s: rt,
+            error: err,
+            eval_process_s: 0.5,
+            elapsed_s: i as f64,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ytopt-bo-journal-tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn append_load_roundtrip() {
+        let path = tmp("roundtrip.jsonl");
+        let mut j = TrialJournal::create(&path).expect("create");
+        let a = rec(0, Some(1.5), None);
+        let b = rec(1, None, Some(MeasureError::Transient("net".into())));
+        j.append(&a).expect("append");
+        j.append(&b).expect("append");
+        assert_eq!(j.written(), 2);
+        let back = TrialJournal::load(&path).expect("load");
+        assert_eq!(back, vec![a, b]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let path = tmp("does-not-exist.jsonl");
+        let _ = std::fs::remove_file(&path);
+        assert!(TrialJournal::load(&path).expect("load").is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let path = tmp("torn.jsonl");
+        let mut j = TrialJournal::create(&path).expect("create");
+        let a = rec(0, Some(1.0), None);
+        j.append(&a).expect("append");
+        drop(j);
+        // Simulate a crash mid-append: half a JSON object, no newline.
+        let mut f = OpenOptions::new().append(true).open(&path).expect("open");
+        write!(f, "{{\"index\":1,\"conf").expect("write");
+        drop(f);
+        let back = TrialJournal::load(&path).expect("load tolerates torn tail");
+        assert_eq!(back, vec![a.clone()]);
+        // Resuming rewrites the intact prefix only.
+        let (j2, loaded) = TrialJournal::open_resume(&path).expect("resume");
+        drop(j2);
+        assert_eq!(loaded, vec![a.clone()]);
+        assert_eq!(TrialJournal::load(&path).expect("reload"), vec![a]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_an_error() {
+        let path = tmp("corrupt.jsonl");
+        let mut j = TrialJournal::create(&path).expect("create");
+        j.append(&rec(0, Some(1.0), None)).expect("append");
+        j.append(&rec(1, Some(2.0), None)).expect("append");
+        drop(j);
+        let text = std::fs::read_to_string(&path).expect("read");
+        let mangled = text.replacen("\"index\":0", "\"index\":garbage", 1);
+        std::fs::write(&path, mangled).expect("write");
+        assert!(TrialJournal::load(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn create_truncates() {
+        let path = tmp("truncate.jsonl");
+        let mut j = TrialJournal::create(&path).expect("create");
+        j.append(&rec(0, Some(1.0), None)).expect("append");
+        drop(j);
+        let j2 = TrialJournal::create(&path).expect("recreate");
+        drop(j2);
+        assert!(TrialJournal::load(&path).expect("load").is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -17,7 +17,11 @@
 //! * [`acquisition::Acquisition`] — LCB (the paper's choice), plus EI and
 //!   PI for the ablation benches,
 //! * [`optimizer::run`] — the budgeted loop (step 1–5), recording every
-//!   trial into a [`database::PerformanceDatabase`].
+//!   trial into a [`database::PerformanceDatabase`],
+//! * [`fault::MeasureError`] — the structured measurement-failure
+//!   taxonomy shared with the AutoTVM measurement pipeline,
+//! * [`journal::TrialJournal`] — crash-consistent per-trial journaling
+//!   behind [`optimizer::run_journaled`] / [`optimizer::resume_from_journal`].
 //!
 //! ```
 //! use configspace::{ConfigSpace, Hyperparameter};
@@ -35,12 +39,18 @@
 
 pub mod acquisition;
 pub mod database;
+pub mod fault;
+pub mod journal;
 pub mod optimizer;
 pub mod problem;
 pub mod search;
 
 pub use acquisition::Acquisition;
 pub use database::PerformanceDatabase;
-pub use optimizer::{run, run_parallel, BoOptions, BoResult, BoTrial};
+pub use fault::MeasureError;
+pub use journal::{TrialJournal, TrialRecord};
+pub use optimizer::{
+    resume_from_journal, run, run_journaled, run_parallel, BoOptions, BoResult, BoTrial,
+};
 pub use problem::{Evaluation, Problem};
 pub use search::BayesianOptimizer;

@@ -1,9 +1,20 @@
 //! The budgeted optimization loop (steps 1–5 of the paper's framework).
+//!
+//! Three entry points share one loop: [`run`] (in-memory only),
+//! [`run_journaled`] (fresh run, every trial fsync'd to an append-only
+//! JSONL journal) and [`resume_from_journal`] (replay a journal's
+//! completed trials to warm-start the surrogate, then continue the
+//! remaining budget). Because the search is a deterministic function of
+//! (seed, history), a killed-and-resumed run follows the identical
+//! remaining trajectory as an uninterrupted one.
 
 use crate::database::{DbRecord, PerformanceDatabase};
-use crate::problem::Problem;
+use crate::fault::{panic_message, MeasureError};
+use crate::journal::{divergence_error, TrialJournal, TrialRecord};
+use crate::problem::{Evaluation, Problem};
 use crate::search::{BayesianOptimizer, SearchConfig};
 use configspace::Configuration;
+use std::path::Path;
 use std::time::Instant;
 
 /// Budget and search options.
@@ -36,6 +47,8 @@ pub struct BoTrial {
     pub config: Configuration,
     /// Measured runtime.
     pub runtime_s: Option<f64>,
+    /// Failure class when the evaluation did not produce a runtime.
+    pub error: Option<MeasureError>,
     /// Process time this evaluation consumed.
     pub eval_process_s: f64,
     /// Cumulative process time when the trial finished.
@@ -51,6 +64,9 @@ pub struct BoResult {
     pub total_process_s: f64,
     /// Wall-clock spent inside the search itself.
     pub think_s: f64,
+    /// How many of the trials were replayed from a journal rather than
+    /// evaluated live (0 for fresh runs).
+    pub replayed: usize,
 }
 
 impl BoResult {
@@ -76,6 +92,11 @@ impl BoResult {
         self.trials.is_empty()
     }
 
+    /// Number of failed trials.
+    pub fn failed(&self) -> usize {
+        self.trials.iter().filter(|t| t.runtime_s.is_none()).count()
+    }
+
     /// Export into a [`PerformanceDatabase`].
     pub fn to_database(&self, problem: &str) -> PerformanceDatabase {
         let mut db = PerformanceDatabase::new(problem);
@@ -84,6 +105,7 @@ impl BoResult {
                 index: t.index,
                 config: t.config.clone(),
                 runtime_s: t.runtime_s,
+                error: t.error.clone(),
                 elapsed_s: t.elapsed_s,
             });
         }
@@ -98,10 +120,49 @@ impl BoResult {
 /// (possibly simulated) process seconds — the paper's "overall autotuning
 /// process time".
 pub fn run(problem: &dyn Problem, opts: BoOptions) -> BoResult {
+    run_inner(problem, opts, None, Vec::new()).expect("journal-free run cannot do I/O")
+}
+
+/// Like [`run`], but write every completed trial to a crash-consistent
+/// journal at `path` (truncating any previous journal there).
+pub fn run_journaled(
+    problem: &dyn Problem,
+    opts: BoOptions,
+    path: impl AsRef<Path>,
+) -> std::io::Result<BoResult> {
+    let mut journal = TrialJournal::create(path)?;
+    run_inner(problem, opts, Some(&mut journal), Vec::new())
+}
+
+/// Resume a (possibly interrupted) journaled run: replay every completed
+/// trial from the journal at `path` — warm-starting the surrogate without
+/// re-evaluating anything — then continue live until the budget is
+/// reached, appending new trials to the same journal.
+///
+/// Requires the same `opts` (seed included) and the same problem as the
+/// original run; a mismatch is detected when the replayed proposals
+/// diverge from the journal and reported as `InvalidData`.
+pub fn resume_from_journal(
+    problem: &dyn Problem,
+    opts: BoOptions,
+    path: impl AsRef<Path>,
+) -> std::io::Result<BoResult> {
+    let (mut journal, replay) = TrialJournal::open_resume(path)?;
+    run_inner(problem, opts, Some(&mut journal), replay)
+}
+
+fn run_inner(
+    problem: &dyn Problem,
+    opts: BoOptions,
+    mut journal: Option<&mut TrialJournal>,
+    replay: Vec<TrialRecord>,
+) -> std::io::Result<BoResult> {
     let mut bo = BayesianOptimizer::new(problem.space().clone(), opts.search);
     let mut trials: Vec<BoTrial> = Vec::with_capacity(opts.max_evals);
     let mut elapsed = 0.0f64;
     let mut think = 0.0f64;
+    let mut replay = replay.into_iter();
+    let mut replayed = 0usize;
 
     while trials.len() < opts.max_evals {
         if let Some(cap) = opts.max_process_s {
@@ -115,15 +176,49 @@ pub fn run(problem: &dyn Problem, opts: BoOptions) -> BoResult {
         think += dt;
         elapsed += dt;
 
-        let eval = problem.evaluate(&config);
+        let (eval, live) = match replay.next() {
+            Some(rec) => {
+                if rec.config.key() != config.key() {
+                    return Err(divergence_error(
+                        trials.len(),
+                        &rec.config.key(),
+                        &config.key(),
+                    ));
+                }
+                replayed += 1;
+                (
+                    Evaluation {
+                        runtime_s: rec.runtime_s,
+                        process_s: rec.eval_process_s,
+                        error: rec.error,
+                    },
+                    false,
+                )
+            }
+            None => (problem.evaluate(&config), true),
+        };
         elapsed += eval.process_s;
-        trials.push(BoTrial {
+        let trial = BoTrial {
             index: trials.len(),
             config: config.clone(),
             runtime_s: eval.runtime_s,
+            error: eval.error.clone(),
             eval_process_s: eval.process_s,
             elapsed_s: elapsed,
-        });
+        };
+        if live {
+            if let Some(journal) = journal.as_deref_mut() {
+                journal.append(&TrialRecord {
+                    index: trial.index,
+                    config: trial.config.clone(),
+                    runtime_s: trial.runtime_s,
+                    error: trial.error.clone(),
+                    eval_process_s: trial.eval_process_s,
+                    elapsed_s: trial.elapsed_s,
+                })?;
+            }
+        }
+        trials.push(trial);
 
         let t1 = Instant::now();
         bo.tell(&config, eval.runtime_s);
@@ -132,11 +227,12 @@ pub fn run(problem: &dyn Problem, opts: BoOptions) -> BoResult {
         elapsed += dt;
     }
 
-    BoResult {
+    Ok(BoResult {
         trials,
         total_process_s: elapsed,
         think_s: think,
-    }
+        replayed,
+    })
 }
 
 /// Run Bayesian optimization with **parallel batch evaluation**: each
@@ -148,6 +244,10 @@ pub fn run(problem: &dyn Problem, opts: BoOptions) -> BoResult {
 /// framework evaluates sequentially); process-time accounting charges the
 /// *maximum* evaluation time of each batch — the wall-clock a
 /// `batch`-wide worker pool would observe — plus the search's own time.
+///
+/// A panicking evaluation worker does **not** abort the run: the panic is
+/// caught and converted into a failed trial
+/// ([`MeasureError::RuntimeCrash`]), and the rest of the batch proceeds.
 pub fn run_parallel<P: Problem + Sync>(problem: &P, opts: BoOptions, batch: usize) -> BoResult {
     let batch = batch.max(1);
     let mut bo = BayesianOptimizer::new(problem.space().clone(), opts.search);
@@ -171,15 +271,31 @@ pub fn run_parallel<P: Problem + Sync>(problem: &P, opts: BoOptions, batch: usiz
             break;
         }
 
-        // Evaluate the whole batch concurrently.
-        let evals: Vec<crate::problem::Evaluation> = crossbeam::thread::scope(|scope| {
+        // Evaluate the whole batch concurrently. Each worker catches its
+        // own panic so one crashed evaluation cannot kill the batch.
+        let evals: Vec<Evaluation> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = configs
                 .iter()
-                .map(|cfg| scope.spawn(move |_| problem.evaluate(cfg)))
+                .map(|cfg| {
+                    scope.spawn(move |_| {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            problem.evaluate(cfg)
+                        }))
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("evaluation worker panicked"))
+                .map(|h| match h.join() {
+                    Ok(Ok(eval)) => eval,
+                    Ok(Err(payload)) | Err(payload) => Evaluation::fail(
+                        MeasureError::RuntimeCrash(format!(
+                            "evaluation worker panicked: {}",
+                            panic_message(payload.as_ref())
+                        )),
+                        0.0,
+                    ),
+                })
                 .collect()
         })
         .expect("crossbeam scope");
@@ -197,6 +313,7 @@ pub fn run_parallel<P: Problem + Sync>(problem: &P, opts: BoOptions, batch: usiz
                 index: trials.len(),
                 config: config.clone(),
                 runtime_s: eval.runtime_s,
+                error: eval.error.clone(),
                 eval_process_s: eval.process_s,
                 elapsed_s: elapsed,
             });
@@ -211,6 +328,7 @@ pub fn run_parallel<P: Problem + Sync>(problem: &P, opts: BoOptions, batch: usiz
         trials,
         total_process_s: elapsed,
         think_s: think,
+        replayed: 0,
     }
 }
 
@@ -236,6 +354,12 @@ mod tests {
             Evaluation::ok(r, r + 0.5)
         })
         .with_name("toy")
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ytopt-bo-optimizer-tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(name)
     }
 
     #[test]
@@ -338,6 +462,44 @@ mod tests {
     }
 
     #[test]
+    fn parallel_worker_panic_becomes_failed_trial() {
+        let mut cs = ConfigSpace::new();
+        cs.add(Hyperparameter::ordinal_ints(
+            "P0",
+            &(1..=20).collect::<Vec<i64>>(),
+        ));
+        let p = FnProblem::new(cs, |c| {
+            if c.int("P0") % 3 == 0 {
+                panic!("injected worker panic at P0={}", c.int("P0"));
+            }
+            Evaluation::ok(c.int("P0") as f64, 0.1)
+        });
+        let res = run_parallel(
+            &p,
+            BoOptions {
+                max_evals: 20,
+                ..Default::default()
+            },
+            4,
+        );
+        // The run survives the panics, completes the space, and records
+        // the crashed evaluations as failed trials.
+        assert_eq!(res.len(), 20);
+        assert_eq!(res.failed(), 6, "P0 ∈ {{3,6,9,12,15,18}} crash");
+        for t in &res.trials {
+            if t.config.int("P0") % 3 == 0 {
+                assert!(t.runtime_s.is_none());
+                let err = t.error.as_ref().expect("crash recorded");
+                assert_eq!(err.kind(), "runtime_crash");
+                assert!(err.message().contains("injected worker panic"));
+            } else {
+                assert!(t.runtime_s.is_some());
+            }
+        }
+        assert_eq!(res.best().expect("best").runtime_s, Some(1.0));
+    }
+
+    #[test]
     fn database_export() {
         let res = run(
             &problem(),
@@ -352,5 +514,71 @@ mod tests {
             db.best().expect("best").runtime_s,
             res.best().expect("best").runtime_s
         );
+    }
+
+    #[test]
+    fn journaled_run_roundtrips_and_resume_is_identical() {
+        let path = tmp("resume-identical.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let opts = BoOptions {
+            max_evals: 30,
+            ..Default::default()
+        };
+        let p = problem();
+
+        // Reference: uninterrupted run.
+        let full = run(&p, opts);
+
+        // Interrupted run: stop after 12 trials, then resume to budget.
+        let partial = run_journaled(
+            &p,
+            BoOptions {
+                max_evals: 12,
+                ..opts
+            },
+            &path,
+        )
+        .expect("journaled run");
+        assert_eq!(partial.len(), 12);
+        assert_eq!(TrialJournal::load(&path).expect("load").len(), 12);
+
+        let resumed = resume_from_journal(&p, opts, &path).expect("resume");
+        assert_eq!(resumed.len(), 30);
+        assert_eq!(resumed.replayed, 12);
+        assert_eq!(TrialJournal::load(&path).expect("load").len(), 30);
+
+        let keys = |r: &BoResult| -> Vec<String> {
+            r.trials.iter().map(|t| t.config.key()).collect()
+        };
+        assert_eq!(keys(&full), keys(&resumed), "identical trajectory");
+        assert_eq!(
+            full.best().expect("best").config.key(),
+            resumed.best().expect("best").config.key(),
+            "identical final best configuration"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_with_wrong_seed_reports_divergence() {
+        let path = tmp("resume-diverges.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let p = problem();
+        let opts = BoOptions {
+            max_evals: 8,
+            ..Default::default()
+        };
+        run_journaled(&p, opts, &path).expect("journaled run");
+        let wrong = BoOptions {
+            max_evals: 16,
+            search: SearchConfig {
+                seed: 999,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let err = resume_from_journal(&p, wrong, &path).expect_err("must diverge");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,5 +1,6 @@
 //! Problem definition: what the optimizer tunes.
 
+use crate::fault::MeasureError;
 use configspace::{ConfigSpace, Configuration};
 
 /// Outcome of evaluating one configuration (step 4–5 of the paper's
@@ -11,8 +12,8 @@ pub struct Evaluation {
     pub runtime_s: Option<f64>,
     /// Wall-clock consumed by this evaluation (compile + execute).
     pub process_s: f64,
-    /// Failure description, if any.
-    pub error: Option<String>,
+    /// Structured failure, if any.
+    pub error: Option<MeasureError>,
 }
 
 impl Evaluation {
@@ -25,13 +26,19 @@ impl Evaluation {
         }
     }
 
-    /// Failed evaluation.
-    pub fn fail(error: impl Into<String>, process_s: f64) -> Evaluation {
+    /// Failed evaluation. Accepts a [`MeasureError`] directly or any
+    /// string-ish message (classified into the taxonomy).
+    pub fn fail(error: impl Into<MeasureError>, process_s: f64) -> Evaluation {
         Evaluation {
             runtime_s: None,
             process_s,
             error: Some(error.into()),
         }
+    }
+
+    /// True when the evaluation produced a runtime.
+    pub fn is_ok(&self) -> bool {
+        self.runtime_s.is_some()
     }
 }
 
@@ -100,7 +107,9 @@ mod tests {
         assert!(e.error.is_none());
         let f = Evaluation::fail("oom", 1.0);
         assert!(f.runtime_s.is_none());
-        assert_eq!(f.error.as_deref(), Some("oom"));
+        assert_eq!(f.error.as_ref().map(|e| e.message()), Some("oom"));
+        let t = Evaluation::fail(MeasureError::Timeout { limit_s: 2.0 }, 2.0);
+        assert_eq!(t.error.as_ref().map(|e| e.kind()), Some("timeout"));
     }
 
     #[test]

@@ -4,6 +4,8 @@ use crate::model::cost_model;
 use crate::spec::GpuSpec;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use tvm_runtime::{Device, DeviceError, NDArray};
 use tvm_tir::PrimFunc;
 
@@ -23,15 +25,26 @@ pub struct SimDevice {
     pub noise: f64,
     /// Noise seed.
     pub seed: u64,
+    /// Probability an execution fails with a transient device fault
+    /// (0 disables; models flaky nodes / driver hiccups for chaos tests).
+    pub fault_rate: f64,
+    /// Seed for the fault draws (independent of the noise seed).
+    pub fault_seed: u64,
+    /// Execution counter feeding the fault draws, so a retry of the same
+    /// function re-rolls (clones share the counter).
+    fault_calls: Arc<AtomicU64>,
 }
 
 impl SimDevice {
-    /// Simulated device with ±2 % noise, seed 0.
+    /// Simulated device with ±2 % noise, seed 0, no injected faults.
     pub fn new(spec: GpuSpec) -> SimDevice {
         SimDevice {
             spec,
             noise: 0.04,
             seed: 0,
+            fault_rate: 0.0,
+            fault_seed: 0,
+            fault_calls: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -45,6 +58,17 @@ impl SimDevice {
     /// Builder: noise seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder: deterministic transient-fault injection. Each `run` draws
+    /// a hash of (function, seed, call count) against `rate`; a hit
+    /// returns `DeviceError::Rejected` with a message classified as
+    /// transient by the measurement harness, so retries can succeed.
+    pub fn with_faults(mut self, rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        self.fault_rate = rate;
+        self.fault_seed = seed;
         self
     }
 
@@ -73,6 +97,20 @@ impl Device for SimDevice {
     }
 
     fn run(&self, func: &PrimFunc, _args: &mut [NDArray]) -> Result<f64, DeviceError> {
+        if self.fault_rate > 0.0 {
+            let n = self.fault_calls.fetch_add(1, Ordering::Relaxed);
+            let mut h = DefaultHasher::new();
+            format!("{func}").hash(&mut h);
+            self.fault_seed.hash(&mut h);
+            n.hash(&mut h);
+            let u = (h.finish() >> 11) as f64 / (1u64 << 53) as f64;
+            if u < self.fault_rate {
+                return Err(DeviceError::Rejected(format!(
+                    "transient device fault injected on `{}` (execution {n})",
+                    func.name
+                )));
+            }
+        }
         let t = self.predict(func);
         if !t.is_finite() {
             return Err(DeviceError::Rejected(format!(
@@ -142,6 +180,33 @@ mod tests {
         let dev = SimDevice::new(GpuSpec::a100());
         let base = dev.build_cost(&f1);
         assert!(base >= 0.8);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_and_retryable() {
+        let f = small_func(32);
+        let mut args = [];
+        // Rate 0 (default): never fails.
+        let clean = SimDevice::new(GpuSpec::a100());
+        for _ in 0..20 {
+            assert!(clean.run(&f, &mut args).is_ok());
+        }
+        // Rate 1: always fails, with a transient-classified message.
+        let broken = SimDevice::new(GpuSpec::a100()).with_faults(1.0, 7);
+        let err = broken.run(&f, &mut args).expect_err("must fail");
+        let DeviceError::Rejected(msg) = &err else {
+            panic!("expected Rejected, got {err:?}");
+        };
+        assert!(msg.contains("transient device fault"));
+        // Moderate rate: the per-call counter re-rolls, so across many
+        // executions both outcomes occur, identically for the same seed.
+        let outcomes = |seed: u64| -> Vec<bool> {
+            let dev = SimDevice::new(GpuSpec::a100()).with_faults(0.3, seed);
+            (0..40).map(|_| dev.run(&f, &mut args).is_ok()).collect()
+        };
+        let a = outcomes(1);
+        assert_eq!(a, outcomes(1), "same seed reproduces exactly");
+        assert!(a.iter().any(|ok| *ok) && a.iter().any(|ok| !*ok));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The mold evaluator: configuration → instantiate → build → run,
 //! with the paper's process-time accounting.
 
-use autotvm::measure::{Evaluator, MeasureResult};
+use autotvm::measure::{Evaluator, MeasureError, MeasureResult};
 use configspace::{ConfigSpace, Configuration};
 use polybench::molds::CodeMold;
 use std::time::Instant;
@@ -87,7 +87,7 @@ impl MoldEvaluator {
         let t0 = Instant::now();
         if !self.mold.space().validate(config) {
             return MeasureResult::fail(
-                format!("configuration {config} not in space"),
+                MeasureError::InvalidSchedule(format!("configuration {config} not in space")),
                 t0.elapsed().as_secs_f64(),
             );
         }
@@ -117,7 +117,10 @@ impl MoldEvaluator {
                     process += t;
                 }
                 Err(e) => {
-                    return MeasureResult::fail(e.to_string(), process);
+                    // Classify the device's free-form error into the
+                    // taxonomy (e.g. an injected "transient device fault"
+                    // becomes retryable for the harness).
+                    return MeasureResult::fail(MeasureError::classify(e.to_string()), process);
                 }
             }
         }

@@ -66,8 +66,9 @@ pub mod prelude {
     pub use crate::adapter::YtoptTuner;
     pub use crate::evaluator::{EvalMode, MoldEvaluator};
     pub use autotvm::{
-        tune, Evaluator, GaTuner, GridSearchTuner, RandomTuner, TuneOptions, Tuner, TuningResult,
-        XgbTuner,
+        resume_from_journal, tune, tune_journaled, Evaluator, FaultInjector, FaultPlan, GaTuner,
+        GridSearchTuner, HarnessOptions, HarnessedEvaluator, MeasureError, MeasureResult,
+        RandomTuner, RetryPolicy, TuneOptions, Tuner, TuningResult, XgbTuner,
     };
     pub use configspace::{ConfigSpace, Configuration, Hyperparameter, ParamValue};
     pub use gpu_sim::{GpuSpec, SimDevice};
@@ -75,5 +76,5 @@ pub mod prelude {
     pub use tvm_runtime::{CpuDevice, Device, Module, NDArray};
     pub use tvm_te::{compute, placeholder, reduce_axis, sum, DType, Schedule};
     pub use tvm_tir::lower::lower;
-    pub use ytopt_bo::{BoOptions, Problem};
+    pub use ytopt_bo::{BoOptions, Problem, TrialJournal, TrialRecord};
 }
