@@ -172,13 +172,21 @@ fn tune_inner(
     let mut trials: Vec<Trial> = Vec::with_capacity(opts.max_evals);
     let mut elapsed = 0.0f64;
     let mut think = 0.0f64;
+    let replay_total = replay.len();
     let mut replay = replay.into_iter();
     let mut replayed = 0usize;
 
     while trials.len() < opts.max_evals && tuner.has_next() {
-        if let Some(cap) = opts.max_process_s {
-            if elapsed >= cap {
-                break;
+        // While replaying, `elapsed` is restored from the journal rather
+        // than accumulated live, so the resume process's own think time
+        // does not distort the trajectory — and the cap must not fire at
+        // a different trial than in the uninterrupted run.
+        let replaying = trials.len() < replay_total;
+        if !replaying {
+            if let Some(cap) = opts.max_process_s {
+                if elapsed >= cap {
+                    break;
+                }
             }
         }
         let want = opts.batch.min(opts.max_evals - trials.len());
@@ -186,11 +194,14 @@ fn tune_inner(
         let batch = tuner.next_batch(want);
         let dt = t0.elapsed().as_secs_f64();
         think += dt;
-        elapsed += dt;
+        if !replaying {
+            elapsed += dt;
+        }
         if batch.is_empty() {
             break;
         }
 
+        let mut any_live = false;
         let mut results: Vec<(Configuration, MeasureResult)> = Vec::with_capacity(batch.len());
         for config in batch {
             let (res, live) = match replay.next() {
@@ -203,6 +214,7 @@ fn tune_inner(
                         ));
                     }
                     replayed += 1;
+                    elapsed = rec.elapsed_s;
                     (
                         MeasureResult {
                             runtime_s: rec.runtime_s,
@@ -214,7 +226,10 @@ fn tune_inner(
                 }
                 None => (evaluator.evaluate(&config), true),
             };
-            elapsed += res.process_s;
+            if live {
+                any_live = true;
+                elapsed += res.process_s;
+            }
             let trial = Trial {
                 index: trials.len(),
                 config: config.clone(),
@@ -243,7 +258,9 @@ fn tune_inner(
         tuner.update(&results);
         let dt = t1.elapsed().as_secs_f64();
         think += dt;
-        elapsed += dt;
+        if any_live {
+            elapsed += dt;
+        }
     }
 
     Ok(TuningResult {

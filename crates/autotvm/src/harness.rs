@@ -191,7 +191,13 @@ impl<E: Send + Sync + 'static> HarnessedEvaluator<E> {
                     // Timed out: abandon the worker (it is detached and
                     // will be dropped when it eventually finishes) and
                     // charge the full limit to process time.
-                    Err(_) => MeasureResult::fail(MeasureError::Timeout { limit_s }, limit_s),
+                    Err(_) => MeasureResult::fail(
+                        MeasureError::Timeout {
+                            limit_s,
+                            message: None,
+                        },
+                        limit_s,
+                    ),
                 }
             }
         }
@@ -411,6 +417,7 @@ impl<E> FaultInjector<E> {
         if u < acc {
             return Err(MeasureError::Timeout {
                 limit_s: p.fail_process_s,
+                message: None,
             });
         }
         acc += p.runtime_crash;

@@ -127,7 +127,13 @@ mod tests {
 
     #[test]
     fn converts_to_and_from_evaluation() {
-        let r = MeasureResult::fail(MeasureError::Timeout { limit_s: 2.0 }, 2.0);
+        let r = MeasureResult::fail(
+            MeasureError::Timeout {
+                limit_s: 2.0,
+                message: None,
+            },
+            2.0,
+        );
         let e: Evaluation = r.clone().into();
         assert_eq!(e.runtime_s, None);
         assert_eq!(e.process_s, 2.0);

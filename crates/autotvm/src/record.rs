@@ -126,7 +126,10 @@ mod tests {
             runtime_s: rt,
             error: rt
                 .is_none()
-                .then(|| MeasureError::Timeout { limit_s: 1.0 }),
+                .then(|| MeasureError::Timeout {
+                    limit_s: 1.0,
+                    message: None,
+                }),
             elapsed_s: idx as f64,
         }
     }

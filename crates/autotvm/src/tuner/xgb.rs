@@ -154,26 +154,29 @@ impl Tuner for XgbTuner {
     }
 
     fn update(&mut self, results: &[(Configuration, MeasureResult)]) {
+        // Two passes: ingest successes first so the penalty scale for
+        // failures reflects every success in the batch, independent of the
+        // order the measurer happened to return results in.
         for (cfg, res) in results {
             self.visited.insert(cfg.key());
-            match res.runtime_s {
-                Some(t) => {
-                    self.observed.push((self.space.encode(cfg), t));
-                    self.best_runtime = self.best_runtime.min(t);
-                    self.worst_runtime = self.worst_runtime.max(t);
-                }
-                None => {
-                    // Teach the model that this region fails, as AutoTVM
-                    // does (a failed measurement gets the worst score):
-                    // a large-but-finite penalty keeps the regression
-                    // well-posed while steering proposals away.
-                    let penalty = if self.worst_runtime.is_finite() {
-                        self.worst_runtime * 10.0
-                    } else {
-                        1e6
-                    };
-                    self.observed.push((self.space.encode(cfg), penalty));
-                }
+            if let Some(t) = res.runtime_s {
+                self.observed.push((self.space.encode(cfg), t));
+                self.best_runtime = self.best_runtime.min(t);
+                self.worst_runtime = self.worst_runtime.max(t);
+            }
+        }
+        for (cfg, res) in results {
+            if res.runtime_s.is_none() {
+                // Teach the model that this region fails, as AutoTVM
+                // does (a failed measurement gets the worst score):
+                // a large-but-finite penalty keeps the regression
+                // well-posed while steering proposals away.
+                let penalty = if self.worst_runtime.is_finite() {
+                    self.worst_runtime * 10.0
+                } else {
+                    1e6
+                };
+                self.observed.push((self.space.encode(cfg), penalty));
             }
         }
     }

@@ -26,8 +26,13 @@ pub enum MeasureError {
     InvalidSchedule(String),
     /// The evaluation exceeded its wall-clock limit and was abandoned.
     Timeout {
-        /// The enforced wall-clock limit, seconds.
+        /// The enforced wall-clock limit, seconds (0 when unknown, e.g.
+        /// when classified from a free-form message).
         limit_s: f64,
+        /// The original error text, when the timeout was classified from
+        /// a free-form message rather than enforced by the harness.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        message: Option<String>,
     },
     /// The evaluation panicked or the device/runner crashed.
     RuntimeCrash(String),
@@ -60,7 +65,10 @@ impl MeasureError {
             | MeasureError::RuntimeCrash(m)
             | MeasureError::NumericMismatch(m)
             | MeasureError::Transient(m) => m,
-            MeasureError::Timeout { .. } => "wall-clock timeout",
+            MeasureError::Timeout {
+                message: Some(m), ..
+            } => m,
+            MeasureError::Timeout { message: None, .. } => "wall-clock timeout",
         }
     }
 
@@ -79,20 +87,25 @@ impl MeasureError {
         let message = message.into();
         let lower = message.to_lowercase();
         if lower.contains("timed out") || lower.contains("timeout") {
-            MeasureError::Timeout { limit_s: 0.0 }
+            MeasureError::Timeout {
+                limit_s: 0.0,
+                message: Some(message),
+            }
         } else if lower.contains("transient")
             || lower.contains("flaky")
             || lower.contains("spurious")
         {
             MeasureError::Transient(message)
+        } else if lower.contains("build") || lower.contains("compil") || lower.contains("link") {
+            // Checked before the schedule heuristics: a build error whose
+            // text mentions the schedule is still a build failure.
+            MeasureError::BuildFailed(message)
         } else if lower.contains("not in space")
             || lower.contains("invalid")
             || lower.contains("schedule")
             || lower.contains("reject")
         {
             MeasureError::InvalidSchedule(message)
-        } else if lower.contains("build") || lower.contains("compil") || lower.contains("link") {
-            MeasureError::BuildFailed(message)
         } else if lower.contains("mismatch") || lower.contains("numeric") || lower.contains("nan")
         {
             MeasureError::NumericMismatch(message)
@@ -105,7 +118,13 @@ impl MeasureError {
 impl std::fmt::Display for MeasureError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MeasureError::Timeout { limit_s } => {
+            MeasureError::Timeout {
+                message: Some(m), ..
+            } => write!(f, "[timeout] {m}"),
+            MeasureError::Timeout {
+                limit_s,
+                message: None,
+            } => {
                 write!(f, "[timeout] exceeded wall-clock limit of {limit_s} s")
             }
             other => write!(f, "[{}] {}", other.kind(), other.message()),
@@ -166,21 +185,51 @@ mod tests {
             "transient"
         );
         assert_eq!(MeasureError::classify("oom").kind(), "runtime_crash");
+        // Build errors win over schedule-ish words in the same message.
+        assert_eq!(
+            MeasureError::classify("build failed while lowering schedule").kind(),
+            "build_failed"
+        );
+    }
+
+    #[test]
+    fn classified_timeout_keeps_original_message() {
+        let t = MeasureError::classify("runner timed out after 3 s");
+        assert_eq!(t.kind(), "timeout");
+        assert_eq!(t.message(), "runner timed out after 3 s");
+        assert_eq!(format!("{t}"), "[timeout] runner timed out after 3 s");
     }
 
     #[test]
     fn only_transient_is_retryable() {
         assert!(MeasureError::Transient("x".into()).is_transient());
         assert!(!MeasureError::BuildFailed("x".into()).is_transient());
-        assert!(!MeasureError::Timeout { limit_s: 1.0 }.is_transient());
+        assert!(!MeasureError::Timeout {
+            limit_s: 1.0,
+            message: None
+        }
+        .is_transient());
     }
 
     #[test]
     fn serde_roundtrip() {
-        let e = MeasureError::Timeout { limit_s: 2.5 };
+        let e = MeasureError::Timeout {
+            limit_s: 2.5,
+            message: None,
+        };
         let s = serde_json::to_string(&e).expect("serialize");
         let back: MeasureError = serde_json::from_str(&s).expect("deserialize");
         assert_eq!(e, back);
+        // Pre-message-field journals (no `message` key) still load.
+        let legacy: MeasureError =
+            serde_json::from_str("{\"Timeout\":{\"limit_s\":1.5}}").expect("legacy");
+        assert_eq!(
+            legacy,
+            MeasureError::Timeout {
+                limit_s: 1.5,
+                message: None
+            }
+        );
         let e = MeasureError::Transient("flaky node".into());
         let s = serde_json::to_string(&e).expect("serialize");
         assert_eq!(e, serde_json::from_str::<MeasureError>(&s).expect("de"));

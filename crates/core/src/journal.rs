@@ -68,18 +68,38 @@ impl TrialJournal {
 
     /// Open `path` for appending, first loading every intact record
     /// already present (empty when the file does not exist yet).
+    ///
+    /// An intact journal is opened in append mode untouched. Only when a
+    /// torn tail line (crash mid-append) is detected is the intact prefix
+    /// rewritten — to a temp file that is atomically renamed over the
+    /// original, so already-fsync'd trials can never be lost to a crash
+    /// during the repair itself.
     pub fn open_resume(
         path: impl AsRef<Path>,
     ) -> std::io::Result<(TrialJournal, Vec<TrialRecord>)> {
         let path = path.as_ref().to_path_buf();
-        let existing = TrialJournal::load(&path)?;
-        // Rewrite the intact prefix so a torn tail line (crash mid-append)
-        // does not corrupt the resumed journal.
-        let mut journal = TrialJournal::create(&path)?;
-        for rec in &existing {
-            journal.append(rec)?;
+        let (existing, torn_tail) = TrialJournal::load_with_tail(&path)?;
+        if torn_tail {
+            let mut tmp_name = path.clone().into_os_string();
+            tmp_name.push(".repair");
+            let tmp = PathBuf::from(tmp_name);
+            let mut repaired = TrialJournal::create(&tmp)?;
+            for rec in &existing {
+                repaired.append(rec)?;
+            }
+            repaired.file.sync_all()?;
+            drop(repaired);
+            std::fs::rename(&tmp, &path)?;
         }
-        Ok((journal, existing))
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok((
+            TrialJournal {
+                file,
+                path,
+                written: 0,
+            },
+            existing,
+        ))
     }
 
     /// Append one record: serialize, write, flush, fsync. When this
@@ -109,9 +129,17 @@ impl TrialJournal {
     /// journal; a malformed *final* line (torn write) is dropped;
     /// malformed earlier lines are an error.
     pub fn load(path: impl AsRef<Path>) -> std::io::Result<Vec<TrialRecord>> {
+        Ok(TrialJournal::load_with_tail(path)?.0)
+    }
+
+    /// [`TrialJournal::load`], also reporting whether a torn final line
+    /// was dropped.
+    fn load_with_tail(
+        path: impl AsRef<Path>,
+    ) -> std::io::Result<(Vec<TrialRecord>, bool)> {
         let path = path.as_ref();
         if !path.exists() {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), false));
         }
         let text = std::fs::read_to_string(path)?;
         let lines: Vec<&str> = text.lines().collect();
@@ -126,7 +154,7 @@ impl TrialJournal {
                     let tail_is_blank = lines[i + 1..].iter().all(|l| l.trim().is_empty());
                     if tail_is_blank {
                         // Torn final line: the crash we are designed for.
-                        break;
+                        return Ok((out, true));
                     }
                     return Err(std::io::Error::new(
                         std::io::ErrorKind::InvalidData,
@@ -135,7 +163,7 @@ impl TrialJournal {
                 }
             }
         }
-        Ok(out)
+        Ok((out, false))
     }
 }
 

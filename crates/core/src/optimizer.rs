@@ -161,20 +161,30 @@ fn run_inner(
     let mut trials: Vec<BoTrial> = Vec::with_capacity(opts.max_evals);
     let mut elapsed = 0.0f64;
     let mut think = 0.0f64;
+    let replay_total = replay.len();
     let mut replay = replay.into_iter();
     let mut replayed = 0usize;
 
     while trials.len() < opts.max_evals {
-        if let Some(cap) = opts.max_process_s {
-            if elapsed >= cap {
-                break;
+        // While replaying, `elapsed` is restored from the journal rather
+        // than accumulated live, so the resume process's own think time
+        // does not distort the trajectory — and the cap must not fire at
+        // a different trial than in the uninterrupted run.
+        let replaying = trials.len() < replay_total;
+        if !replaying {
+            if let Some(cap) = opts.max_process_s {
+                if elapsed >= cap {
+                    break;
+                }
             }
         }
         let t0 = Instant::now();
         let Some(config) = bo.ask() else { break };
         let dt = t0.elapsed().as_secs_f64();
         think += dt;
-        elapsed += dt;
+        if !replaying {
+            elapsed += dt;
+        }
 
         let (eval, live) = match replay.next() {
             Some(rec) => {
@@ -186,6 +196,7 @@ fn run_inner(
                     ));
                 }
                 replayed += 1;
+                elapsed = rec.elapsed_s;
                 (
                     Evaluation {
                         runtime_s: rec.runtime_s,
@@ -197,7 +208,9 @@ fn run_inner(
             }
             None => (problem.evaluate(&config), true),
         };
-        elapsed += eval.process_s;
+        if live {
+            elapsed += eval.process_s;
+        }
         let trial = BoTrial {
             index: trials.len(),
             config: config.clone(),
@@ -224,7 +237,9 @@ fn run_inner(
         bo.tell(&config, eval.runtime_s);
         let dt = t1.elapsed().as_secs_f64();
         think += dt;
-        elapsed += dt;
+        if !replaying {
+            elapsed += dt;
+        }
     }
 
     Ok(BoResult {

@@ -108,7 +108,13 @@ mod tests {
         let f = Evaluation::fail("oom", 1.0);
         assert!(f.runtime_s.is_none());
         assert_eq!(f.error.as_ref().map(|e| e.message()), Some("oom"));
-        let t = Evaluation::fail(MeasureError::Timeout { limit_s: 2.0 }, 2.0);
+        let t = Evaluation::fail(
+            MeasureError::Timeout {
+                limit_s: 2.0,
+                message: None,
+            },
+            2.0,
+        );
         assert_eq!(t.error.as_ref().map(|e| e.kind()), Some("timeout"));
     }
 

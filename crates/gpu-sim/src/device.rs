@@ -3,9 +3,9 @@
 use crate::model::cost_model;
 use crate::spec::GpuSpec;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use tvm_runtime::{Device, DeviceError, NDArray};
 use tvm_tir::PrimFunc;
 
@@ -30,9 +30,13 @@ pub struct SimDevice {
     pub fault_rate: f64,
     /// Seed for the fault draws (independent of the noise seed).
     pub fault_seed: u64,
-    /// Execution counter feeding the fault draws, so a retry of the same
-    /// function re-rolls (clones share the counter).
-    fault_calls: Arc<AtomicU64>,
+    /// Per-function attempt counters feeding the fault draws, so a retry
+    /// of the same function re-rolls while draws stay independent of the
+    /// order other functions are evaluated in — the same
+    /// (function, attempt, seed) keying as the harness's `FaultInjector`,
+    /// which keeps injected faults journal-resume-safe (clones share the
+    /// counters).
+    fault_attempts: Arc<Mutex<HashMap<String, u64>>>,
 }
 
 impl SimDevice {
@@ -44,7 +48,7 @@ impl SimDevice {
             seed: 0,
             fault_rate: 0.0,
             fault_seed: 0,
-            fault_calls: Arc::new(AtomicU64::new(0)),
+            fault_attempts: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -62,8 +66,8 @@ impl SimDevice {
     }
 
     /// Builder: deterministic transient-fault injection. Each `run` draws
-    /// a hash of (function, seed, call count) against `rate`; a hit
-    /// returns `DeviceError::Rejected` with a message classified as
+    /// a hash of (function, seed, per-function attempt) against `rate`; a
+    /// hit returns `DeviceError::Rejected` with a message classified as
     /// transient by the measurement harness, so retries can succeed.
     pub fn with_faults(mut self, rate: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
@@ -98,15 +102,22 @@ impl Device for SimDevice {
 
     fn run(&self, func: &PrimFunc, _args: &mut [NDArray]) -> Result<f64, DeviceError> {
         if self.fault_rate > 0.0 {
-            let n = self.fault_calls.fetch_add(1, Ordering::Relaxed);
+            let printed = format!("{func}");
+            let n = {
+                let mut attempts = self.fault_attempts.lock().expect("fault counter lock");
+                let n = attempts.entry(printed.clone()).or_insert(0);
+                let current = *n;
+                *n += 1;
+                current
+            };
             let mut h = DefaultHasher::new();
-            format!("{func}").hash(&mut h);
+            printed.hash(&mut h);
             self.fault_seed.hash(&mut h);
             n.hash(&mut h);
             let u = (h.finish() >> 11) as f64 / (1u64 << 53) as f64;
             if u < self.fault_rate {
                 return Err(DeviceError::Rejected(format!(
-                    "transient device fault injected on `{}` (execution {n})",
+                    "transient device fault injected on `{}` (attempt {n})",
                     func.name
                 )));
             }
@@ -198,7 +209,7 @@ mod tests {
             panic!("expected Rejected, got {err:?}");
         };
         assert!(msg.contains("transient device fault"));
-        // Moderate rate: the per-call counter re-rolls, so across many
+        // Moderate rate: the per-attempt counter re-rolls, so across many
         // executions both outcomes occur, identically for the same seed.
         let outcomes = |seed: u64| -> Vec<bool> {
             let dev = SimDevice::new(GpuSpec::a100()).with_faults(0.3, seed);
@@ -207,6 +218,29 @@ mod tests {
         let a = outcomes(1);
         assert_eq!(a, outcomes(1), "same seed reproduces exactly");
         assert!(a.iter().any(|ok| *ok) && a.iter().any(|ok| !*ok));
+    }
+
+    #[test]
+    fn fault_draws_independent_of_evaluation_order() {
+        // Interleaving executions of another function must not perturb a
+        // function's own fault sequence (journal-resume safety).
+        let f1 = small_func(16);
+        let f2 = small_func(24);
+        let mut args = [];
+        let solo: Vec<bool> = {
+            let dev = SimDevice::new(GpuSpec::a100()).with_faults(0.5, 3);
+            (0..10).map(|_| dev.run(&f1, &mut args).is_ok()).collect()
+        };
+        let interleaved: Vec<bool> = {
+            let dev = SimDevice::new(GpuSpec::a100()).with_faults(0.5, 3);
+            (0..10)
+                .map(|_| {
+                    let _ = dev.run(&f2, &mut args);
+                    dev.run(&f1, &mut args).is_ok()
+                })
+                .collect()
+        };
+        assert_eq!(solo, interleaved);
     }
 
     #[test]
