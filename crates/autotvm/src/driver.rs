@@ -10,12 +10,13 @@
 //! history), so a killed-and-resumed run follows the identical remaining
 //! trajectory as an uninterrupted one.
 
-use crate::measure::{Evaluator, MeasureResult};
+use crate::measure::{CacheStats, Evaluator, MeasureResult};
 use crate::tuner::Tuner;
 use configspace::Configuration;
+use rayon::prelude::*;
 use std::path::Path;
 use std::time::Instant;
-use ytopt_bo::fault::MeasureError;
+use ytopt_bo::fault::{panic_message, MeasureError};
 use ytopt_bo::journal::{divergence_error, TrialJournal, TrialRecord};
 
 /// Budget and batching options (the paper: `max_evals = 100`).
@@ -72,6 +73,9 @@ pub struct TuningResult {
     /// How many trials were replayed from a journal rather than measured
     /// live (0 for fresh runs).
     pub replayed: usize,
+    /// Hit/miss counters of the evaluator's lowering/compilation memo
+    /// cache, when it keeps one.
+    pub cache: Option<CacheStats>,
 }
 
 impl TuningResult {
@@ -269,7 +273,99 @@ fn tune_inner(
         total_process_s: elapsed,
         think_s: think,
         replayed,
+        cache: evaluator.cache_stats(),
     })
+}
+
+/// Like [`tune`], but measure each round's batch **concurrently** on the
+/// rayon thread pool (the evaluator must be `Sync`).
+///
+/// Process-time accounting charges the *maximum* evaluation time of each
+/// batch — the wall-clock a `batch`-wide worker pool would observe — plus
+/// the tuner's own think time. Each worker's retries and backoff waits
+/// are inside its own `process_s`, so overlapping backoffs are never
+/// charged serially (the sequential [`tune`] charges them end to end,
+/// which is correct for one worker).
+///
+/// A panicking measurement worker does **not** abort the run: the panic
+/// is caught and becomes a failed trial ([`MeasureError::RuntimeCrash`]).
+pub fn tune_parallel<E: Evaluator + Sync>(
+    tuner: &mut dyn Tuner,
+    evaluator: &E,
+    opts: TuneOptions,
+) -> TuningResult {
+    let mut trials: Vec<Trial> = Vec::with_capacity(opts.max_evals);
+    let mut elapsed = 0.0f64;
+    let mut think = 0.0f64;
+
+    while trials.len() < opts.max_evals && tuner.has_next() {
+        if let Some(cap) = opts.max_process_s {
+            if elapsed >= cap {
+                break;
+            }
+        }
+        let want = opts.batch.min(opts.max_evals - trials.len());
+        let t0 = Instant::now();
+        let batch = tuner.next_batch(want);
+        let dt = t0.elapsed().as_secs_f64();
+        think += dt;
+        elapsed += dt;
+        if batch.is_empty() {
+            break;
+        }
+
+        // Measure the whole batch concurrently; each worker catches its
+        // own panic so one crashed measurement cannot kill the batch.
+        let results: Vec<MeasureResult> = batch
+            .par_iter()
+            .map(|cfg| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    evaluator.evaluate(cfg)
+                }))
+                .unwrap_or_else(|payload| {
+                    MeasureResult::fail(
+                        MeasureError::RuntimeCrash(format!(
+                            "measurement worker panicked: {}",
+                            panic_message(payload.as_ref())
+                        )),
+                        0.0,
+                    )
+                })
+            })
+            .collect();
+
+        // A batch-wide pool finishes when its slowest member does.
+        let batch_wall = results.iter().map(|r| r.process_s).fold(0.0f64, f64::max);
+        elapsed += batch_wall;
+
+        let feedback: Vec<(Configuration, MeasureResult)> =
+            batch.into_iter().zip(results).collect();
+        for (config, res) in &feedback {
+            trials.push(Trial {
+                index: trials.len(),
+                config: config.clone(),
+                runtime_s: res.runtime_s,
+                error: res.error.clone(),
+                eval_process_s: res.process_s,
+                elapsed_s: elapsed,
+            });
+        }
+
+        let t1 = Instant::now();
+        tuner.update(&feedback);
+        let dt = t1.elapsed().as_secs_f64();
+        think += dt;
+        elapsed += dt;
+    }
+
+    TuningResult {
+        tuner: tuner.name().to_string(),
+        trials,
+        total_process_s: elapsed,
+        think_s: think,
+        replayed: 0,
+        cache: evaluator.cache_stats(),
+    }
 }
 
 #[cfg(test)]
@@ -422,6 +518,89 @@ mod tests {
             }
         }
         assert!(res.best().expect("best").error.is_none());
+    }
+
+    #[test]
+    fn parallel_tuning_matches_sequential_trajectory() {
+        let ev = evaluator();
+        let opts = TuneOptions {
+            max_evals: 40,
+            batch: 8,
+            max_process_s: None,
+        };
+        let mut t_seq = GridSearchTuner::new(space());
+        let seq = tune(&mut t_seq, &ev, opts);
+        let mut t_par = GridSearchTuner::new(space());
+        let par = tune_parallel(&mut t_par, &ev, opts);
+        let keys = |r: &TuningResult| -> Vec<String> {
+            r.trials.iter().map(|t| t.config.key()).collect()
+        };
+        assert_eq!(keys(&seq), keys(&par), "same proposals, same order");
+        assert_eq!(
+            seq.best().expect("best").config.key(),
+            par.best().expect("best").config.key()
+        );
+        // Same per-trial measurements, cheaper batch accounting.
+        for (a, b) in seq.trials.iter().zip(&par.trials) {
+            assert_eq!(a.runtime_s, b.runtime_s);
+            assert_eq!(a.eval_process_s, b.eval_process_s);
+        }
+        assert!(par.total_process_s < seq.total_process_s);
+    }
+
+    #[test]
+    fn parallel_tuning_charges_batch_max_not_sum() {
+        // Every measurement burns 0.5 s of charged process time (think:
+        // retries + backoff under the harness). Five overlapping workers
+        // must be charged max(0.5) per round, not 5 × 0.5.
+        let ev = FnEvaluator::new(space(), |c| MeasureResult::ok(c.int("P0") as f64, 0.5));
+        let mut t = GridSearchTuner::new(space());
+        let res = tune_parallel(
+            &mut t,
+            &ev,
+            TuneOptions {
+                max_evals: 20,
+                batch: 5,
+                max_process_s: None,
+            },
+        );
+        assert_eq!(res.len(), 20);
+        assert!(res.trials.iter().all(|t| t.eval_process_s == 0.5));
+        // 4 rounds × 0.5 s batch wall (+ think ε), far below the 10 s a
+        // serial charge would accumulate.
+        assert!(
+            res.total_process_s < 3.0,
+            "expected ~2 s, got {}",
+            res.total_process_s
+        );
+        assert!(res.total_process_s >= 2.0);
+    }
+
+    #[test]
+    fn parallel_tuning_survives_worker_panics() {
+        let ev = FnEvaluator::new(space(), |c| {
+            if c.int("P0") == c.int("P1") {
+                panic!("measurement exploded on the diagonal");
+            }
+            MeasureResult::ok(1.0, 0.1)
+        });
+        let mut t = GridSearchTuner::new(space());
+        let res = tune_parallel(
+            &mut t,
+            &ev,
+            TuneOptions {
+                max_evals: 50,
+                batch: 10,
+                max_process_s: None,
+            },
+        );
+        assert_eq!(res.len(), 50);
+        assert_eq!(res.failed(), 5, "five diagonal cells in the first half");
+        for t in res.trials.iter().filter(|t| t.runtime_s.is_none()) {
+            let err = t.error.as_ref().expect("crash recorded");
+            assert_eq!(err.kind(), "runtime_crash");
+            assert!(err.message().contains("measurement exploded"));
+        }
     }
 
     #[test]

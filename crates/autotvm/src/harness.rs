@@ -244,6 +244,10 @@ impl<E: Evaluator + Send + Sync + 'static> Evaluator for HarnessedEvaluator<E> {
     fn evaluate(&self, config: &Configuration) -> MeasureResult {
         self.guard(config, |e, c| e.evaluate(c))
     }
+
+    fn cache_stats(&self) -> Option<ytopt_bo::problem::CacheStats> {
+        Evaluator::cache_stats(&*self.inner)
+    }
 }
 
 impl<E: Problem + Send + Sync + 'static> Problem for HarnessedEvaluator<E> {
@@ -258,6 +262,10 @@ impl<E: Problem + Send + Sync + 'static> Problem for HarnessedEvaluator<E> {
 
     fn name(&self) -> &str {
         self.inner.name()
+    }
+
+    fn cache_stats(&self) -> Option<ytopt_bo::problem::CacheStats> {
+        Problem::cache_stats(&*self.inner)
     }
 }
 
@@ -471,6 +479,10 @@ impl<E: Evaluator> Evaluator for FaultInjector<E> {
             }
         }
     }
+
+    fn cache_stats(&self) -> Option<ytopt_bo::problem::CacheStats> {
+        Evaluator::cache_stats(&self.inner)
+    }
 }
 
 impl<E: Problem> Problem for FaultInjector<E> {
@@ -491,6 +503,10 @@ impl<E: Problem> Problem for FaultInjector<E> {
 
     fn name(&self) -> &str {
         self.inner.name()
+    }
+
+    fn cache_stats(&self) -> Option<ytopt_bo::problem::CacheStats> {
+        Problem::cache_stats(&self.inner)
     }
 }
 

@@ -37,8 +37,8 @@ pub mod tuner;
 
 pub use autoscheduler::AutoScheduler;
 pub use driver::{
-    resume_from_journal, tune, tune_journaled, Trial, TuneOptions, TuningResult,
+    resume_from_journal, tune, tune_journaled, tune_parallel, Trial, TuneOptions, TuningResult,
 };
 pub use harness::{FaultInjector, FaultPlan, HarnessOptions, HarnessedEvaluator, RetryPolicy};
-pub use measure::{Evaluator, MeasureError, MeasureResult};
+pub use measure::{CacheStats, Evaluator, MeasureError, MeasureResult};
 pub use tuner::{ga::GaTuner, gridsearch::GridSearchTuner, random::RandomTuner, xgb::XgbTuner, Tuner};

@@ -8,6 +8,7 @@
 
 use configspace::{ConfigSpace, Configuration};
 pub use ytopt_bo::fault::MeasureError;
+pub use ytopt_bo::problem::CacheStats;
 use ytopt_bo::problem::Evaluation;
 
 /// Outcome of measuring one configuration.
@@ -81,6 +82,13 @@ pub trait Evaluator {
 
     /// Measure one configuration.
     fn evaluate(&self, config: &Configuration) -> MeasureResult;
+
+    /// Counters of this evaluator's lowering/compilation memo cache, if
+    /// it keeps one (`None` for cacheless evaluators). Snapshotted into
+    /// [`crate::driver::TuningResult::cache`] at the end of a run.
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
 }
 
 /// A closure-backed evaluator for tests and custom problems.

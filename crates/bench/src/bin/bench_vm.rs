@@ -1,0 +1,203 @@
+//! Compiled-VM benchmark: interpreter vs VM per-trial execution cost.
+//!
+//! For each of the paper's kernels (3mm, LU, Cholesky) the baseline
+//! configuration is lowered once and executed on both engines from
+//! identical inputs; outputs must match bit for bit (the binary exits
+//! nonzero on any divergence, which is what the CI smoke job checks).
+//! A second phase measures end-to-end tuning throughput (trials/sec)
+//! with a real-execution evaluator on the interpreter-pinned CPU device
+//! vs the compiled one, cache counters included.
+//!
+//! Usage: `bench_vm [--smoke] [--size mini|small|medium|large]`
+//! Full mode writes `results/BENCH_vm.json`; smoke mode only prints.
+
+use autotvm::{tune, RandomTuner, TuneOptions};
+use polybench::molds::mold_for;
+use polybench::{KernelName, ProblemSize};
+use std::time::Instant;
+use tvm_autotune::MoldEvaluator;
+use tvm_runtime::{compile, interp, vm, CpuDevice, NDArray};
+
+struct KernelRow {
+    kernel: &'static str,
+    size: ProblemSize,
+    elements: usize,
+    compile_s: f64,
+    interp_s: f64,
+    vm_s: f64,
+}
+
+impl KernelRow {
+    fn interp_ns_per_element(&self) -> f64 {
+        self.interp_s * 1e9 / self.elements as f64
+    }
+    fn vm_ns_per_element(&self) -> f64 {
+        self.vm_s * 1e9 / self.elements as f64
+    }
+    fn speedup(&self) -> f64 {
+        self.interp_s / self.vm_s
+    }
+}
+
+/// Time one kernel on both engines; panics-free divergence reporting.
+fn bench_kernel(kernel: KernelName, size: ProblemSize, vm_reps: usize) -> KernelRow {
+    let mold = mold_for(kernel, size);
+    let config = mold.baseline_configuration();
+    let func = mold.instantiate(&config);
+    let args = mold.init_args();
+    let elements: usize = func
+        .params
+        .iter()
+        .map(|b| b.shape.iter().product::<usize>())
+        .sum();
+
+    let mut via_interp = args.clone();
+    let t0 = Instant::now();
+    interp::execute(&func, &mut via_interp).expect("interpreter run");
+    let interp_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let cf = compile(&func).expect("PolyBench kernels must compile");
+    let compile_s = t0.elapsed().as_secs_f64();
+
+    let mut vm_s = f64::INFINITY;
+    let mut via_vm: Vec<NDArray> = Vec::new();
+    for _ in 0..vm_reps.max(1) {
+        via_vm = args.clone();
+        let t0 = Instant::now();
+        vm::execute(&cf, &mut via_vm).expect("vm run");
+        vm_s = vm_s.min(t0.elapsed().as_secs_f64());
+    }
+
+    for (i, (a, b)) in via_interp.iter().zip(&via_vm).enumerate() {
+        if a != b {
+            eprintln!(
+                "DIVERGENCE: kernel {} size {} arg {} differs between interpreter and VM",
+                mold.name(),
+                size,
+                i
+            );
+            std::process::exit(1);
+        }
+    }
+
+    KernelRow {
+        kernel: match kernel {
+            KernelName::Mm3 => "3mm",
+            KernelName::Lu => "lu",
+            KernelName::Cholesky => "cholesky",
+            _ => "other",
+        },
+        size,
+        elements,
+        compile_s,
+        interp_s,
+        vm_s,
+    }
+}
+
+/// End-to-end tuning throughput: trials/sec on a real-execution
+/// evaluator, interpreter-pinned vs compiled CPU device.
+fn trials_per_sec(compiled: bool, max_evals: usize) -> (f64, u64, u64) {
+    let mold = mold_for(KernelName::Lu, ProblemSize::Mini);
+    let device = if compiled {
+        CpuDevice::new()
+    } else {
+        CpuDevice::interpreter()
+    };
+    let ev = MoldEvaluator::real(mold, device);
+    let mut tuner = RandomTuner::new(ev.space().clone(), 2023);
+    let t0 = Instant::now();
+    let res = tune(
+        &mut tuner,
+        &ev,
+        TuneOptions {
+            max_evals,
+            batch: 8,
+            max_process_s: None,
+        },
+    );
+    let wall = t0.elapsed().as_secs_f64();
+    let cache = res.cache.unwrap_or_default();
+    (res.len() as f64 / wall, cache.hits, cache.misses)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let size = args
+        .iter()
+        .position(|a| a == "--size")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| ProblemSize::parse(s))
+        .unwrap_or(if smoke {
+            ProblemSize::Mini
+        } else {
+            ProblemSize::Small
+        });
+    let vm_reps = if smoke { 3 } else { 5 };
+
+    let kernels = [KernelName::Mm3, KernelName::Lu, KernelName::Cholesky];
+    let mut rows = Vec::new();
+    println!("kernel     size    elements  interp ns/el    vm ns/el  compile ms  speedup");
+    for k in kernels {
+        let row = bench_kernel(k, size, vm_reps);
+        println!(
+            "{:<10} {:<7} {:>9}  {:>12.1}  {:>10.1}  {:>10.3}  {:>6.1}x",
+            row.kernel,
+            row.size.to_string(),
+            row.elements,
+            row.interp_ns_per_element(),
+            row.vm_ns_per_element(),
+            row.compile_s * 1e3,
+            row.speedup()
+        );
+        rows.push(row);
+    }
+
+    let max_evals = if smoke { 6 } else { 20 };
+    let (interp_tps, _, _) = trials_per_sec(false, max_evals);
+    let (vm_tps, hits, misses) = trials_per_sec(true, max_evals);
+    println!(
+        "end-to-end (lu/mini, {max_evals} evals): interp {interp_tps:.1} trials/s, \
+         vm {vm_tps:.1} trials/s ({:.1}x, cache {hits} hits / {misses} misses)",
+        vm_tps / interp_tps
+    );
+
+    if smoke {
+        println!("smoke mode: outputs bit-identical on all kernels");
+        return;
+    }
+
+    let json = serde_json::json!({
+        "size": size.to_string(),
+        "kernels": rows.iter().map(|r| serde_json::json!({
+            "kernel": r.kernel,
+            "size": r.size.to_string(),
+            "elements": r.elements,
+            "compile_s": r.compile_s,
+            "interp_s": r.interp_s,
+            "vm_s": r.vm_s,
+            "interp_ns_per_element": r.interp_ns_per_element(),
+            "vm_ns_per_element": r.vm_ns_per_element(),
+            "speedup": r.speedup(),
+        })).collect::<Vec<_>>(),
+        "end_to_end": {
+            "kernel": "lu",
+            "size": "mini",
+            "max_evals": max_evals,
+            "interp_trials_per_s": interp_tps,
+            "vm_trials_per_s": vm_tps,
+            "throughput_x": vm_tps / interp_tps,
+            "cache_hits": hits,
+            "cache_misses": misses,
+        },
+    });
+    std::fs::create_dir_all("results").expect("mkdir results");
+    std::fs::write(
+        "results/BENCH_vm.json",
+        serde_json::to_string_pretty(&json).expect("serialize"),
+    )
+    .expect("write results/BENCH_vm.json");
+    println!("wrote results/BENCH_vm.json");
+}

@@ -11,9 +11,10 @@
 use crate::database::{DbRecord, PerformanceDatabase};
 use crate::fault::{panic_message, MeasureError};
 use crate::journal::{divergence_error, TrialJournal, TrialRecord};
-use crate::problem::{Evaluation, Problem};
+use crate::problem::{CacheStats, Evaluation, Problem};
 use crate::search::{BayesianOptimizer, SearchConfig};
 use configspace::Configuration;
+use rayon::prelude::*;
 use std::path::Path;
 use std::time::Instant;
 
@@ -67,6 +68,9 @@ pub struct BoResult {
     /// How many of the trials were replayed from a journal rather than
     /// evaluated live (0 for fresh runs).
     pub replayed: usize,
+    /// Hit/miss counters of the problem's lowering/compilation memo
+    /// cache, when it keeps one.
+    pub cache: Option<CacheStats>,
 }
 
 impl BoResult {
@@ -247,18 +251,21 @@ fn run_inner(
         total_process_s: elapsed,
         think_s: think,
         replayed,
+        cache: problem.cache_stats(),
     })
 }
 
 /// Run Bayesian optimization with **parallel batch evaluation**: each
 /// iteration asks for `batch` configurations via the constant-liar
-/// strategy and evaluates them concurrently on worker threads (crossbeam
-/// scoped threads; the problem must be `Sync`).
+/// strategy and evaluates them concurrently on the rayon thread pool
+/// (the problem must be `Sync`).
 ///
 /// This is the asynchronous-evaluation extension of ytopt (the paper's
 /// framework evaluates sequentially); process-time accounting charges the
 /// *maximum* evaluation time of each batch — the wall-clock a
 /// `batch`-wide worker pool would observe — plus the search's own time.
+/// Each worker's retries and backoff waits are inside its own
+/// `process_s`, so overlapping backoffs are never charged serially.
 ///
 /// A panicking evaluation worker does **not** abort the run: the panic is
 /// caught and converted into a failed trial
@@ -288,32 +295,21 @@ pub fn run_parallel<P: Problem + Sync>(problem: &P, opts: BoOptions, batch: usiz
 
         // Evaluate the whole batch concurrently. Each worker catches its
         // own panic so one crashed evaluation cannot kill the batch.
-        let evals: Vec<Evaluation> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = configs
-                .iter()
-                .map(|cfg| {
-                    scope.spawn(move |_| {
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            problem.evaluate(cfg)
-                        }))
+        let evals: Vec<Evaluation> = configs
+            .par_iter()
+            .map(|cfg| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| problem.evaluate(cfg)))
+                    .unwrap_or_else(|payload| {
+                        Evaluation::fail(
+                            MeasureError::RuntimeCrash(format!(
+                                "evaluation worker panicked: {}",
+                                panic_message(payload.as_ref())
+                            )),
+                            0.0,
+                        )
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(Ok(eval)) => eval,
-                    Ok(Err(payload)) | Err(payload) => Evaluation::fail(
-                        MeasureError::RuntimeCrash(format!(
-                            "evaluation worker panicked: {}",
-                            panic_message(payload.as_ref())
-                        )),
-                        0.0,
-                    ),
-                })
-                .collect()
-        })
-        .expect("crossbeam scope");
+            })
+            .collect();
 
         // A batch-wide pool finishes when its slowest member does.
         let batch_wall = evals
@@ -344,6 +340,7 @@ pub fn run_parallel<P: Problem + Sync>(problem: &P, opts: BoOptions, batch: usiz
         total_process_s: elapsed,
         think_s: think,
         replayed: 0,
+        cache: problem.cache_stats(),
     }
 }
 
@@ -512,6 +509,74 @@ mod tests {
             }
         }
         assert_eq!(res.best().expect("best").runtime_s, Some(1.0));
+    }
+
+    #[test]
+    fn parallel_batch_charges_max_not_sum() {
+        // Every evaluation charges a full second of (simulated) process
+        // time — attempts plus backoff waits. Overlapping workers must be
+        // charged the batch *maximum*, not the serial sum.
+        let mut cs = ConfigSpace::new();
+        cs.add(Hyperparameter::ordinal_ints(
+            "P0",
+            &(1..=10).collect::<Vec<i64>>(),
+        ));
+        let p = FnProblem::new(cs, |c| Evaluation::ok(c.int("P0") as f64, 1.0));
+        let res = run_parallel(
+            &p,
+            BoOptions {
+                max_evals: 10,
+                ..Default::default()
+            },
+            5,
+        );
+        assert_eq!(res.len(), 10);
+        // Per-worker accounting is preserved on each trial…
+        assert!(res.trials.iter().all(|t| t.eval_process_s == 1.0));
+        // …but the run is charged two 5-wide rounds, not ten serial evals.
+        assert!(
+            res.total_process_s < 3.0,
+            "expected ~2 s of batch wall, got {}",
+            res.total_process_s
+        );
+        assert!(res.total_process_s >= 2.0);
+    }
+
+    #[test]
+    fn cache_stats_surface_in_result() {
+        use crate::problem::CacheStats;
+
+        struct CachingProblem {
+            space: ConfigSpace,
+        }
+        impl Problem for CachingProblem {
+            fn space(&self) -> &ConfigSpace {
+                &self.space
+            }
+            fn evaluate(&self, c: &Configuration) -> Evaluation {
+                Evaluation::ok(c.int("P0") as f64, 0.1)
+            }
+            fn cache_stats(&self) -> Option<CacheStats> {
+                Some(CacheStats { hits: 3, misses: 4 })
+            }
+        }
+
+        let mut cs = ConfigSpace::new();
+        cs.add(Hyperparameter::ordinal_ints("P0", &[1, 2, 3]));
+        let res = run(
+            &CachingProblem { space: cs },
+            BoOptions {
+                max_evals: 3,
+                ..Default::default()
+            },
+        );
+        let cache = res.cache.expect("caching problem reports stats");
+        assert_eq!(cache.total(), 7);
+        assert!((cache.hit_rate() - 3.0 / 7.0).abs() < 1e-12);
+        // Cacheless problems report nothing.
+        assert!(run(&problem(), BoOptions { max_evals: 2, ..Default::default() })
+            .cache
+            .is_none());
     }
 
     #[test]

@@ -42,6 +42,32 @@ impl Evaluation {
     }
 }
 
+/// Hit/miss counters of an evaluator-side memo cache (lowering /
+/// compilation artifacts reused across repeated proposals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Evaluations served from the cache (no re-lowering, no rebuild).
+    pub hits: u64,
+    /// Evaluations that had to lower and build from scratch.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+}
+
 /// A tuning problem: the parameter space plus the user-defined evaluation
 /// interface (the paper's "code mold + interface" pair).
 pub trait Problem {
@@ -54,6 +80,13 @@ pub trait Problem {
     /// Optional problem name for records.
     fn name(&self) -> &str {
         "problem"
+    }
+
+    /// Counters of this problem's lowering/compilation memo cache, if it
+    /// keeps one (`None` for cacheless problems). Snapshotted into
+    /// [`crate::optimizer::BoResult::cache`] at the end of a run.
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
     }
 }
 

@@ -156,12 +156,14 @@ impl BayesianOptimizer {
                 rf.fit(&self.observed_x, &self.observed_y);
                 let acq = self.cfg.acquisition;
                 let best = self.best_y;
+                // Score all candidates in one parallel batch (bit-for-bit
+                // identical to per-candidate scoring).
+                let encoded: Vec<Vec<f64>> =
+                    cands.iter().map(|c| self.space.encode(c)).collect();
                 cands
                     .into_iter()
-                    .map(|c| {
-                        let (m, s) = rf.predict_with_std(&self.space.encode(&c));
-                        (c, acq.score(m, s, best))
-                    })
+                    .zip(rf.predict_with_std_batch(&encoded))
+                    .map(|(c, (m, s))| (c, acq.score(m, s, best)))
                     .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
                     .map(|(c, _)| c)
             }

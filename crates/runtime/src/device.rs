@@ -1,7 +1,10 @@
 //! Device abstraction: anything that can run and time a lowered function.
 
-use crate::interp::{execute, ExecError};
+use crate::compile::{compile, CompiledFunc};
+use crate::interp::ExecError;
 use crate::ndarray::NDArray;
+use crate::vm;
+use std::sync::Arc;
 use std::time::Instant;
 use tvm_tir::PrimFunc;
 
@@ -74,16 +77,45 @@ pub trait Device: Send + Sync {
         }
         Ok(best)
     }
+
+    /// Compile `func` to a reusable artifact for [`Device::run_prepared`],
+    /// or `None` when this device has no compiled path (analytical devices,
+    /// or a function the compiler rejects). Evaluators call this once per
+    /// configuration and cache the result across repeats.
+    fn prepare(&self, _func: &PrimFunc) -> Option<Arc<CompiledFunc>> {
+        None
+    }
+
+    /// Run a previously [`Device::prepare`]d artifact, returning elapsed
+    /// seconds. Only meaningful on devices whose `prepare` returns `Some`.
+    fn run_prepared(
+        &self,
+        _prepared: &CompiledFunc,
+        _args: &mut [NDArray],
+    ) -> Result<f64, DeviceError> {
+        Err(DeviceError::Rejected(
+            "device has no compiled execution path".into(),
+        ))
+    }
 }
 
-/// Host CPU device executing kernels through the reference interpreter.
+/// Host CPU device executing kernels through the compiled VM (with
+/// interpreter fallback for functions the compiler rejects).
 #[derive(Debug, Clone, Default)]
-pub struct CpuDevice;
+pub struct CpuDevice {
+    interp_only: bool,
+}
 
 impl CpuDevice {
-    /// New CPU device.
+    /// New CPU device (compiled VM execution).
     pub fn new() -> CpuDevice {
-        CpuDevice
+        CpuDevice { interp_only: false }
+    }
+
+    /// CPU device pinned to the reference interpreter — the differential
+    /// oracle, and the baseline the `bench_vm` binary compares against.
+    pub fn interpreter() -> CpuDevice {
+        CpuDevice { interp_only: true }
     }
 }
 
@@ -94,7 +126,28 @@ impl Device for CpuDevice {
 
     fn run(&self, func: &PrimFunc, args: &mut [NDArray]) -> Result<f64, DeviceError> {
         let t0 = Instant::now();
-        execute(func, args)?;
+        if self.interp_only {
+            crate::interp::execute(func, args)?;
+        } else {
+            vm::run(func, args)?;
+        }
+        Ok(t0.elapsed().as_secs_f64())
+    }
+
+    fn prepare(&self, func: &PrimFunc) -> Option<Arc<CompiledFunc>> {
+        if self.interp_only {
+            return None;
+        }
+        compile(func).ok().map(Arc::new)
+    }
+
+    fn run_prepared(
+        &self,
+        prepared: &CompiledFunc,
+        args: &mut [NDArray],
+    ) -> Result<f64, DeviceError> {
+        let t0 = Instant::now();
+        vm::execute(prepared, args)?;
         Ok(t0.elapsed().as_secs_f64())
     }
 }
@@ -123,5 +176,24 @@ mod tests {
         assert!(tmin <= t * 10.0 + 1.0);
         assert_eq!(dev.build_cost(&f), 0.0);
         assert_eq!(dev.name(), "cpu");
+    }
+
+    #[test]
+    fn prepared_path_matches_direct_run() {
+        let a = placeholder([32], DType::F32, "A");
+        let b = compute([32], "B", |i| a.at(&[i[0].clone()]) * 3i64);
+        let s = Schedule::create(&[b.clone()]);
+        let f = lower(&s, &[a, b], "tpl");
+        let dev = CpuDevice::new();
+        let prepared = dev.prepare(&f).expect("cpu device compiles kernels");
+        let input = NDArray::random(&[32], DType::F32, 5, -1.0, 1.0);
+        let mut via_run = [input.clone(), NDArray::zeros(&[32], DType::F32)];
+        let mut via_prepared = [input, NDArray::zeros(&[32], DType::F32)];
+        dev.run(&f, &mut via_run).expect("run");
+        dev.run_prepared(&prepared, &mut via_prepared)
+            .expect("run_prepared");
+        assert_eq!(via_run[1], via_prepared[1]);
+        // The interpreter-pinned device has no compiled path.
+        assert!(CpuDevice::interpreter().prepare(&f).is_none());
     }
 }

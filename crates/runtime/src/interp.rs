@@ -9,7 +9,7 @@
 use crate::ndarray::NDArray;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use tvm_te::{BinOp, CmpOp, DType, Intrinsic, PrimExpr};
 use tvm_tir::{Buffer, PrimFunc, Stmt};
 
@@ -336,7 +336,7 @@ impl<'a> Machine<'a> {
     }
 }
 
-fn check_arg(param: &Rc<Buffer>, arg: &NDArray) -> Result<(), ExecError> {
+fn check_arg(param: &Arc<Buffer>, arg: &NDArray) -> Result<(), ExecError> {
     if param.shape != arg.shape() {
         return Err(ExecError::ArgMismatch {
             name: param.name.clone(),

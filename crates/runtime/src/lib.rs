@@ -7,6 +7,12 @@
 //! can be validated against PolyBench reference kernels at small sizes,
 //! and timed on the host CPU.
 //!
+//! Execution goes through a compiled engine: [`compile`] turns a lowered
+//! function into a flat register program once, and the [`vm`] executes it
+//! allocation-free — typically well over an order of magnitude faster than
+//! the tree-walking [`interp`], which is kept as the differential-testing
+//! oracle and as the fallback for anything the compiler rejects.
+//!
 //! The paper's large-scale measurements (N = 2000/4000 on A100 GPUs) run
 //! against the analytical device in the sibling `gpu-sim` crate instead;
 //! both implement the same [`device::Device`] trait.
@@ -26,11 +32,14 @@
 //! assert_eq!(args[1].to_f64_vec(), vec![2.0, 3.0, 4.0, 5.0]);
 //! ```
 
+pub mod compile;
 pub mod device;
 pub mod interp;
 pub mod module;
 pub mod ndarray;
+pub mod vm;
 
+pub use compile::{compile, CompileError, CompiledFunc};
 pub use device::{CpuDevice, Device, DeviceError};
 pub use module::Module;
 pub use ndarray::{NDArray, TensorData};

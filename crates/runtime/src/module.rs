@@ -48,9 +48,10 @@ impl Module {
             .collect()
     }
 
-    /// Execute on the host CPU; output parameters are updated in place.
+    /// Execute on the host CPU (compiled VM, interpreter fallback); output
+    /// parameters are updated in place.
     pub fn run(&self, args: &mut [NDArray]) -> Result<(), ExecError> {
-        crate::interp::execute(&self.func, args)
+        crate::vm::run(&self.func, args)
     }
 
     /// Time `repeats` runs on `device`, returning the minimum seconds.

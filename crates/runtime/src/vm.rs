@@ -1,0 +1,499 @@
+//! Register VM executing [`CompiledFunc`] programs.
+//!
+//! The VM holds two flat register files (`i64` and `f64`) and the buffer
+//! storage; the steady state allocates nothing — error paths materialise
+//! their index vectors only on failure. Semantics are bit-identical to
+//! [`crate::interp`]: every arithmetic step, coercion, rounding and error
+//! message matches the interpreter's, which the differential tests in the
+//! workspace enforce across all PolyBench kernels.
+
+use crate::compile::{compile, Block, CompiledFunc, Instr, Item};
+use crate::interp::ExecError;
+use crate::ndarray::NDArray;
+use tvm_te::{BinOp, CmpOp, Intrinsic};
+use tvm_tir::PrimFunc;
+
+struct Vm<'a> {
+    iregs: Vec<i64>,
+    fregs: Vec<f64>,
+    cf: &'a CompiledFunc,
+}
+
+impl<'a> Vm<'a> {
+    fn exec_block(&mut self, b: &Block, storage: &mut [NDArray]) -> Result<(), ExecError> {
+        for item in &b.items {
+            match item {
+                Item::Code(code) => self.exec_code(code, storage)?,
+                Item::Loop {
+                    var,
+                    min,
+                    extent,
+                    body,
+                } => {
+                    for it in *min..(min + extent) {
+                        self.iregs[*var as usize] = it;
+                        self.exec_block(body, storage)?;
+                    }
+                }
+                Item::If { cond, then, else_ } => {
+                    if self.iregs[*cond as usize] != 0 {
+                        self.exec_block(then, storage)?;
+                    } else if let Some(e) = else_ {
+                        self.exec_block(e, storage)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_code(&mut self, code: &[Instr], storage: &mut [NDArray]) -> Result<(), ExecError> {
+        for instr in code {
+            match instr {
+                Instr::IConst(d, v) => self.iregs[*d as usize] = *v,
+                Instr::FConst(d, v) => self.fregs[*d as usize] = *v,
+                Instr::IToF(d, s) => self.fregs[*d as usize] = self.iregs[*s as usize] as f64,
+                Instr::IToF32(d, s) => {
+                    self.fregs[*d as usize] = self.iregs[*s as usize] as f64 as f32 as f64;
+                }
+                Instr::FToI(d, s) => self.iregs[*d as usize] = self.fregs[*s as usize] as i64,
+                Instr::F32Round(d, s) => {
+                    self.fregs[*d as usize] = self.fregs[*s as usize] as f32 as f64;
+                }
+                Instr::FBool(d, s) => {
+                    self.iregs[*d as usize] = (self.fregs[*s as usize] != 0.0) as i64;
+                }
+                Instr::IBin(op, d, a, b) => {
+                    let (x, y) = (self.iregs[*a as usize], self.iregs[*b as usize]);
+                    self.iregs[*d as usize] = match op {
+                        BinOp::Add => x + y,
+                        BinOp::Sub => x - y,
+                        BinOp::Mul => x * y,
+                        BinOp::Div => {
+                            if y == 0 {
+                                return Err(ExecError::BadExpr(
+                                    "integer division by zero".into(),
+                                ));
+                            }
+                            x / y
+                        }
+                        BinOp::FloorDiv => {
+                            if y == 0 {
+                                return Err(ExecError::BadExpr("floordiv by zero".into()));
+                            }
+                            x.div_euclid(y)
+                        }
+                        BinOp::FloorMod => {
+                            if y == 0 {
+                                return Err(ExecError::BadExpr("floormod by zero".into()));
+                            }
+                            x.rem_euclid(y)
+                        }
+                        BinOp::Min => x.min(y),
+                        BinOp::Max => x.max(y),
+                    };
+                }
+                Instr::FBin(op, d, a, b) => {
+                    let (x, y) = (self.fregs[*a as usize], self.fregs[*b as usize]);
+                    self.fregs[*d as usize] = fbin(*op, x, y);
+                }
+                Instr::FBin32(op, d, a, b) => {
+                    let (x, y) = (self.fregs[*a as usize], self.fregs[*b as usize]);
+                    // f32 arithmetic rounds once after the full operation,
+                    // exactly like the interpreter.
+                    self.fregs[*d as usize] = fbin(*op, x, y) as f32 as f64;
+                }
+                Instr::ICmp(op, d, a, b) => {
+                    let (x, y) = (self.iregs[*a as usize], self.iregs[*b as usize]);
+                    self.iregs[*d as usize] = icmp(*op, x, y) as i64;
+                }
+                Instr::FCmp(op, d, a, b) => {
+                    let (x, y) = (self.fregs[*a as usize], self.fregs[*b as usize]);
+                    self.iregs[*d as usize] = fcmp(*op, x, y) as i64;
+                }
+                Instr::And(d, a, b) => {
+                    self.iregs[*d as usize] =
+                        (self.iregs[*a as usize] != 0 && self.iregs[*b as usize] != 0) as i64;
+                }
+                Instr::Or(d, a, b) => {
+                    self.iregs[*d as usize] =
+                        (self.iregs[*a as usize] != 0 || self.iregs[*b as usize] != 0) as i64;
+                }
+                Instr::Not(d, a) => {
+                    self.iregs[*d as usize] = (self.iregs[*a as usize] == 0) as i64;
+                }
+                Instr::ISel(d, c, t, f) => {
+                    self.iregs[*d as usize] = if self.iregs[*c as usize] != 0 {
+                        self.iregs[*t as usize]
+                    } else {
+                        self.iregs[*f as usize]
+                    };
+                }
+                Instr::FSel(d, c, t, f) => {
+                    self.fregs[*d as usize] = if self.iregs[*c as usize] != 0 {
+                        self.fregs[*t as usize]
+                    } else {
+                        self.fregs[*f as usize]
+                    };
+                }
+                Instr::Call1(i, d, x, round) => {
+                    let x = self.fregs[*x as usize];
+                    let r = match i {
+                        Intrinsic::Sqrt => x.sqrt(),
+                        Intrinsic::Exp => x.exp(),
+                        Intrinsic::Log => x.ln(),
+                        Intrinsic::Abs => x.abs(),
+                        Intrinsic::Sin => x.sin(),
+                        Intrinsic::Cos => x.cos(),
+                        Intrinsic::Pow => unreachable!("Pow is Call2"),
+                    };
+                    self.fregs[*d as usize] = if *round { r as f32 as f64 } else { r };
+                }
+                Instr::Call2(i, d, x, y, round) => {
+                    debug_assert_eq!(*i, Intrinsic::Pow);
+                    let r = self.fregs[*x as usize].powf(self.fregs[*y as usize]);
+                    self.fregs[*d as usize] = if *round { r as f32 as f64 } else { r };
+                }
+                Instr::Bound { buf, extent, idx } => {
+                    let i = self.iregs[idx[idx.len() - 1] as usize];
+                    if i < 0 || i >= *extent {
+                        return Err(ExecError::OutOfBounds {
+                            buffer: self.cf.slot_names[*buf as usize].clone(),
+                            indices: idx.iter().map(|&r| self.iregs[r as usize]).collect(),
+                        });
+                    }
+                }
+                Instr::Load(d, buf, addr) => {
+                    let lin = self.iregs[*addr as usize] as usize;
+                    self.fregs[*d as usize] = storage[*buf as usize].get_f64_linear(lin);
+                }
+                Instr::Store(buf, addr, val) => {
+                    let lin = self.iregs[*addr as usize] as usize;
+                    storage[*buf as usize].set_f64_linear(lin, self.fregs[*val as usize]);
+                }
+                Instr::StoreChecked { buf, idx, val } => {
+                    let shape = &self.cf.slot_shapes[*buf as usize];
+                    let strides = &self.cf.slot_strides[*buf as usize];
+                    let mut lin = 0usize;
+                    for (d, &r) in idx.iter().enumerate() {
+                        let i = self.iregs[r as usize];
+                        if i < 0 || i as usize >= shape[d] {
+                            return Err(ExecError::OutOfBounds {
+                                buffer: self.cf.slot_names[*buf as usize].clone(),
+                                indices: idx.iter().map(|&r| self.iregs[r as usize]).collect(),
+                            });
+                        }
+                        lin += i as usize * strides[d];
+                    }
+                    storage[*buf as usize].set_f64_linear(lin, self.fregs[*val as usize]);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[inline]
+fn fbin(op: BinOp, x: f64, y: f64) -> f64 {
+    match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        BinOp::Div => x / y,
+        BinOp::FloorDiv => (x / y).floor(),
+        BinOp::FloorMod => x - (x / y).floor() * y,
+        BinOp::Min => x.min(y),
+        BinOp::Max => x.max(y),
+    }
+}
+
+#[inline]
+fn icmp(op: CmpOp, x: i64, y: i64) -> bool {
+    match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+    }
+}
+
+#[inline]
+fn fcmp(op: CmpOp, x: f64, y: f64) -> bool {
+    match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+    }
+}
+
+/// Execute a compiled function over `args` (one array per parameter, in
+/// order; outputs are written in place on success, untouched on failure) —
+/// the same contract and the same error classification as
+/// [`crate::interp::execute`].
+pub fn execute(cf: &CompiledFunc, args: &mut [NDArray]) -> Result<(), ExecError> {
+    if args.len() != cf.params.len() {
+        return Err(ExecError::ArityMismatch {
+            expected: cf.params.len(),
+            got: args.len(),
+        });
+    }
+    for (p, a) in cf.params.iter().zip(args.iter()) {
+        if p.shape != a.shape() {
+            return Err(ExecError::ArgMismatch {
+                name: p.name.clone(),
+                detail: format!("shape {:?} != expected {:?}", a.shape(), p.shape),
+            });
+        }
+        if p.dtype != a.dtype() {
+            return Err(ExecError::ArgMismatch {
+                name: p.name.clone(),
+                detail: format!("dtype {} != expected {}", a.dtype(), p.dtype),
+            });
+        }
+    }
+    let mut storage: Vec<NDArray> = Vec::with_capacity(cf.params.len() + cf.allocs.len());
+    for a in args.iter() {
+        storage.push(a.clone());
+    }
+    for (shape, dtype) in &cf.allocs {
+        storage.push(NDArray::zeros(shape, *dtype));
+    }
+    let mut vm = Vm {
+        iregs: vec![0; cf.n_iregs],
+        fregs: vec![0.0; cf.n_fregs],
+        cf,
+    };
+    vm.exec_block(&cf.body, &mut storage)?;
+    for (i, a) in args.iter_mut().enumerate() {
+        *a = storage[i].clone();
+    }
+    Ok(())
+}
+
+/// Execute `func` through the compiled VM when it compiles, falling back
+/// to the reference interpreter otherwise — the engine entry point behind
+/// [`crate::Module::run`] and [`crate::CpuDevice`].
+pub fn run(func: &PrimFunc, args: &mut [NDArray]) -> Result<(), ExecError> {
+    match compile(func) {
+        Ok(cf) => execute(&cf, args),
+        Err(_) => crate::interp::execute(func, args),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp;
+    use tvm_te::{compute, placeholder, reduce_axis, sum, DType, Schedule};
+    use tvm_tir::lower::lower;
+
+    fn matmul_func(n: usize, tile: i64) -> PrimFunc {
+        let a = placeholder([n, n], DType::F32, "A");
+        let b = placeholder([n, n], DType::F32, "B");
+        let k = reduce_axis(0, n as i64, "k");
+        let c = compute([n, n], "C", |i| {
+            sum(
+                a.at(&[i[0].clone(), k.var_expr()]) * b.at(&[k.var_expr(), i[1].clone()]),
+                &[k.clone()],
+            )
+        });
+        let mut s = Schedule::create(&[c.clone()]);
+        if tile > 1 {
+            let (y, x) = (c.axis(0), c.axis(1));
+            let (yo, yi) = s.split(&c, &y, tile);
+            let (xo, xi) = s.split(&c, &x, tile);
+            s.reorder(&c, &[yo, xo, k.clone(), yi, xi]);
+        }
+        lower(&s, &[a, b, c], "mm")
+    }
+
+    fn differential(f: &PrimFunc, args: &[NDArray]) {
+        let mut a1: Vec<NDArray> = args.to_vec();
+        let mut a2: Vec<NDArray> = args.to_vec();
+        let r1 = interp::execute(f, &mut a1);
+        let cf = compile(f).expect("compile");
+        let r2 = execute(&cf, &mut a2);
+        assert_eq!(r1, r2, "error classification must match the interpreter");
+        for (x, y) in a1.iter().zip(a2.iter()) {
+            assert_eq!(x, y, "outputs must be bit-identical to the interpreter");
+        }
+    }
+
+    #[test]
+    fn matmul_bit_identical_to_interp() {
+        for (n, tile) in [(12usize, 1i64), (16, 4), (10, 3)] {
+            let f = matmul_func(n, tile);
+            let args = vec![
+                NDArray::random(&[n, n], DType::F32, 1, -1.0, 1.0),
+                NDArray::random(&[n, n], DType::F32, 2, -1.0, 1.0),
+                NDArray::zeros(&[n, n], DType::F32),
+            ];
+            differential(&f, &args);
+        }
+    }
+
+    #[test]
+    fn intermediate_alloc_chain_matches() {
+        let a = placeholder([4], DType::F32, "A");
+        let t = compute([4], "T", |i| a.at(&[i[0].clone()]) * 2i64);
+        let o = compute([4], "O", |i| t.at(&[i[0].clone()]) + 1i64);
+        let s = Schedule::create(&[o.clone()]);
+        let f = lower(&s, &[a, o], "chain");
+        let args = vec![
+            NDArray::from_f32(&[4], &[1.0, 2.0, 3.0, 4.0]),
+            NDArray::zeros(&[4], DType::F32),
+        ];
+        differential(&f, &args);
+        let mut run_args = args.clone();
+        run(&f, &mut run_args).expect("run");
+        assert_eq!(run_args[1].to_f64_vec(), vec![3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn arity_shape_dtype_errors_match() {
+        let a = placeholder([2], DType::F32, "A");
+        let b = compute([2], "B", |i| a.at(&[i[0].clone()]));
+        let s = Schedule::create(&[b.clone()]);
+        let f = lower(&s, &[a, b], "id");
+        let cf = compile(&f).expect("compile");
+        // Arity.
+        let mut one = vec![NDArray::zeros(&[2], DType::F32)];
+        assert_eq!(
+            execute(&cf, &mut one),
+            interp::execute(&f, &mut one.clone())
+        );
+        // Shape.
+        let mut bad_shape = vec![
+            NDArray::zeros(&[3], DType::F32),
+            NDArray::zeros(&[2], DType::F32),
+        ];
+        assert_eq!(
+            execute(&cf, &mut bad_shape),
+            interp::execute(&f, &mut bad_shape.clone())
+        );
+        // DType.
+        let mut bad_dtype = vec![
+            NDArray::zeros(&[2], DType::F64),
+            NDArray::zeros(&[2], DType::F32),
+        ];
+        assert_eq!(
+            execute(&cf, &mut bad_dtype),
+            interp::execute(&f, &mut bad_dtype.clone())
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_matches_interp() {
+        use tvm_tir::builder::{ser, store, FuncBuilder};
+        let a = placeholder([4], DType::F32, "A");
+        let mut fb = FuncBuilder::new("oob");
+        let ab = fb.param(&a);
+        let body = ser("i", 5, |i| {
+            store(&ab, &[i], tvm_te::PrimExpr::FloatImm(1.0, DType::F32))
+        });
+        let f = fb.build(body);
+        let args = vec![NDArray::zeros(&[4], DType::F32)];
+        differential(&f, &args);
+        // And the error really is OutOfBounds with the full index vector.
+        let cf = compile(&f).expect("compile");
+        let mut a2 = args.clone();
+        let err = execute(&cf, &mut a2).expect_err("oob");
+        assert_eq!(
+            err,
+            ExecError::OutOfBounds {
+                buffer: "A".into(),
+                indices: vec![4],
+            }
+        );
+        // Failed runs leave the caller's arrays untouched.
+        assert_eq!(a2[0], args[0]);
+    }
+
+    #[test]
+    fn in_place_builder_kernel_matches() {
+        use tvm_tir::builder::{ser, store, FuncBuilder};
+        let a = placeholder([4], DType::F32, "A");
+        let mut fb = FuncBuilder::new("inc");
+        let ab = fb.param(&a);
+        let body = ser("i", 4, |i| {
+            store(
+                &ab,
+                &[i.clone()],
+                a.at(&[i.clone()]) + tvm_te::cast(DType::F32, i),
+            )
+        });
+        let f = fb.build(body);
+        let args = vec![NDArray::from_f32(&[4], &[10.0, 10.0, 10.0, 10.0])];
+        differential(&f, &args);
+    }
+
+    #[test]
+    fn max_reduction_matches() {
+        use tvm_te::max_reduce;
+        let a = placeholder([3, 4], DType::F32, "A");
+        let k = reduce_axis(0, 4, "k");
+        let m = compute([3], "M", |i| {
+            max_reduce(a.at(&[i[0].clone(), k.var_expr()]), &[k.clone()])
+        });
+        let s = Schedule::create(&[m.clone()]);
+        let f = lower(&s, &[a, m], "rowmax");
+        let args = vec![
+            NDArray::from_f32(
+                &[3, 4],
+                &[1.0, 9.0, 2.0, 3.0, -5.0, -1.0, -9.0, -2.0, 0.0, 0.5, 0.25, 0.75],
+            ),
+            NDArray::zeros(&[3], DType::F32),
+        ];
+        differential(&f, &args);
+    }
+
+    #[test]
+    fn division_by_zero_matches_interp() {
+        use tvm_tir::builder::{ser, store, FuncBuilder};
+        let a = placeholder([4], DType::F32, "A");
+        let mut fb = FuncBuilder::new("divz");
+        let ab = fb.param(&a);
+        let body = ser("i", 4, |i| {
+            // i / (i - i): divisor is a non-literal zero, caught at runtime.
+            let zero = i.clone() - i.clone();
+            store(&ab, &[i.clone() / zero], a.at(&[i]))
+        });
+        let f = fb.build(body);
+        let args = vec![NDArray::zeros(&[4], DType::F32)];
+        differential(&f, &args);
+    }
+
+    #[test]
+    fn run_falls_back_to_interp_on_reject() {
+        use tvm_te::PrimExpr;
+        use tvm_tir::Stmt;
+        let buf = tvm_tir::Buffer::new("A", vec![1usize], DType::F32);
+        let f = PrimFunc {
+            name: "bad".into(),
+            params: vec![buf.clone()],
+            allocs: vec![],
+            body: Stmt::BufferStore {
+                buffer: buf,
+                indices: vec![PrimExpr::IntImm(0, DType::I64)],
+                value: PrimExpr::Reduce {
+                    combiner: tvm_te::Combiner::Sum,
+                    source: std::sync::Arc::new(PrimExpr::FloatImm(0.0, DType::F32)),
+                    axes: vec![],
+                },
+            },
+        };
+        let mut args = vec![NDArray::zeros(&[1], DType::F32)];
+        // The VM rejects at compile time; `run` must fall back and report
+        // the interpreter's own BadExpr.
+        let err = run(&f, &mut args).expect_err("reduce");
+        assert_eq!(
+            err,
+            ExecError::BadExpr("Reduce must be lowered before execution".into())
+        );
+    }
+}

@@ -89,9 +89,48 @@ impl RandomForest {
         (mean, var.sqrt())
     }
 
-    /// Batch version of [`RandomForest::predict_with_std`].
+    /// Batch version of [`RandomForest::predict_with_std`]: rows are
+    /// scored in parallel chunks on the rayon pool. Per-row arithmetic is
+    /// untouched, so results are bit-for-bit identical to scoring each
+    /// row with [`RandomForest::predict_with_std`] sequentially.
     pub fn predict_with_std_batch(&self, rows: &[Vec<f64>]) -> Vec<(f64, f64)> {
-        rows.iter().map(|r| self.predict_with_std(r)).collect()
+        // Chunked so small batches (and the tail) don't pay per-row task
+        // overhead; order is preserved by `par_chunks`' collect.
+        const CHUNK: usize = 64;
+        if rows.len() <= CHUNK {
+            return rows.iter().map(|r| self.predict_with_std(r)).collect();
+        }
+        rows.par_chunks(CHUNK)
+            .flat_map_iter(|chunk| chunk.iter().map(|r| self.predict_with_std(r)))
+            .collect()
+    }
+
+    /// Fit one tree of the ensemble: bootstrap draw + tree fit, seeded
+    /// only by `(forest seed, tree index)` so the result is independent
+    /// of whether trees are fitted sequentially or in parallel.
+    fn fit_one_tree(&self, t: usize, x: &[Vec<f64>], y: &[f64], max_features: usize) -> RegressionTree {
+        let n = x.len();
+        let tree_seed = self
+            .seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(t as u64 + 1);
+        let mut rng = SmallRng::seed_from_u64(tree_seed);
+        let (bx, by): (Vec<Vec<f64>>, Vec<f64>) = if self.bootstrap {
+            (0..n)
+                .map(|_| {
+                    let i = rng.gen_range(0..n);
+                    (x[i].clone(), y[i])
+                })
+                .unzip()
+        } else {
+            (x.to_vec(), y.to_vec())
+        };
+        let mut tree = RegressionTree::new(self.max_depth)
+            .with_min_samples_leaf(self.min_samples_leaf)
+            .with_max_features(max_features)
+            .with_seed(tree_seed ^ 0xABCD);
+        tree.fit(&bx, &by);
+        tree
     }
 }
 
@@ -99,45 +138,18 @@ impl Regressor for RandomForest {
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
         assert_eq!(x.len(), y.len());
         assert!(!x.is_empty(), "cannot fit on an empty dataset");
-        let n = x.len();
         let n_feat = x[0].len();
         let max_features = self
             .max_features
             .unwrap_or_else(|| n_feat.div_ceil(3))
             .min(n_feat);
-        let (max_depth, min_leaf, bootstrap, seed) = (
-            self.max_depth,
-            self.min_samples_leaf,
-            self.bootstrap,
-            self.seed,
-        );
         // Trees are independent: fit in parallel (rayon), deterministic
         // via per-tree seeds.
-        self.trees = (0..self.n_trees)
+        let trees: Vec<RegressionTree> = (0..self.n_trees)
             .into_par_iter()
-            .map(|t| {
-                let tree_seed = seed
-                    .wrapping_mul(0x9E3779B97F4A7C15)
-                    .wrapping_add(t as u64 + 1);
-                let mut rng = SmallRng::seed_from_u64(tree_seed);
-                let (bx, by): (Vec<Vec<f64>>, Vec<f64>) = if bootstrap {
-                    (0..n)
-                        .map(|_| {
-                            let i = rng.gen_range(0..n);
-                            (x[i].clone(), y[i])
-                        })
-                        .unzip()
-                } else {
-                    (x.to_vec(), y.to_vec())
-                };
-                let mut tree = RegressionTree::new(max_depth)
-                    .with_min_samples_leaf(min_leaf)
-                    .with_max_features(max_features)
-                    .with_seed(tree_seed ^ 0xABCD);
-                tree.fit(&bx, &by);
-                tree
-            })
+            .map(|t| self.fit_one_tree(t, x, y, max_features))
             .collect();
+        self.trees = trees;
     }
 
     fn predict_one(&self, row: &[f64]) -> f64 {
@@ -214,5 +226,47 @@ mod tests {
     fn predict_before_fit_panics() {
         let rf = RandomForest::new(3);
         let _ = rf.predict_with_std(&[0.0]);
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical_to_sequential() {
+        // The parallel fit must be indistinguishable from fitting the
+        // trees one by one in index order with the same per-tree seeds.
+        let (x, y) = quadratic(80);
+        let mut rf = RandomForest::new(24).with_seed(9);
+        rf.fit(&x, &y);
+
+        let mut serial = RandomForest::new(24).with_seed(9);
+        let n_feat = x[0].len();
+        let max_features = serial
+            .max_features
+            .unwrap_or_else(|| n_feat.div_ceil(3))
+            .min(n_feat);
+        let trees: Vec<RegressionTree> = (0..serial.n_trees)
+            .map(|t| serial.fit_one_tree(t, &x, &y, max_features))
+            .collect();
+        serial.trees = trees;
+
+        for row in &x {
+            assert_eq!(rf.predict_with_std(row), serial.predict_with_std(row));
+        }
+    }
+
+    #[test]
+    fn batch_predict_is_bit_identical_to_per_row() {
+        let (x, y) = quadratic(70);
+        let mut rf = RandomForest::new(16).with_seed(21);
+        rf.fit(&x, &y);
+        // Enough rows to cross the parallel-chunk threshold, with a
+        // ragged tail.
+        let rows: Vec<Vec<f64>> = (0..333).map(|i| vec![i as f64 / 100.0]).collect();
+        let batch = rf.predict_with_std_batch(&rows);
+        let serial: Vec<(f64, f64)> = rows.iter().map(|r| rf.predict_with_std(r)).collect();
+        assert_eq!(batch, serial);
+        // The small-batch (sequential) path agrees too.
+        assert_eq!(
+            rf.predict_with_std_batch(&rows[..5]),
+            serial[..5].to_vec()
+        );
     }
 }

@@ -4,7 +4,7 @@ use crate::dtype::DType;
 use crate::reduce::Combiner;
 use crate::tensor::Tensor;
 use crate::var::{IterVar, Var};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Binary arithmetic operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -88,7 +88,7 @@ impl Intrinsic {
 
 /// A scalar expression tree.
 ///
-/// Children are held behind [`Rc`], so cloning an expression is O(1) and the
+/// Children are held behind [`Arc`], so cloning an expression is O(1) and the
 /// lowering passes can freely share subtrees.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PrimExpr {
@@ -101,19 +101,19 @@ pub enum PrimExpr {
     /// Reference to a scalar variable.
     Var(Var),
     /// Binary arithmetic.
-    Binary(BinOp, Rc<PrimExpr>, Rc<PrimExpr>),
+    Binary(BinOp, Arc<PrimExpr>, Arc<PrimExpr>),
     /// Comparison (yields `Bool`).
-    Cmp(CmpOp, Rc<PrimExpr>, Rc<PrimExpr>),
+    Cmp(CmpOp, Arc<PrimExpr>, Arc<PrimExpr>),
     /// Logical and.
-    And(Rc<PrimExpr>, Rc<PrimExpr>),
+    And(Arc<PrimExpr>, Arc<PrimExpr>),
     /// Logical or.
-    Or(Rc<PrimExpr>, Rc<PrimExpr>),
+    Or(Arc<PrimExpr>, Arc<PrimExpr>),
     /// Logical not.
-    Not(Rc<PrimExpr>),
+    Not(Arc<PrimExpr>),
     /// `if cond { then } else { other }` as a value.
-    Select(Rc<PrimExpr>, Rc<PrimExpr>, Rc<PrimExpr>),
+    Select(Arc<PrimExpr>, Arc<PrimExpr>, Arc<PrimExpr>),
     /// Type conversion.
-    Cast(DType, Rc<PrimExpr>),
+    Cast(DType, Arc<PrimExpr>),
     /// Math intrinsic call.
     Call(Intrinsic, Vec<PrimExpr>),
     /// Element read from a producer tensor: `T[i0, i1, ...]`.
@@ -124,7 +124,7 @@ pub enum PrimExpr {
         /// Combining function and its identity element.
         combiner: Combiner,
         /// Expression reduced at each point of the reduction domain.
-        source: Rc<PrimExpr>,
+        source: Arc<PrimExpr>,
         /// Reduction axes.
         axes: Vec<IterVar>,
     },
@@ -190,12 +190,12 @@ impl PrimExpr {
 
     /// Binary-op helper used by the `ops` module and lowering.
     pub fn binary(op: BinOp, a: PrimExpr, b: PrimExpr) -> PrimExpr {
-        PrimExpr::Binary(op, Rc::new(a), Rc::new(b))
+        PrimExpr::Binary(op, Arc::new(a), Arc::new(b))
     }
 
     /// Comparison helper.
     pub fn cmp(op: CmpOp, a: PrimExpr, b: PrimExpr) -> PrimExpr {
-        PrimExpr::Cmp(op, Rc::new(a), Rc::new(b))
+        PrimExpr::Cmp(op, Arc::new(a), Arc::new(b))
     }
 }
 

@@ -3,7 +3,7 @@
 use crate::dtype::DType;
 use crate::expr::{BinOp, CmpOp, Intrinsic, PrimExpr};
 use std::ops::{Add, Div, Mul, Neg, Sub};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// `I64` integer literal.
 pub fn int(v: i64) -> PrimExpr {
@@ -41,12 +41,12 @@ pub fn select(
     t: impl Into<PrimExpr>,
     f: impl Into<PrimExpr>,
 ) -> PrimExpr {
-    PrimExpr::Select(Rc::new(cond.into()), Rc::new(t.into()), Rc::new(f.into()))
+    PrimExpr::Select(Arc::new(cond.into()), Arc::new(t.into()), Arc::new(f.into()))
 }
 
 /// Convert `e` to `dtype`.
 pub fn cast(dtype: DType, e: impl Into<PrimExpr>) -> PrimExpr {
-    PrimExpr::Cast(dtype, Rc::new(e.into()))
+    PrimExpr::Cast(dtype, Arc::new(e.into()))
 }
 
 /// `sqrt(x)`.
@@ -161,15 +161,15 @@ pub mod cmp {
     }
     /// `a && b`
     pub fn and(a: impl Into<PrimExpr>, b: impl Into<PrimExpr>) -> PrimExpr {
-        PrimExpr::And(Rc::new(a.into()), Rc::new(b.into()))
+        PrimExpr::And(Arc::new(a.into()), Arc::new(b.into()))
     }
     /// `a || b`
     pub fn or(a: impl Into<PrimExpr>, b: impl Into<PrimExpr>) -> PrimExpr {
-        PrimExpr::Or(Rc::new(a.into()), Rc::new(b.into()))
+        PrimExpr::Or(Arc::new(a.into()), Arc::new(b.into()))
     }
     /// `!a`
     pub fn not(a: impl Into<PrimExpr>) -> PrimExpr {
-        PrimExpr::Not(Rc::new(a.into()))
+        PrimExpr::Not(Arc::new(a.into()))
     }
 }
 

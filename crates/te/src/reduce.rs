@@ -2,7 +2,7 @@
 
 use crate::expr::PrimExpr;
 use crate::var::IterVar;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A commutative, associative combining function for reductions, together
 /// with its identity element.
@@ -63,7 +63,7 @@ fn reduce(combiner: Combiner, source: PrimExpr, axes: &[IterVar]) -> PrimExpr {
     }
     PrimExpr::Reduce {
         combiner,
-        source: Rc::new(source),
+        source: Arc::new(source),
         axes: axes.to_vec(),
     }
 }

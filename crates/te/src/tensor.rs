@@ -4,7 +4,7 @@ use crate::dtype::DType;
 use crate::expr::PrimExpr;
 use crate::var::{IterVar, IterVarType};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static NEXT_OP_ID: AtomicU64 = AtomicU64::new(1);
@@ -72,7 +72,7 @@ impl Op {
 #[derive(Clone)]
 pub struct Tensor {
     /// Producing operation.
-    pub op: Rc<Op>,
+    pub op: Arc<Op>,
 }
 
 impl Tensor {
@@ -186,7 +186,7 @@ pub fn placeholder(
     let shape = shape.into();
     assert!(!shape.is_empty(), "placeholder must have rank >= 1");
     Tensor {
-        op: Rc::new(Op {
+        op: Arc::new(Op {
             id: NEXT_OP_ID.fetch_add(1, Ordering::Relaxed),
             name: name.into(),
             shape,
@@ -281,7 +281,7 @@ fn compute_from_parts(
     };
     let dtype = body.dtype();
     Tensor {
-        op: Rc::new(Op {
+        op: Arc::new(Op {
             id: NEXT_OP_ID.fetch_add(1, Ordering::Relaxed),
             name,
             shape,

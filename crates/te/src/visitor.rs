@@ -3,7 +3,7 @@
 use crate::expr::PrimExpr;
 use crate::var::Var;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Pre-order visit of every node in `expr` (including `expr` itself).
 pub fn walk(expr: &PrimExpr, f: &mut impl FnMut(&PrimExpr)) {
@@ -50,19 +50,19 @@ pub fn rewrite(expr: &PrimExpr, f: &mut impl FnMut(&PrimExpr) -> Option<PrimExpr
         | PrimExpr::BoolImm(_)
         | PrimExpr::Var(_) => expr.clone(),
         PrimExpr::Binary(op, a, b) => {
-            PrimExpr::Binary(*op, Rc::new(rewrite(a, f)), Rc::new(rewrite(b, f)))
+            PrimExpr::Binary(*op, Arc::new(rewrite(a, f)), Arc::new(rewrite(b, f)))
         }
         PrimExpr::Cmp(op, a, b) => {
-            PrimExpr::Cmp(*op, Rc::new(rewrite(a, f)), Rc::new(rewrite(b, f)))
+            PrimExpr::Cmp(*op, Arc::new(rewrite(a, f)), Arc::new(rewrite(b, f)))
         }
-        PrimExpr::And(a, b) => PrimExpr::And(Rc::new(rewrite(a, f)), Rc::new(rewrite(b, f))),
-        PrimExpr::Or(a, b) => PrimExpr::Or(Rc::new(rewrite(a, f)), Rc::new(rewrite(b, f))),
-        PrimExpr::Not(a) => PrimExpr::Not(Rc::new(rewrite(a, f))),
-        PrimExpr::Cast(t, a) => PrimExpr::Cast(*t, Rc::new(rewrite(a, f))),
+        PrimExpr::And(a, b) => PrimExpr::And(Arc::new(rewrite(a, f)), Arc::new(rewrite(b, f))),
+        PrimExpr::Or(a, b) => PrimExpr::Or(Arc::new(rewrite(a, f)), Arc::new(rewrite(b, f))),
+        PrimExpr::Not(a) => PrimExpr::Not(Arc::new(rewrite(a, f))),
+        PrimExpr::Cast(t, a) => PrimExpr::Cast(*t, Arc::new(rewrite(a, f))),
         PrimExpr::Select(c, t, e) => PrimExpr::Select(
-            Rc::new(rewrite(c, f)),
-            Rc::new(rewrite(t, f)),
-            Rc::new(rewrite(e, f)),
+            Arc::new(rewrite(c, f)),
+            Arc::new(rewrite(t, f)),
+            Arc::new(rewrite(e, f)),
         ),
         PrimExpr::Call(i, args) => {
             PrimExpr::Call(*i, args.iter().map(|a| rewrite(a, f)).collect())
@@ -76,7 +76,7 @@ pub fn rewrite(expr: &PrimExpr, f: &mut impl FnMut(&PrimExpr) -> Option<PrimExpr
             axes,
         } => PrimExpr::Reduce {
             combiner: *combiner,
-            source: Rc::new(rewrite(source, f)),
+            source: Arc::new(rewrite(source, f)),
             axes: axes.clone(),
         },
     };

@@ -268,7 +268,7 @@ fn collect(
             collect(then, loops, guards, out);
             guards.pop();
             if let Some(e) = else_ {
-                guards.push(PrimExpr::Not(std::rc::Rc::new(cond.clone())));
+                guards.push(PrimExpr::Not(std::sync::Arc::new(cond.clone())));
                 collect(e, loops, guards, out);
                 guards.pop();
             }

@@ -1,7 +1,7 @@
 //! Memory buffers referenced by TIR statements.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use tvm_te::{DType, Tensor};
 
@@ -28,8 +28,8 @@ pub struct Buffer {
 
 impl Buffer {
     /// Buffer backing a TE tensor.
-    pub fn from_tensor(t: &Tensor) -> Rc<Buffer> {
-        Rc::new(Buffer {
+    pub fn from_tensor(t: &Tensor) -> Arc<Buffer> {
+        Arc::new(Buffer {
             id: NEXT_BUF_ID.fetch_add(1, Ordering::Relaxed),
             source_op: t.op.id,
             name: t.name().to_string(),
@@ -39,8 +39,8 @@ impl Buffer {
     }
 
     /// Free-standing buffer (used by the imperative [`crate::builder`]).
-    pub fn new(name: impl Into<String>, shape: impl Into<Vec<usize>>, dtype: DType) -> Rc<Buffer> {
-        Rc::new(Buffer {
+    pub fn new(name: impl Into<String>, shape: impl Into<Vec<usize>>, dtype: DType) -> Arc<Buffer> {
+        Arc::new(Buffer {
             id: NEXT_BUF_ID.fetch_add(1, Ordering::Relaxed),
             source_op: 0,
             name: name.into(),

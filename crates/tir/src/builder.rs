@@ -9,13 +9,13 @@
 
 use crate::buffer::Buffer;
 use crate::stmt::{ForKind, PrimFunc, Stmt};
-use std::rc::Rc;
+use std::sync::Arc;
 use tvm_te::{PrimExpr, Tensor, Var};
 
 /// Builder for hand-constructed TIR functions.
 pub struct FuncBuilder {
     name: String,
-    params: Vec<Rc<Buffer>>,
+    params: Vec<Arc<Buffer>>,
 }
 
 impl FuncBuilder {
@@ -29,7 +29,7 @@ impl FuncBuilder {
 
     /// Register a parameter tensor; returns its backing buffer for use in
     /// [`store`]. Parameters appear in registration order.
-    pub fn param(&mut self, t: &Tensor) -> Rc<Buffer> {
+    pub fn param(&mut self, t: &Tensor) -> Arc<Buffer> {
         let b = Buffer::from_tensor(t);
         self.params.push(b.clone());
         b
@@ -95,7 +95,7 @@ pub fn ser2(
 }
 
 /// Store `value` into `buffer[indices]`.
-pub fn store(buffer: &Rc<Buffer>, indices: &[PrimExpr], value: PrimExpr) -> Stmt {
+pub fn store(buffer: &Arc<Buffer>, indices: &[PrimExpr], value: PrimExpr) -> Stmt {
     Stmt::BufferStore {
         buffer: buffer.clone(),
         indices: indices.to_vec(),

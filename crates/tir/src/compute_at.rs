@@ -16,7 +16,7 @@ use crate::analysis::eval_int;
 use crate::buffer::Buffer;
 use crate::stmt::{ForKind, Stmt};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use tvm_te::ops::cmp;
 use tvm_te::visitor::{substitute, walk};
 use tvm_te::{Combiner, DType, IterVar, OpKind, PrimExpr, Stage, Var};
@@ -157,7 +157,7 @@ pub(crate) fn attached_region_stmt(
     consumer: &Stage,
     attach_pos: usize,
     consumer_value: &PrimExpr,
-    buf_of: &HashMap<u64, Rc<Buffer>>,
+    buf_of: &HashMap<u64, Arc<Buffer>>,
 ) -> Stmt {
     let ptensor = &producer.tensor;
     let buf = buf_of

@@ -3,7 +3,7 @@
 use crate::buffer::Buffer;
 use crate::stmt::{ForKind, PrimFunc, Stmt};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use tvm_te::schedule::{IterVarAttr, Stage};
 use tvm_te::visitor::substitute;
 use tvm_te::{Combiner, DType, OpKind, PrimExpr, Schedule, Tensor, Var};
@@ -61,15 +61,15 @@ pub fn lower_with_options(
     }
 
     // Buffer per argument tensor, in caller order.
-    let mut buf_of: HashMap<u64, Rc<Buffer>> = HashMap::new();
-    let mut params: Vec<Rc<Buffer>> = Vec::new();
+    let mut buf_of: HashMap<u64, Arc<Buffer>> = HashMap::new();
+    let mut params: Vec<Arc<Buffer>> = Vec::new();
     for a in args {
         let b = Buffer::from_tensor(a);
         buf_of.insert(a.op.id, b.clone());
         params.push(b);
     }
     // Intermediate stages not exposed as params get internal allocations.
-    let mut allocs: Vec<Rc<Buffer>> = Vec::new();
+    let mut allocs: Vec<Arc<Buffer>> = Vec::new();
     for st in &schedule.stages {
         let t = &st.tensor;
         if !buf_of.contains_key(&t.op.id) {
@@ -149,7 +149,7 @@ fn combine_expr(c: Combiner, acc: PrimExpr, x: PrimExpr) -> PrimExpr {
     PrimExpr::binary(op, acc, x)
 }
 
-fn lower_stage(stage: &Stage, buf_of: &HashMap<u64, Rc<Buffer>>, attached: &[&Stage]) -> Stmt {
+fn lower_stage(stage: &Stage, buf_of: &HashMap<u64, Arc<Buffer>>, attached: &[&Stage]) -> Stmt {
     let tensor = &stage.tensor;
     let out_buf = buf_of
         .get(&tensor.op.id)

@@ -158,7 +158,7 @@ mod tests {
     use tvm_te::ops::int;
     use tvm_te::{DType, Var};
 
-    fn func_with_body(body: Stmt, bufs: Vec<std::rc::Rc<Buffer>>) -> PrimFunc {
+    fn func_with_body(body: Stmt, bufs: Vec<std::sync::Arc<Buffer>>) -> PrimFunc {
         PrimFunc {
             name: "t".into(),
             params: bufs,

@@ -1,7 +1,7 @@
 //! TIR statements and functions.
 
 use crate::buffer::Buffer;
-use std::rc::Rc;
+use std::sync::Arc;
 use tvm_te::schedule::ThreadTag;
 use tvm_te::{PrimExpr, Var};
 
@@ -56,7 +56,7 @@ pub enum Stmt {
     /// `buffer[indices...] = value`
     BufferStore {
         /// Destination buffer.
-        buffer: Rc<Buffer>,
+        buffer: Arc<Buffer>,
         /// One index expression per buffer dimension.
         indices: Vec<PrimExpr>,
         /// Stored value.
@@ -152,16 +152,16 @@ pub struct PrimFunc {
     pub name: String,
     /// Parameter buffers: inputs first, then outputs (calling convention of
     /// `tvm_runtime::Module::run`).
-    pub params: Vec<Rc<Buffer>>,
+    pub params: Vec<Arc<Buffer>>,
     /// Buffers allocated internally (intermediate stages).
-    pub allocs: Vec<Rc<Buffer>>,
+    pub allocs: Vec<Arc<Buffer>>,
     /// Function body.
     pub body: Stmt,
 }
 
 impl PrimFunc {
     /// All buffers the function touches: params then allocs.
-    pub fn all_buffers(&self) -> Vec<Rc<Buffer>> {
+    pub fn all_buffers(&self) -> Vec<Arc<Buffer>> {
         let mut v = self.params.clone();
         v.extend(self.allocs.iter().cloned());
         v

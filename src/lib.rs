@@ -66,9 +66,10 @@ pub mod prelude {
     pub use crate::adapter::YtoptTuner;
     pub use crate::evaluator::{EvalMode, MoldEvaluator};
     pub use autotvm::{
-        resume_from_journal, tune, tune_journaled, Evaluator, FaultInjector, FaultPlan, GaTuner,
-        GridSearchTuner, HarnessOptions, HarnessedEvaluator, MeasureError, MeasureResult,
-        RandomTuner, RetryPolicy, TuneOptions, Tuner, TuningResult, XgbTuner,
+        resume_from_journal, tune, tune_journaled, tune_parallel, CacheStats, Evaluator,
+        FaultInjector, FaultPlan, GaTuner, GridSearchTuner, HarnessOptions, HarnessedEvaluator,
+        MeasureError, MeasureResult, RandomTuner, RetryPolicy, TuneOptions, Tuner, TuningResult,
+        XgbTuner,
     };
     pub use configspace::{ConfigSpace, Configuration, Hyperparameter, ParamValue};
     pub use gpu_sim::{GpuSpec, SimDevice};
