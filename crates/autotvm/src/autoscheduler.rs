@@ -26,7 +26,7 @@ fn divisors(n: u64) -> Vec<i64> {
     let mut large = Vec::new();
     let mut d = 1u64;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             small.push(d as i64);
             if d * d != n {
                 large.push((n / d) as i64);
@@ -129,8 +129,7 @@ impl AutoScheduler {
             "configuration {config} is not in the generated space"
         );
         let mut s = Schedule::create(&self.outputs);
-        let stage_tensors: Vec<Tensor> =
-            s.stages.iter().map(|st| st.tensor.clone()).collect();
+        let stage_tensors: Vec<Tensor> = s.stages.iter().map(|st| st.tensor.clone()).collect();
         for t in &stage_tensors {
             let axes = t.axes();
             let raxes = t.reduce_axes();
@@ -194,7 +193,9 @@ mod tests {
     #[test]
     fn multi_stage_graph_gets_per_stage_knobs() {
         let (mut args, c) = matmul_graph(12, 18, 8);
-        let o = compute([12, 18], "O", |i| c.at(&[i[0].clone(), i[1].clone()]) + 1i64);
+        let o = compute([12, 18], "O", |i| {
+            c.at(&[i[0].clone(), i[1].clone()]) + 1i64
+        });
         args.pop();
         args.push(o.clone());
         let auto = AutoScheduler::new(&[o], &args, "mm_relu");

@@ -10,7 +10,7 @@
 //! history), so a killed-and-resumed run follows the identical remaining
 //! trajectory as an uninterrupted one.
 
-use crate::measure::{CacheStats, Evaluator, MeasureResult};
+use crate::measure::{CacheStats, Evaluator, MeasureResult, StaticCheckStats};
 use crate::tuner::Tuner;
 use configspace::Configuration;
 use rayon::prelude::*;
@@ -76,6 +76,9 @@ pub struct TuningResult {
     /// Hit/miss counters of the evaluator's lowering/compilation memo
     /// cache, when it keeps one.
     pub cache: Option<CacheStats>,
+    /// Accept/reject counters of the evaluator's static schedule-safety
+    /// analyzer, when it runs one.
+    pub static_checks: Option<StaticCheckStats>,
 }
 
 impl TuningResult {
@@ -130,8 +133,7 @@ impl TuningResult {
 /// CPU time training is charged for it, exactly as in the paper's
 /// "overall autotuning process time".
 pub fn tune(tuner: &mut dyn Tuner, evaluator: &dyn Evaluator, opts: TuneOptions) -> TuningResult {
-    tune_inner(tuner, evaluator, opts, None, Vec::new())
-        .expect("journal-free tuning cannot do I/O")
+    tune_inner(tuner, evaluator, opts, None, Vec::new()).expect("journal-free tuning cannot do I/O")
 }
 
 /// Like [`tune`], but write every completed trial to a crash-consistent
@@ -274,6 +276,7 @@ fn tune_inner(
         think_s: think,
         replayed,
         cache: evaluator.cache_stats(),
+        static_checks: evaluator.static_check_stats(),
     })
 }
 
@@ -319,18 +322,16 @@ pub fn tune_parallel<E: Evaluator + Sync>(
         let results: Vec<MeasureResult> = batch
             .par_iter()
             .map(|cfg| {
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    evaluator.evaluate(cfg)
-                }))
-                .unwrap_or_else(|payload| {
-                    MeasureResult::fail(
-                        MeasureError::RuntimeCrash(format!(
-                            "measurement worker panicked: {}",
-                            panic_message(payload.as_ref())
-                        )),
-                        0.0,
-                    )
-                })
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| evaluator.evaluate(cfg)))
+                    .unwrap_or_else(|payload| {
+                        MeasureResult::fail(
+                            MeasureError::RuntimeCrash(format!(
+                                "measurement worker panicked: {}",
+                                panic_message(payload.as_ref())
+                            )),
+                            0.0,
+                        )
+                    })
             })
             .collect();
 
@@ -365,6 +366,7 @@ pub fn tune_parallel<E: Evaluator + Sync>(
         think_s: think,
         replayed: 0,
         cache: evaluator.cache_stats(),
+        static_checks: evaluator.static_check_stats(),
     }
 }
 
@@ -532,9 +534,8 @@ mod tests {
         let seq = tune(&mut t_seq, &ev, opts);
         let mut t_par = GridSearchTuner::new(space());
         let par = tune_parallel(&mut t_par, &ev, opts);
-        let keys = |r: &TuningResult| -> Vec<String> {
-            r.trials.iter().map(|t| t.config.key()).collect()
-        };
+        let keys =
+            |r: &TuningResult| -> Vec<String> { r.trials.iter().map(|t| t.config.key()).collect() };
         assert_eq!(keys(&seq), keys(&par), "same proposals, same order");
         assert_eq!(
             seq.best().expect("best").config.key(),
@@ -639,9 +640,8 @@ mod tests {
         assert_eq!(resumed.replayed, 16);
         assert_eq!(TrialJournal::load(&path).expect("load").len(), 40);
 
-        let keys = |r: &TuningResult| -> Vec<String> {
-            r.trials.iter().map(|t| t.config.key()).collect()
-        };
+        let keys =
+            |r: &TuningResult| -> Vec<String> { r.trials.iter().map(|t| t.config.key()).collect() };
         assert_eq!(keys(&full), keys(&resumed), "identical trajectory");
         assert_eq!(
             full.best().expect("best").config.key(),

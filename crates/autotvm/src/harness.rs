@@ -74,7 +74,7 @@ impl RetryPolicy {
 }
 
 /// Harness knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct HarnessOptions {
     /// Wall-clock limit per evaluation attempt, seconds. `None` disables
     /// the watchdog (evaluations then run on the caller's thread).
@@ -84,16 +84,6 @@ pub struct HarnessOptions {
     /// When true, backoff waits really sleep; when false (default, for
     /// simulated evaluators) they are only *charged* to process time.
     pub sleep_on_backoff: bool,
-}
-
-impl Default for HarnessOptions {
-    fn default() -> Self {
-        HarnessOptions {
-            timeout_s: None,
-            retry: RetryPolicy::default(),
-            sleep_on_backoff: false,
-        }
-    }
 }
 
 /// Fault-tolerance wrapper around any evaluator.
@@ -248,6 +238,10 @@ impl<E: Evaluator + Send + Sync + 'static> Evaluator for HarnessedEvaluator<E> {
     fn cache_stats(&self) -> Option<ytopt_bo::problem::CacheStats> {
         Evaluator::cache_stats(&*self.inner)
     }
+
+    fn static_check_stats(&self) -> Option<ytopt_bo::problem::StaticCheckStats> {
+        Evaluator::static_check_stats(&*self.inner)
+    }
 }
 
 impl<E: Problem + Send + Sync + 'static> Problem for HarnessedEvaluator<E> {
@@ -267,12 +261,21 @@ impl<E: Problem + Send + Sync + 'static> Problem for HarnessedEvaluator<E> {
     fn cache_stats(&self) -> Option<ytopt_bo::problem::CacheStats> {
         Problem::cache_stats(&*self.inner)
     }
+
+    fn static_check_stats(&self) -> Option<ytopt_bo::problem::StaticCheckStats> {
+        Problem::static_check_stats(&*self.inner)
+    }
 }
 
 /// Per-class injected failure rates (each in `[0, 1]`; they are tried in
 /// field order against one uniform draw, so their sum must stay ≤ 1).
 #[derive(Debug, Clone, Copy)]
 pub struct FaultPlan {
+    /// Probability of an injected [`MeasureError::StaticReject`]. Drawn
+    /// once per *configuration* (never per attempt): a static verdict is
+    /// deterministic, so retries must see the same rejection. Charged
+    /// only [`STATIC_REJECT_COST_S`] of process time — analysis is cheap.
+    pub static_reject: f64,
     /// Probability of an injected [`MeasureError::BuildFailed`].
     pub build_failed: f64,
     /// Probability of an injected [`MeasureError::InvalidSchedule`].
@@ -306,6 +309,7 @@ impl FaultPlan {
     /// No injected faults at all.
     pub fn none(seed: u64) -> FaultPlan {
         FaultPlan {
+            static_reject: 0.0,
             build_failed: 0.0,
             invalid_schedule: 0.0,
             timeout: 0.0,
@@ -327,6 +331,7 @@ impl FaultPlan {
         assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
         let p = rate / 5.0;
         FaultPlan {
+            static_reject: 0.0,
             build_failed: p,
             invalid_schedule: p,
             timeout: p,
@@ -343,7 +348,8 @@ impl FaultPlan {
 
     /// Sum of the per-class failure rates.
     pub fn total_failure_rate(&self) -> f64 {
-        self.build_failed
+        self.static_reject
+            + self.build_failed
             + self.invalid_schedule
             + self.timeout
             + self.runtime_crash
@@ -351,6 +357,10 @@ impl FaultPlan {
             + self.transient
     }
 }
+
+/// Process seconds charged by an injected [`MeasureError::StaticReject`]
+/// — the analyzer's verdict costs microseconds, not a build.
+pub const STATIC_REJECT_COST_S: f64 = 1e-4;
 
 /// Deterministic, seeded chaos wrapper around any evaluator.
 ///
@@ -400,6 +410,17 @@ impl<E> FaultInjector<E> {
     /// Decide this attempt's fate: `Err(fault)` or `Ok(extra latency)`.
     fn inject(&self, config: &Configuration) -> Result<f64, MeasureError> {
         let key = config.key();
+        // Static rejection is keyed on the configuration alone (attempt
+        // pinned to 0): the verdict of a deterministic analyzer cannot
+        // change on retry.
+        if self.plan.static_reject > 0.0 && self.draw(&key, 0, 2) < self.plan.static_reject {
+            // Still consume this attempt's slot so later classes keep
+            // their per-attempt draws aligned with unrejected runs.
+            self.attempts.lock().entry(key.clone()).or_insert(0);
+            return Err(MeasureError::StaticReject(format!(
+                "injected static rejection for {key} (TIR-OOB)"
+            )));
+        }
         let attempt = {
             let mut map = self.attempts.lock();
             let counter = map.entry(key.clone()).or_insert(0);
@@ -460,7 +481,14 @@ impl<E> FaultInjector<E> {
                 panic!("{msg}");
             }
         }
-        MeasureResult::fail(fault, self.plan.fail_process_s)
+        // A static rejection happens before any build or run: it burns
+        // analysis time only, not the plan's failure wall-clock.
+        let process_s = if matches!(fault, MeasureError::StaticReject(_)) {
+            STATIC_REJECT_COST_S
+        } else {
+            self.plan.fail_process_s
+        };
+        MeasureResult::fail(fault, process_s)
     }
 }
 
@@ -482,6 +510,10 @@ impl<E: Evaluator> Evaluator for FaultInjector<E> {
 
     fn cache_stats(&self) -> Option<ytopt_bo::problem::CacheStats> {
         Evaluator::cache_stats(&self.inner)
+    }
+
+    fn static_check_stats(&self) -> Option<ytopt_bo::problem::StaticCheckStats> {
+        Evaluator::static_check_stats(&self.inner)
     }
 }
 
@@ -507,6 +539,10 @@ impl<E: Problem> Problem for FaultInjector<E> {
 
     fn cache_stats(&self) -> Option<ytopt_bo::problem::CacheStats> {
         Problem::cache_stats(&self.inner)
+    }
+
+    fn static_check_stats(&self) -> Option<ytopt_bo::problem::StaticCheckStats> {
+        Problem::static_check_stats(&self.inner)
     }
 }
 
@@ -570,7 +606,10 @@ mod tests {
         let slow = Evaluator::space(&h).at(0);
         let t0 = Instant::now();
         let r = Evaluator::evaluate(&h, &slow);
-        assert!(t0.elapsed() < Duration::from_millis(350), "must not wait out the sleep");
+        assert!(
+            t0.elapsed() < Duration::from_millis(350),
+            "must not wait out the sleep"
+        );
         assert!(!r.is_ok());
         assert_eq!(r.error.as_ref().map(|e| e.kind()), Some("timeout"));
         // The abandoned trial is charged its full limit.

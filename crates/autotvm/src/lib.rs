@@ -41,4 +41,6 @@ pub use driver::{
 };
 pub use harness::{FaultInjector, FaultPlan, HarnessOptions, HarnessedEvaluator, RetryPolicy};
 pub use measure::{CacheStats, Evaluator, MeasureError, MeasureResult};
-pub use tuner::{ga::GaTuner, gridsearch::GridSearchTuner, random::RandomTuner, xgb::XgbTuner, Tuner};
+pub use tuner::{
+    ga::GaTuner, gridsearch::GridSearchTuner, random::RandomTuner, xgb::XgbTuner, Tuner,
+};

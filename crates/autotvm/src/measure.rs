@@ -8,8 +8,8 @@
 
 use configspace::{ConfigSpace, Configuration};
 pub use ytopt_bo::fault::MeasureError;
-pub use ytopt_bo::problem::CacheStats;
 use ytopt_bo::problem::Evaluation;
+pub use ytopt_bo::problem::{CacheStats, StaticCheckStats};
 
 /// Outcome of measuring one configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,6 +87,14 @@ pub trait Evaluator {
     /// it keeps one (`None` for cacheless evaluators). Snapshotted into
     /// [`crate::driver::TuningResult::cache`] at the end of a run.
     fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
+
+    /// Accept/reject counters of this evaluator's static schedule-safety
+    /// analyzer, if it runs one (`None` for unanalyzed evaluators).
+    /// Snapshotted into [`crate::driver::TuningResult::static_checks`]
+    /// at the end of a run.
+    fn static_check_stats(&self) -> Option<StaticCheckStats> {
         None
     }
 }

@@ -119,17 +119,12 @@ mod tests {
             workload: workload.into(),
             tuner: "test".into(),
             index: idx,
-            config: Configuration::new(
-                vec!["P0".into()],
-                vec![ParamValue::Int(idx as i64 + 1)],
-            ),
+            config: Configuration::new(vec!["P0".into()], vec![ParamValue::Int(idx as i64 + 1)]),
             runtime_s: rt,
-            error: rt
-                .is_none()
-                .then(|| MeasureError::Timeout {
-                    limit_s: 1.0,
-                    message: None,
-                }),
+            error: rt.is_none().then(|| MeasureError::Timeout {
+                limit_s: 1.0,
+                message: None,
+            }),
             elapsed_s: idx as f64,
         }
     }
@@ -140,7 +135,10 @@ mod tests {
         std::fs::create_dir_all(&dir).expect("mkdir");
         let path = dir.join("log.jsonl");
         let _ = std::fs::remove_file(&path);
-        let recs = vec![record("lu-large", 0, Some(1.5)), record("lu-large", 1, None)];
+        let recs = vec![
+            record("lu-large", 0, Some(1.5)),
+            record("lu-large", 1, None),
+        ];
         save(&path, &recs).expect("save");
         save(&path, &[record("lu-large", 2, Some(1.2))]).expect("append");
         let back = load(&path).expect("load");

@@ -120,8 +120,7 @@ impl XgbTuner {
                 .collect()
         };
         candidates.retain(|(_, pred)| *pred <= threshold);
-        candidates
-            .sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         candidates.truncate(self.plan_size);
 
         self.pending = candidates.into_iter().map(|(c, _)| c).collect();
@@ -302,9 +301,6 @@ mod tests {
         results.push((batch[0].clone(), MeasureResult::ok(2.0, 2.0)));
         t.update(&results);
         assert_eq!(t.observed_count(), 4, "failures become training points");
-        assert!(t
-            .observed
-            .iter()
-            .any(|(_, y)| (*y - 20.0).abs() < 1e-9));
+        assert!(t.observed.iter().any(|(_, y)| (*y - 20.0).abs() < 1e-9));
     }
 }

@@ -24,7 +24,9 @@ fn bench_compile(c: &mut Criterion) {
     let f3 = build_3mm(&dims, [50, 64, 48, 50, 48, 64]);
     let flu = build_lu(2000, 40, 50);
     c.bench_function("cost_model/3mm_xl", |b| b.iter(|| cost_model(&f3, &spec)));
-    c.bench_function("cost_model/lu_large", |b| b.iter(|| cost_model(&flu, &spec)));
+    c.bench_function("cost_model/lu_large", |b| {
+        b.iter(|| cost_model(&flu, &spec))
+    });
 
     // Full evaluation path through the mold API.
     let mold = mold_for(KernelName::Mm3, ProblemSize::ExtraLarge);

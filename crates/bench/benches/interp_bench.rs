@@ -38,17 +38,13 @@ fn bench_interp(c: &mut Criterion) {
                 NDArray::random(&[n, n], DType::F32, 2, -1.0, 1.0),
                 NDArray::zeros(&[n, n], DType::F32),
             ];
-            g.bench_with_input(
-                BenchmarkId::new(format!("tile{tile}"), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let mut a = args.clone();
-                        execute(&f, &mut a).expect("run");
-                        a
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(format!("tile{tile}"), n), &n, |b, _| {
+                b.iter(|| {
+                    let mut a = args.clone();
+                    execute(&f, &mut a).expect("run");
+                    a
+                })
+            });
         }
     }
     g.finish();

@@ -9,11 +9,21 @@ use surrogate::Regressor;
 
 fn dataset(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
     let x: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..d).map(|j| ((i * 31 + j * 17) % 97) as f64 / 97.0).collect())
+        .map(|i| {
+            (0..d)
+                .map(|j| ((i * 31 + j * 17) % 97) as f64 / 97.0)
+                .collect()
+        })
         .collect();
     let y: Vec<f64> = x
         .iter()
-        .map(|r| r.iter().enumerate().map(|(j, v)| v * (j + 1) as f64).sum::<f64>() + r[0] * r[1])
+        .map(|r| {
+            r.iter()
+                .enumerate()
+                .map(|(j, v)| v * (j + 1) as f64)
+                .sum::<f64>()
+                + r[0] * r[1]
+        })
         .collect();
     (x, y)
 }

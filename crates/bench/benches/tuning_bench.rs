@@ -12,8 +12,16 @@ fn bench_experiments(c: &mut Criterion) {
     let workloads = [
         ("fig4_5_lu_large", KernelName::Lu, ProblemSize::Large),
         ("fig6_7_lu_xl", KernelName::Lu, ProblemSize::ExtraLarge),
-        ("fig8_9_cholesky_large", KernelName::Cholesky, ProblemSize::Large),
-        ("fig10_11_cholesky_xl", KernelName::Cholesky, ProblemSize::ExtraLarge),
+        (
+            "fig8_9_cholesky_large",
+            KernelName::Cholesky,
+            ProblemSize::Large,
+        ),
+        (
+            "fig10_11_cholesky_xl",
+            KernelName::Cholesky,
+            ProblemSize::ExtraLarge,
+        ),
         ("fig12_13_3mm_xl", KernelName::Mm3, ProblemSize::ExtraLarge),
     ];
     for (label, kernel, size) in workloads {

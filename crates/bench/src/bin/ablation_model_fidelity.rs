@@ -32,7 +32,10 @@ fn main() {
         let mut measured = Vec::with_capacity(n_configs);
         let mut predicted = Vec::with_capacity(n_configs);
         println!("kernel={kernel}");
-        println!("{:<28} {:>14} {:>14}", "config", "measured (s)", "model (s)");
+        println!(
+            "{:<28} {:>14} {:>14}",
+            "config", "measured (s)", "model (s)"
+        );
         for _ in 0..n_configs {
             let cfg = mold.space().sample(&mut rng);
             let func = mold.instantiate(&cfg);

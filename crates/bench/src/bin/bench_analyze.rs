@@ -1,0 +1,128 @@
+//! Benchmark the static schedule-safety analyzer on the PolyBench molds.
+//!
+//! Reports, per kernel, the analyzer's cost per configuration (ns) and
+//! the fraction of sampled configurations it rejects — the number that
+//! justifies running it on the tuning hot path: a verdict costs
+//! microseconds while the build it can skip costs ~a second.
+//!
+//! Usage: `bench_analyze [--smoke] [--size mini|small|medium|large]`
+//! Full mode writes `results/BENCH_analyze.json`; smoke mode only prints.
+
+use polybench::molds::mold_for;
+use polybench::{KernelName, ProblemSize};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const KERNELS: [KernelName; 7] = [
+    KernelName::Mm3,
+    KernelName::Mm2,
+    KernelName::Gemm,
+    KernelName::Syrk,
+    KernelName::Trmm,
+    KernelName::Lu,
+    KernelName::Cholesky,
+];
+
+struct Row {
+    kernel: String,
+    configs: usize,
+    analyze_ns_per_config: f64,
+    instantiate_ns_per_config: f64,
+    rejected: usize,
+}
+
+fn bench_kernel(kernel: KernelName, size: ProblemSize, configs: usize, seed: u64) -> Row {
+    let mold = mold_for(kernel, size);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Instantiate outside the timed region so the analyzer's cost is
+    // isolated from lowering.
+    let mut funcs = Vec::with_capacity(configs);
+    let t_inst = Instant::now();
+    for _ in 0..configs {
+        let config = mold.space().sample(&mut rng);
+        funcs.push(mold.instantiate(&config));
+    }
+    let instantiate_s = t_inst.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let mut rejected = 0usize;
+    for func in &funcs {
+        if tvm_tir::analyze::check(func).is_rejected() {
+            rejected += 1;
+        }
+    }
+    let analyze_s = t0.elapsed().as_secs_f64();
+
+    Row {
+        kernel: mold.name().to_string(),
+        configs,
+        analyze_ns_per_config: analyze_s * 1e9 / configs as f64,
+        instantiate_ns_per_config: instantiate_s * 1e9 / configs as f64,
+        rejected,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let size = args
+        .iter()
+        .position(|a| a == "--size")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| ProblemSize::parse(s))
+        .unwrap_or(ProblemSize::Mini);
+    let configs = if smoke { 20 } else { 200 };
+
+    println!("# static schedule-safety analyzer, {configs} sampled configs per kernel, {size}");
+    println!(
+        "{:<10} {:>14} {:>16} {:>10}",
+        "kernel", "analyze ns/cfg", "lower ns/cfg", "rejected"
+    );
+    let mut rows = Vec::new();
+    for k in KERNELS {
+        let row = bench_kernel(k, size, configs, 42);
+        println!(
+            "{:<10} {:>14.0} {:>16.0} {:>9.1}%",
+            row.kernel,
+            row.analyze_ns_per_config,
+            row.instantiate_ns_per_config,
+            100.0 * row.rejected as f64 / row.configs as f64
+        );
+        rows.push(row);
+    }
+    let total_cfgs: usize = rows.iter().map(|r| r.configs).sum();
+    let total_rejected: usize = rows.iter().map(|r| r.rejected).sum();
+    let mean_ns = rows.iter().map(|r| r.analyze_ns_per_config).sum::<f64>() / rows.len() as f64;
+    println!(
+        "mean {mean_ns:.0} ns/config; {total_rejected}/{total_cfgs} rejected \
+         (molds emit only safe schedules — rejections here would be analyzer bugs)"
+    );
+
+    if smoke {
+        println!("smoke mode: skipping results/BENCH_analyze.json");
+        return;
+    }
+
+    let json = serde_json::json!({
+        "size": size.to_string(),
+        "configs_per_kernel": configs,
+        "kernels": rows.iter().map(|r| serde_json::json!({
+            "kernel": r.kernel,
+            "configs": r.configs,
+            "analyze_ns_per_config": r.analyze_ns_per_config,
+            "instantiate_ns_per_config": r.instantiate_ns_per_config,
+            "rejected": r.rejected,
+            "fraction_rejected": r.rejected as f64 / r.configs as f64,
+        })).collect::<Vec<_>>(),
+        "mean_analyze_ns_per_config": mean_ns,
+        "fraction_rejected_overall": total_rejected as f64 / total_cfgs as f64,
+    });
+    std::fs::create_dir_all("results").expect("mkdir results");
+    std::fs::write(
+        "results/BENCH_analyze.json",
+        serde_json::to_string_pretty(&json).expect("serialize"),
+    )
+    .expect("write results/BENCH_analyze.json");
+    println!("wrote results/BENCH_analyze.json");
+}

@@ -14,7 +14,10 @@ fn main() {
         (KernelName::Cholesky, ProblemSize::Large),
     ] {
         let mold = mold_for(kernel, size);
-        let ev = MoldEvaluator::simulated(mold, SimDevice::new(GpuSpec::swing_cpu_core()).with_noise(0.0));
+        let ev = MoldEvaluator::simulated(
+            mold,
+            SimDevice::new(GpuSpec::swing_cpu_core()).with_noise(0.0),
+        );
         let space = ev.space().clone();
         println!("== {kernel} {size} ==");
         let p0 = space.get("P0").expect("P0");
@@ -34,7 +37,12 @@ fn main() {
                     best = (t, cfg.int("P0"), cfg.int("P1"));
                 }
                 if i % 4 == 0 && j % 4 == 0 {
-                    println!("ty={:>5} tx={:>5} t={:.4}s", cfg.int("P0"), cfg.int("P1"), t);
+                    println!(
+                        "ty={:>5} tx={:>5} t={:.4}s",
+                        cfg.int("P0"),
+                        cfg.int("P1"),
+                        t
+                    );
                 }
             }
         }

@@ -6,13 +6,24 @@ use polybench::spaces::{space_for, table1};
 
 fn main() {
     println!("# Table 1: Parameter space for each application");
-    println!("{:<10} {:<12} {:>16}", "Kernels", "Problem Size", "Parameter Space");
+    println!(
+        "{:<10} {:<12} {:>16}",
+        "Kernels", "Problem Size", "Parameter Space"
+    );
     for (kernel, size, cardinality) in table1() {
-        println!("{:<10} {:<12} {:>16}", kernel.to_string(), size.to_string(), cardinality);
+        println!(
+            "{:<10} {:<12} {:>16}",
+            kernel.to_string(),
+            size.to_string(),
+            cardinality
+        );
     }
     println!();
     println!("# Per-parameter detail (extralarge 3mm, the paper's §4 listing)");
-    let cs = space_for(polybench::KernelName::Mm3, polybench::ProblemSize::ExtraLarge);
+    let cs = space_for(
+        polybench::KernelName::Mm3,
+        polybench::ProblemSize::ExtraLarge,
+    );
     for p in cs.params() {
         let card = p.cardinality().expect("discrete");
         let values: Vec<String> = (0..card as usize)

@@ -139,7 +139,11 @@ pub fn run_comparison(
     outcomes.push(TunerOutcome::from_result(&tune(&mut ga, &ev, tune_opts)));
 
     let mut random = RandomTuner::new(space.clone(), opts.seed);
-    outcomes.push(TunerOutcome::from_result(&tune(&mut random, &ev, tune_opts)));
+    outcomes.push(TunerOutcome::from_result(&tune(
+        &mut random,
+        &ev,
+        tune_opts,
+    )));
 
     let mut grid = GridSearchTuner::new(space.clone());
     outcomes.push(TunerOutcome::from_result(&tune(&mut grid, &ev, tune_opts)));
@@ -150,7 +154,9 @@ pub fn run_comparison(
     // ytopt: single evaluation per configuration (no repeat runs).
     let ev_bo = evaluator(kernel, size, 1, opts.seed);
     let mut ytopt = YtoptTuner::new(space, opts.seed);
-    outcomes.push(TunerOutcome::from_result(&tune(&mut ytopt, &ev_bo, bo_opts)));
+    outcomes.push(TunerOutcome::from_result(&tune(
+        &mut ytopt, &ev_bo, bo_opts,
+    )));
 
     Experiment {
         kernel: kernel.to_string(),

@@ -82,7 +82,11 @@ pub fn scatter(series: &[Series<'_>], width: usize, height: usize) -> String {
         xmin,
         " ".repeat(width.saturating_sub(12)),
         xmax,
-        if log_y { "; y: runtime, log scale" } else { "; y: runtime" }
+        if log_y {
+            "; y: runtime, log scale"
+        } else {
+            "; y: runtime"
+        }
     ));
     for s in series {
         out.push_str(&format!("  {} {}\n", s.glyph, s.label));

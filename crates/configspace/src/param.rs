@@ -107,12 +107,8 @@ impl Hyperparameter {
     /// Discrete index of a value, if present.
     pub fn index_of(&self, value: &ParamValue) -> Option<usize> {
         match self {
-            Hyperparameter::Ordinal { sequence, .. } => {
-                sequence.iter().position(|v| v == value)
-            }
-            Hyperparameter::Categorical { choices, .. } => {
-                choices.iter().position(|v| v == value)
-            }
+            Hyperparameter::Ordinal { sequence, .. } => sequence.iter().position(|v| v == value),
+            Hyperparameter::Categorical { choices, .. } => choices.iter().position(|v| v == value),
             Hyperparameter::UniformInt { lo, hi, .. } => {
                 let v = value.as_int()?;
                 (v >= *lo && v <= *hi).then(|| (v - lo) as usize)
@@ -130,9 +126,7 @@ impl Hyperparameter {
             Hyperparameter::Categorical { choices, .. } => {
                 choices[rng.gen_range(0..choices.len())].clone()
             }
-            Hyperparameter::UniformInt { lo, hi, .. } => {
-                ParamValue::Int(rng.gen_range(*lo..=*hi))
-            }
+            Hyperparameter::UniformInt { lo, hi, .. } => ParamValue::Int(rng.gen_range(*lo..=*hi)),
             Hyperparameter::UniformFloat { lo, hi, .. } => {
                 ParamValue::Float(rng.gen_range(*lo..*hi))
             }

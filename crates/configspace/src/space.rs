@@ -91,12 +91,14 @@ impl ConfigSpace {
     /// # Panics
     /// If the space is continuous or `index` is out of range.
     pub fn at(&self, index: u128) -> Configuration {
-        let size = self.size().expect("grid enumeration needs a discrete space");
+        let size = self
+            .size()
+            .expect("grid enumeration needs a discrete space");
         assert!(index < size, "index {index} out of range (size {size})");
         let mut rem = index;
         let mut values = vec![ParamValue::Int(0); self.params.len()];
         for (d, p) in self.params.iter().enumerate().rev() {
-            let card = p.cardinality().expect("discrete") as u128;
+            let card = p.cardinality().expect("discrete");
             values[d] = p.value_at((rem % card) as usize);
             rem /= card;
         }
@@ -110,7 +112,7 @@ impl ConfigSpace {
     pub fn index_of(&self, config: &Configuration) -> Option<u128> {
         let mut idx = 0u128;
         for p in &self.params {
-            let card = p.cardinality()? as u128;
+            let card = p.cardinality()?;
             let v = config.get(p.name())?;
             let i = p.index_of(v)? as u128;
             idx = idx * card + i;
@@ -123,7 +125,9 @@ impl ConfigSpace {
         GridIter {
             space: self,
             next: 0,
-            size: self.size().expect("grid enumeration needs a discrete space"),
+            size: self
+                .size()
+                .expect("grid enumeration needs a discrete space"),
         }
     }
 
@@ -156,9 +160,7 @@ impl ConfigSpace {
                     .unwrap_or_else(|| rng.gen_range(0..sequence.len()));
                 let cand = if cur == 0 {
                     1.min(sequence.len() - 1)
-                } else if cur == sequence.len() - 1 {
-                    cur - 1
-                } else if rng.gen_bool(0.5) {
+                } else if cur == sequence.len() - 1 || rng.gen_bool(0.5) {
                     cur - 1
                 } else {
                     cur + 1
@@ -187,10 +189,9 @@ impl ConfigSpace {
                 config
                     .get(p.name())
                     .map(|v| match p {
-                        Hyperparameter::UniformFloat { lo, hi, .. } => v
-                            .as_float()
-                            .map(|x| x >= *lo && x <= *hi)
-                            .unwrap_or(false),
+                        Hyperparameter::UniformFloat { lo, hi, .. } => {
+                            v.as_float().map(|x| x >= *lo && x <= *hi).unwrap_or(false)
+                        }
                         _ => p.index_of(v).is_some(),
                     })
                     .unwrap_or(false)

@@ -8,11 +8,7 @@ use rand::SeedableRng;
 /// Random discrete space: 1–5 ordinal parameters with 1–9 strictly
 /// increasing integer values each.
 fn space_strategy() -> impl Strategy<Value = ConfigSpace> {
-    prop::collection::vec(
-        prop::collection::btree_set(1i64..200, 1..9),
-        1..5,
-    )
-    .prop_map(|params| {
+    prop::collection::vec(prop::collection::btree_set(1i64..200, 1..9), 1..5).prop_map(|params| {
         let mut cs = ConfigSpace::new();
         for (i, values) in params.into_iter().enumerate() {
             let seq: Vec<i64> = values.into_iter().collect();

@@ -24,6 +24,11 @@ pub enum MeasureError {
     /// The configuration does not describe a valid schedule for the
     /// kernel (out-of-space values, non-dividing tile factors, …).
     InvalidSchedule(String),
+    /// The static schedule-safety analyzer rejected the lowered function
+    /// before any compilation or measurement (out-of-bounds proof,
+    /// parallel race). Deterministic and cheap: only analysis time was
+    /// spent, and tuners may treat the verdict as free knowledge.
+    StaticReject(String),
     /// The evaluation exceeded its wall-clock limit and was abandoned.
     Timeout {
         /// The enforced wall-clock limit, seconds (0 when unknown, e.g.
@@ -50,6 +55,7 @@ impl MeasureError {
         match self {
             MeasureError::BuildFailed(_) => "build_failed",
             MeasureError::InvalidSchedule(_) => "invalid_schedule",
+            MeasureError::StaticReject(_) => "static_reject",
             MeasureError::Timeout { .. } => "timeout",
             MeasureError::RuntimeCrash(_) => "runtime_crash",
             MeasureError::NumericMismatch(_) => "numeric_mismatch",
@@ -62,6 +68,7 @@ impl MeasureError {
         match self {
             MeasureError::BuildFailed(m)
             | MeasureError::InvalidSchedule(m)
+            | MeasureError::StaticReject(m)
             | MeasureError::RuntimeCrash(m)
             | MeasureError::NumericMismatch(m)
             | MeasureError::Transient(m) => m,
@@ -96,6 +103,10 @@ impl MeasureError {
             || lower.contains("spurious")
         {
             MeasureError::Transient(message)
+        } else if lower.contains("static") && (lower.contains("reject") || lower.contains("tir-")) {
+            // Checked before the schedule heuristics so analyzer verdicts
+            // ("statically rejected: TIR-OOB ...") keep their class.
+            MeasureError::StaticReject(message)
         } else if lower.contains("build") || lower.contains("compil") || lower.contains("link") {
             // Checked before the schedule heuristics: a build error whose
             // text mentions the schedule is still a build failure.
@@ -106,8 +117,7 @@ impl MeasureError {
             || lower.contains("reject")
         {
             MeasureError::InvalidSchedule(message)
-        } else if lower.contains("mismatch") || lower.contains("numeric") || lower.contains("nan")
-        {
+        } else if lower.contains("mismatch") || lower.contains("numeric") || lower.contains("nan") {
             MeasureError::NumericMismatch(message)
         } else {
             MeasureError::RuntimeCrash(message)
@@ -185,6 +195,15 @@ mod tests {
             "transient"
         );
         assert_eq!(MeasureError::classify("oom").kind(), "runtime_crash");
+        assert_eq!(
+            MeasureError::classify("statically rejected: TIR-OOB store out of bounds").kind(),
+            "static_reject"
+        );
+        // "reject" alone (no static analyzer context) stays a schedule error.
+        assert_eq!(
+            MeasureError::classify("schedule rejected by runner").kind(),
+            "invalid_schedule"
+        );
         // Build errors win over schedule-ish words in the same message.
         assert_eq!(
             MeasureError::classify("build failed while lowering schedule").kind(),
@@ -201,9 +220,24 @@ mod tests {
     }
 
     #[test]
+    fn static_reject_is_deterministic_and_distinct_from_build() {
+        let e = MeasureError::StaticReject("TIR-RACE-WW: parallel write overlap".into());
+        assert_eq!(e.kind(), "static_reject");
+        assert!(!e.is_transient());
+        assert_eq!(
+            format!("{e}"),
+            "[static_reject] TIR-RACE-WW: parallel write overlap"
+        );
+        let s = serde_json::to_string(&e).expect("serialize");
+        assert_eq!(e, serde_json::from_str::<MeasureError>(&s).expect("de"));
+        assert_ne!(e.kind(), MeasureError::BuildFailed("x".into()).kind());
+    }
+
+    #[test]
     fn only_transient_is_retryable() {
         assert!(MeasureError::Transient("x".into()).is_transient());
         assert!(!MeasureError::BuildFailed("x".into()).is_transient());
+        assert!(!MeasureError::StaticReject("x".into()).is_transient());
         assert!(!MeasureError::Timeout {
             limit_s: 1.0,
             message: None

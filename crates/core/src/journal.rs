@@ -105,9 +105,8 @@ impl TrialJournal {
     /// Append one record: serialize, write, flush, fsync. When this
     /// returns `Ok`, the trial survives a crash.
     pub fn append(&mut self, record: &TrialRecord) -> std::io::Result<()> {
-        let line = serde_json::to_string(record).map_err(|e| {
-            std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
-        })?;
+        let line = serde_json::to_string(record)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         writeln!(self.file, "{line}")?;
         self.file.flush()?;
         self.file.sync_data()?;
@@ -134,9 +133,7 @@ impl TrialJournal {
 
     /// [`TrialJournal::load`], also reporting whether a torn final line
     /// was dropped.
-    fn load_with_tail(
-        path: impl AsRef<Path>,
-    ) -> std::io::Result<(Vec<TrialRecord>, bool)> {
+    fn load_with_tail(path: impl AsRef<Path>) -> std::io::Result<(Vec<TrialRecord>, bool)> {
         let path = path.as_ref();
         if !path.exists() {
             return Ok((Vec::new(), false));
@@ -187,10 +184,7 @@ mod tests {
     fn rec(i: usize, rt: Option<f64>, err: Option<MeasureError>) -> TrialRecord {
         TrialRecord {
             index: i,
-            config: Configuration::new(
-                vec!["P0".into()],
-                vec![ParamValue::Int(i as i64 + 1)],
-            ),
+            config: Configuration::new(vec!["P0".into()], vec![ParamValue::Int(i as i64 + 1)]),
             runtime_s: rt,
             error: err,
             eval_process_s: 0.5,

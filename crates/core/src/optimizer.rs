@@ -11,7 +11,7 @@
 use crate::database::{DbRecord, PerformanceDatabase};
 use crate::fault::{panic_message, MeasureError};
 use crate::journal::{divergence_error, TrialJournal, TrialRecord};
-use crate::problem::{CacheStats, Evaluation, Problem};
+use crate::problem::{CacheStats, Evaluation, Problem, StaticCheckStats};
 use crate::search::{BayesianOptimizer, SearchConfig};
 use configspace::Configuration;
 use rayon::prelude::*;
@@ -71,6 +71,9 @@ pub struct BoResult {
     /// Hit/miss counters of the problem's lowering/compilation memo
     /// cache, when it keeps one.
     pub cache: Option<CacheStats>,
+    /// Accept/reject counters of the problem's static schedule-safety
+    /// analyzer, when it runs one.
+    pub static_checks: Option<StaticCheckStats>,
 }
 
 impl BoResult {
@@ -252,6 +255,7 @@ fn run_inner(
         think_s: think,
         replayed,
         cache: problem.cache_stats(),
+        static_checks: problem.static_check_stats(),
     })
 }
 
@@ -312,10 +316,7 @@ pub fn run_parallel<P: Problem + Sync>(problem: &P, opts: BoOptions, batch: usiz
             .collect();
 
         // A batch-wide pool finishes when its slowest member does.
-        let batch_wall = evals
-            .iter()
-            .map(|e| e.process_s)
-            .fold(0.0f64, f64::max);
+        let batch_wall = evals.iter().map(|e| e.process_s).fold(0.0f64, f64::max);
         elapsed += batch_wall;
 
         let t1 = Instant::now();
@@ -341,6 +342,7 @@ pub fn run_parallel<P: Problem + Sync>(problem: &P, opts: BoOptions, batch: usiz
         think_s: think,
         replayed: 0,
         cache: problem.cache_stats(),
+        static_checks: problem.static_check_stats(),
     }
 }
 
@@ -361,7 +363,8 @@ mod tests {
             &(1..=20).collect::<Vec<i64>>(),
         ));
         FnProblem::new(cs, |c| {
-            let r = 1.0 + 0.1 * ((c.int("P0") - 17) as f64).powi(2)
+            let r = 1.0
+                + 0.1 * ((c.int("P0") - 17) as f64).powi(2)
                 + 0.1 * ((c.int("P1") - 3) as f64).powi(2);
             Evaluation::ok(r, r + 0.5)
         })
@@ -574,9 +577,15 @@ mod tests {
         assert_eq!(cache.total(), 7);
         assert!((cache.hit_rate() - 3.0 / 7.0).abs() < 1e-12);
         // Cacheless problems report nothing.
-        assert!(run(&problem(), BoOptions { max_evals: 2, ..Default::default() })
-            .cache
-            .is_none());
+        assert!(run(
+            &problem(),
+            BoOptions {
+                max_evals: 2,
+                ..Default::default()
+            }
+        )
+        .cache
+        .is_none());
     }
 
     #[test]
@@ -627,9 +636,8 @@ mod tests {
         assert_eq!(resumed.replayed, 12);
         assert_eq!(TrialJournal::load(&path).expect("load").len(), 30);
 
-        let keys = |r: &BoResult| -> Vec<String> {
-            r.trials.iter().map(|t| t.config.key()).collect()
-        };
+        let keys =
+            |r: &BoResult| -> Vec<String> { r.trials.iter().map(|t| t.config.key()).collect() };
         assert_eq!(keys(&full), keys(&resumed), "identical trajectory");
         assert_eq!(
             full.best().expect("best").config.key(),

@@ -68,6 +68,33 @@ impl CacheStats {
     }
 }
 
+/// Accept/reject counters of an evaluator-side static schedule-safety
+/// analyzer (configs vetted before any compilation or measurement).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticCheckStats {
+    /// Configurations the analyzer proved safe to measure.
+    pub accepted: u64,
+    /// Configurations rejected before compilation (`Deny` findings).
+    pub rejected: u64,
+}
+
+impl StaticCheckStats {
+    /// Total analyzed configurations.
+    pub fn total(&self) -> u64 {
+        self.accepted + self.rejected
+    }
+
+    /// Fraction of analyzed configurations rejected statically (0 when
+    /// nothing was analyzed).
+    pub fn reject_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / self.total() as f64
+        }
+    }
+}
+
 /// A tuning problem: the parameter space plus the user-defined evaluation
 /// interface (the paper's "code mold + interface" pair).
 pub trait Problem {
@@ -86,6 +113,14 @@ pub trait Problem {
     /// keeps one (`None` for cacheless problems). Snapshotted into
     /// [`crate::optimizer::BoResult::cache`] at the end of a run.
     fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
+
+    /// Accept/reject counters of this problem's static schedule-safety
+    /// analyzer, if it runs one (`None` for unanalyzed problems).
+    /// Snapshotted into [`crate::optimizer::BoResult::static_checks`] at
+    /// the end of a run.
+    fn static_check_stats(&self) -> Option<StaticCheckStats> {
         None
     }
 }
@@ -152,11 +187,23 @@ mod tests {
     }
 
     #[test]
+    fn static_check_stats_rates() {
+        let s = StaticCheckStats::default();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.reject_rate(), 0.0);
+        let s = StaticCheckStats {
+            accepted: 3,
+            rejected: 1,
+        };
+        assert_eq!(s.total(), 4);
+        assert!((s.reject_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
     fn fn_problem() {
         let mut cs = ConfigSpace::new();
         cs.add(Hyperparameter::ordinal_ints("P0", &[1, 2]));
-        let p = FnProblem::new(cs, |c| Evaluation::ok(c.int("P0") as f64, 0.0))
-            .with_name("toy");
+        let p = FnProblem::new(cs, |c| Evaluation::ok(c.int("P0") as f64, 0.0)).with_name("toy");
         assert_eq!(p.name(), "toy");
         let c = p.space().at(1);
         assert_eq!(p.evaluate(&c).runtime_s, Some(2.0));

@@ -104,9 +104,7 @@ impl BayesianOptimizer {
             }
         }
         // Dense visited set: fall back to scanning the grid.
-        self.space
-            .grid()
-            .find(|c| !self.visited.contains(&c.key()))
+        self.space.grid().find(|c| !self.visited.contains(&c.key()))
     }
 
     fn candidates(&mut self) -> Vec<Configuration> {
@@ -158,8 +156,7 @@ impl BayesianOptimizer {
                 let best = self.best_y;
                 // Score all candidates in one parallel batch (bit-for-bit
                 // identical to per-candidate scoring).
-                let encoded: Vec<Vec<f64>> =
-                    cands.iter().map(|c| self.space.encode(c)).collect();
+                let encoded: Vec<Vec<f64>> = cands.iter().map(|c| self.space.encode(c)).collect();
                 cands
                     .into_iter()
                     .zip(rf.predict_with_std_batch(&encoded))

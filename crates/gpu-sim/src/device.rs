@@ -171,10 +171,7 @@ mod tests {
         let a = SimDevice::new(GpuSpec::a100()).with_seed(1);
         let b = SimDevice::new(GpuSpec::a100()).with_seed(2);
         let mut args = [];
-        assert_ne!(
-            a.run(&f, &mut args).unwrap(),
-            b.run(&f, &mut args).unwrap()
-        );
+        assert_ne!(a.run(&f, &mut args).unwrap(), b.run(&f, &mut args).unwrap());
     }
 
     #[test]
@@ -211,7 +208,7 @@ mod tests {
         assert!(msg.contains("transient device fault"));
         // Moderate rate: the per-attempt counter re-rolls, so across many
         // executions both outcomes occur, identically for the same seed.
-        let outcomes = |seed: u64| -> Vec<bool> {
+        let mut outcomes = |seed: u64| -> Vec<bool> {
             let dev = SimDevice::new(GpuSpec::a100()).with_faults(0.3, seed);
             (0..40).map(|_| dev.run(&f, &mut args).is_ok()).collect()
         };

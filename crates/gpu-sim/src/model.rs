@@ -70,10 +70,7 @@ fn trips(acc: &AccessInfo, feats: &StmtFeatures, suffix_start: usize) -> f64 {
     }
     match last_varying {
         None => 1.0,
-        Some(lv) => feats.loops[..=lv]
-            .iter()
-            .map(|l| l.extent as f64)
-            .product(),
+        Some(lv) => feats.loops[..=lv].iter().map(|l| l.extent as f64).product(),
     }
 }
 
@@ -137,12 +134,7 @@ fn reuse_level(
 }
 
 /// Traffic (bytes) flowing in from above the given reuse level.
-fn traffic_at(
-    feats: &StmtFeatures,
-    accesses: &[&AccessInfo],
-    level: usize,
-    spec: &GpuSpec,
-) -> f64 {
+fn traffic_at(feats: &StmtFeatures, accesses: &[&AccessInfo], level: usize, spec: &GpuSpec) -> f64 {
     accesses
         .iter()
         .map(|a| {
@@ -157,7 +149,11 @@ fn traffic_at(
 
 fn stmt_cost(feats: &StmtFeatures, spec: &GpuSpec) -> StmtCost {
     let n = feats.loops.len();
-    let accesses: Vec<&AccessInfo> = feats.reads.iter().chain(std::iter::once(&feats.write)).collect();
+    let accesses: Vec<&AccessInfo> = feats
+        .reads
+        .iter()
+        .chain(std::iter::once(&feats.write))
+        .collect();
 
     // Sequential prefix: leading loops the *write* does not vary with
     // (elimination loops like LU's `k`). Each iteration is a separate
@@ -218,10 +214,7 @@ fn stmt_cost(feats: &StmtFeatures, spec: &GpuSpec) -> StmtCost {
         let warp_eff = (capped_tpb / spec.warp_size as f64)
             .min(1.0)
             .max(1.0 / spec.warp_size as f64);
-        ((blocks * capped_tpb) / spec.device_threads() as f64)
-            .min(1.0)
-            .max(1e-6)
-            * warp_eff
+        ((blocks * capped_tpb) / spec.device_threads() as f64).clamp(1e-6, 1.0) * warp_eff
     };
 
     let flops = feats.total_flops();

@@ -8,7 +8,7 @@ pub fn divisors(n: u64) -> Vec<i64> {
     let mut large = Vec::new();
     let mut d = 1u64;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             small.push(d as i64);
             if d * d != n {
                 large.push((n / d) as i64);
@@ -50,8 +50,7 @@ mod tests {
         assert_eq!(
             divisors(2000),
             vec![
-                1, 2, 4, 5, 8, 10, 16, 20, 25, 40, 50, 80, 100, 125, 200, 250, 400, 500, 1000,
-                2000
+                1, 2, 4, 5, 8, 10, 16, 20, 25, 40, 50, 80, 100, 125, 200, 250, 400, 500, 1000, 2000
             ]
         );
     }

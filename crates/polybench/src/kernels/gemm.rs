@@ -26,14 +26,14 @@ pub fn build_gemm(ni: usize, nj: usize, nk: usize, ty: i64, tx: i64) -> PrimFunc
     let t = compute([ni, nj], "T", |i| {
         sum(
             a.at(&[i[0].clone(), k.var_expr()]) * b.at(&[k.var_expr(), i[1].clone()]),
-            &[k.clone()],
+            std::slice::from_ref(&k),
         )
     });
     let out = compute([ni, nj], "Out", |i| {
         PrimExpr::FloatImm(ALPHA, DTYPE) * t.at(&[i[0].clone(), i[1].clone()])
             + PrimExpr::FloatImm(BETA, DTYPE) * c.at(&[i[0].clone(), i[1].clone()])
     });
-    let mut s = Schedule::create(&[out.clone()]);
+    let mut s = Schedule::create(std::slice::from_ref(&out));
     let tt = s.stages[0].tensor.clone();
     super::tile_matmul_stage(&mut s, &tt, &k, ty, tx);
     lower(&s, &[a, b, c, out], "gemm")

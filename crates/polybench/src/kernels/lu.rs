@@ -159,9 +159,9 @@ impl CodeMold for LuMold {
     }
 
     fn reference_args(&self) -> Vec<Option<NDArray>> {
-        vec![Some(crate::reference::lu(
-            &crate::reference::spd_matrix(self.n, DTYPE),
-        ))]
+        vec![Some(crate::reference::lu(&crate::reference::spd_matrix(
+            self.n, DTYPE,
+        )))]
     }
 }
 
@@ -205,10 +205,7 @@ mod tests {
 
     #[test]
     fn mold_space_matches_table1() {
-        assert_eq!(
-            LuMold::new(ProblemSize::Large).space().size(),
-            Some(400)
-        );
+        assert_eq!(LuMold::new(ProblemSize::Large).space().size(), Some(400));
         assert_eq!(
             LuMold::new(ProblemSize::ExtraLarge).space().size(),
             Some(576)

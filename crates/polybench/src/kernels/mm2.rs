@@ -19,13 +19,7 @@ pub const BETA: f64 = 1.2;
 
 /// Build 2mm with tiles `(t0, t1)` on stage `E = A·B` and `(t2, t3)` on
 /// stage `F = E·C`.
-pub fn build_2mm(
-    ni: usize,
-    nj: usize,
-    nk: usize,
-    nl: usize,
-    tiles: [i64; 4],
-) -> PrimFunc {
+pub fn build_2mm(ni: usize, nj: usize, nk: usize, nl: usize, tiles: [i64; 4]) -> PrimFunc {
     let a = placeholder([ni, nk], DTYPE, "A");
     let b = placeholder([nk, nj], DTYPE, "B");
     let c = placeholder([nj, nl], DTYPE, "C");
@@ -34,21 +28,21 @@ pub fn build_2mm(
     let e = compute([ni, nj], "E", |i| {
         sum(
             a.at(&[i[0].clone(), k.var_expr()]) * b.at(&[k.var_expr(), i[1].clone()]),
-            &[k.clone()],
+            std::slice::from_ref(&k),
         )
     });
     let j = reduce_axis(0, nj as i64, "j");
     let f = compute([ni, nl], "F", |i| {
         sum(
             e.at(&[i[0].clone(), j.var_expr()]) * c.at(&[j.var_expr(), i[1].clone()]),
-            &[j.clone()],
+            std::slice::from_ref(&j),
         )
     });
     let out = compute([ni, nl], "Out", |i| {
         PrimExpr::FloatImm(ALPHA, DTYPE) * f.at(&[i[0].clone(), i[1].clone()])
             + PrimExpr::FloatImm(BETA, DTYPE) * d.at(&[i[0].clone(), i[1].clone()])
     });
-    let mut s = Schedule::create(&[out.clone()]);
+    let mut s = Schedule::create(std::slice::from_ref(&out));
     let et = s.stages[0].tensor.clone();
     let ft = s.stages[1].tensor.clone();
     super::tile_matmul_stage(&mut s, &et, &k, tiles[0], tiles[1]);

@@ -23,21 +23,21 @@ fn build_graph(d: &Mm3Dims) -> ([Tensor; 4], Tensor, [tvm_te::IterVar; 3]) {
     let e = compute([d.n, d.m], "E", |i| {
         sum(
             a.at(&[i[0].clone(), k.var_expr()]) * b.at(&[k.var_expr(), i[1].clone()]),
-            &[k.clone()],
+            std::slice::from_ref(&k),
         )
     });
     let l = reduce_axis(0, d.o as i64, "l");
     let f = compute([d.m, d.p], "F", |i| {
         sum(
             c.at(&[i[0].clone(), l.var_expr()]) * dd.at(&[l.var_expr(), i[1].clone()]),
-            &[l.clone()],
+            std::slice::from_ref(&l),
         )
     });
     let m = reduce_axis(0, d.m as i64, "m");
     let g = compute([d.n, d.p], "G", |i| {
         sum(
             e.at(&[i[0].clone(), m.var_expr()]) * f.at(&[m.var_expr(), i[1].clone()]),
-            &[m.clone()],
+            std::slice::from_ref(&m),
         )
     });
     ([a, b, c, dd], g, [k, l, m])
@@ -47,7 +47,7 @@ fn build_graph(d: &Mm3Dims) -> ([Tensor; 4], Tensor, [tvm_te::IterVar; 3]) {
 /// `P0/P1` tile stage `E`, `P2/P3` stage `F`, `P4/P5` stage `G`.
 pub fn build_3mm(d: &Mm3Dims, tiles: [i64; 6]) -> PrimFunc {
     let (args, g, [k, l, m]) = build_graph(d);
-    let mut s = Schedule::create(&[g.clone()]);
+    let mut s = Schedule::create(std::slice::from_ref(&g));
     // Stage tensors: E and F are the first two stages.
     let e = s.stages[0].tensor.clone();
     let f = s.stages[1].tensor.clone();
@@ -65,7 +65,7 @@ pub fn build_3mm(d: &Mm3Dims, tiles: [i64; 6]) -> PrimFunc {
 /// measures).
 pub fn build_3mm_fused(d: &Mm3Dims, ty: i64, tx: i64, attach_f: bool) -> PrimFunc {
     let (args, g, [_k, _l, m]) = build_graph(d);
-    let mut s = Schedule::create(&[g.clone()]);
+    let mut s = Schedule::create(std::slice::from_ref(&g));
     let e = s.stages[0].tensor.clone();
     let f = s.stages[1].tensor.clone();
     let (y, x) = (g.axis(0), g.axis(1));

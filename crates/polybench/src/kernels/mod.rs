@@ -14,13 +14,7 @@ use tvm_te::{IterVar, Tensor};
 /// Apply the paper's standard two-factor tile pattern to a matmul-like
 /// stage: `yo, yi = split(y, ty); xo, xi = split(x, tx);
 /// reorder(yo, xo, k, yi, xi)`.
-pub(crate) fn tile_matmul_stage(
-    s: &mut Schedule,
-    t: &Tensor,
-    k: &IterVar,
-    ty: i64,
-    tx: i64,
-) {
+pub(crate) fn tile_matmul_stage(s: &mut Schedule, t: &Tensor, k: &IterVar, ty: i64, tx: i64) {
     let (y, x) = (t.axis(0), t.axis(1));
     let (yo, yi) = s.split(t, &y, ty);
     let (xo, xi) = s.split(t, &x, tx);

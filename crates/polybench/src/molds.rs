@@ -40,7 +40,11 @@ pub trait CodeMold: Send + Sync {
     /// everywhere, clamped into the space).
     fn baseline_configuration(&self) -> Configuration {
         let space = self.space();
-        let names: Vec<String> = space.params().iter().map(|p| p.name().to_string()).collect();
+        let names: Vec<String> = space
+            .params()
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect();
         let values = space
             .params()
             .iter()

@@ -51,7 +51,10 @@ pub fn mm2(alpha: f64, a: &NDArray, b: &NDArray, c: &NDArray, beta: f64, d: &NDA
     let abc = matmul(&matmul(a, b), c);
     let mut out = d.clone();
     for i in 0..out.numel() {
-        out.set_f64_linear(i, alpha * abc.get_f64_linear(i) + beta * d.get_f64_linear(i));
+        out.set_f64_linear(
+            i,
+            alpha * abc.get_f64_linear(i) + beta * d.get_f64_linear(i),
+        );
     }
     out
 }
@@ -142,7 +145,10 @@ pub fn cholesky(a: &NDArray) -> NDArray {
     let mut v = a.to_f64_vec();
     for k in 0..n {
         let dkk = v[k * n + k];
-        assert!(dkk > 0.0, "non-positive diagonal at step {k}: matrix is not SPD");
+        assert!(
+            dkk > 0.0,
+            "non-positive diagonal at step {k}: matrix is not SPD"
+        );
         let lkk = dkk.sqrt();
         v[k * n + k] = lkk;
         for i in k + 1..n {

@@ -2,7 +2,9 @@
 //! factor is an ordinal hyperparameter over "the common factors of each
 //! matrix rank". [`space_for`] reproduces Table 1's cardinalities.
 
-use crate::datasets::{factorization_n, gemm_dims, mm2_dims, mm3_dims, syrk_dims, trmm_dims, KernelName, ProblemSize};
+use crate::datasets::{
+    factorization_n, gemm_dims, mm2_dims, mm3_dims, syrk_dims, trmm_dims, KernelName, ProblemSize,
+};
 use crate::divisors::divisors;
 use configspace::{ConfigSpace, Hyperparameter};
 
@@ -112,11 +114,7 @@ mod tests {
         let cs = space_for(KernelName::Mm3, ProblemSize::ExtraLarge);
         let p0 = cs.get("P0").expect("P0");
         assert_eq!(p0.cardinality(), Some(20));
-        assert_eq!(
-            p0.value_at(0).as_int(),
-            Some(1),
-            "sequence starts at 1"
-        );
+        assert_eq!(p0.value_at(0).as_int(), Some(1), "sequence starts at 1");
         assert_eq!(p0.value_at(19).as_int(), Some(2000));
         let p2 = cs.get("P2").expect("P2");
         assert_eq!(p2.cardinality(), Some(36));
@@ -129,13 +127,25 @@ mod tests {
         use configspace::ParamValue;
         let inspace = |k, s, ty: i64, tx: i64| {
             let cs = space_for(k, s);
-            cs.get("P0").unwrap().index_of(&ParamValue::Int(ty)).is_some()
-                && cs.get("P1").unwrap().index_of(&ParamValue::Int(tx)).is_some()
+            cs.get("P0")
+                .unwrap()
+                .index_of(&ParamValue::Int(ty))
+                .is_some()
+                && cs
+                    .get("P1")
+                    .unwrap()
+                    .index_of(&ParamValue::Int(tx))
+                    .is_some()
         };
         assert!(inspace(KernelName::Lu, ProblemSize::Large, 400, 50));
         assert!(inspace(KernelName::Lu, ProblemSize::ExtraLarge, 40, 32));
         assert!(inspace(KernelName::Cholesky, ProblemSize::Large, 125, 50));
-        assert!(inspace(KernelName::Cholesky, ProblemSize::ExtraLarge, 80, 32));
+        assert!(inspace(
+            KernelName::Cholesky,
+            ProblemSize::ExtraLarge,
+            80,
+            32
+        ));
     }
 
     #[test]

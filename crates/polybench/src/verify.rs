@@ -16,7 +16,11 @@ pub fn verify_config(mold: &dyn CodeMold, config: &Configuration, rtol: f64) -> 
     let mut args = mold.init_args();
     execute(&func, &mut args).map_err(|e| format!("execution failed: {e}"))?;
     let expects = mold.reference_args();
-    assert_eq!(args.len(), expects.len(), "mold arg/reference length mismatch");
+    assert_eq!(
+        args.len(),
+        expects.len(),
+        "mold arg/reference length mismatch"
+    );
     for (i, expect) in expects.iter().enumerate() {
         if let Some(e) = expect {
             if !args[i].allclose(e, rtol, rtol) {

@@ -189,9 +189,7 @@ impl CompiledFunc {
                 .map(|it| match it {
                     Item::Code(c) => c.len(),
                     Item::Loop { body, .. } => count(body),
-                    Item::If { then, else_, .. } => {
-                        count(then) + else_.as_ref().map_or(0, count)
-                    }
+                    Item::If { then, else_, .. } => count(then) + else_.as_ref().map_or(0, count),
                 })
                 .sum()
         }
@@ -210,9 +208,7 @@ impl CompiledFunc {
                         .filter(|i| matches!(i, Instr::Bound { .. } | Instr::StoreChecked { .. }))
                         .count(),
                     Item::Loop { body, .. } => count(body),
-                    Item::If { then, else_, .. } => {
-                        count(then) + else_.as_ref().map_or(0, count)
-                    }
+                    Item::If { then, else_, .. } => count(then) + else_.as_ref().map_or(0, count),
                 })
                 .sum()
         }
@@ -338,7 +334,7 @@ impl Compiler {
     }
 
     /// Coerce to the float file (`Value::as_f64`); pure, hoistable.
-    fn to_f(&mut self, r: Reg, c: Cls) -> Reg {
+    fn coerce_f(&mut self, r: Reg, c: Cls) -> Reg {
         match c {
             Cls::F => r,
             Cls::I => {
@@ -354,7 +350,7 @@ impl Compiler {
     }
 
     /// Coerce to the int file (`Value::as_i64`); pure, hoistable.
-    fn to_i(&mut self, r: Reg, c: Cls) -> Reg {
+    fn coerce_i(&mut self, r: Reg, c: Cls) -> Reg {
         match c {
             Cls::I => r,
             Cls::F => {
@@ -391,16 +387,14 @@ impl Compiler {
             PrimExpr::Binary(op, a, b) => {
                 let int_div = !e.dtype().is_float()
                     && matches!(op, BinOp::Div | BinOp::FloorDiv | BinOp::FloorMod)
-                    && b.as_int().map_or(true, |y| y == 0);
+                    && b.as_int().is_none_or(|y| y == 0);
                 int_div || self.failable(a) || self.failable(b)
             }
             PrimExpr::Cmp(_, a, b) | PrimExpr::And(a, b) | PrimExpr::Or(a, b) => {
                 self.failable(a) || self.failable(b)
             }
             PrimExpr::Not(a) | PrimExpr::Cast(_, a) => self.failable(a),
-            PrimExpr::Select(c, t, f) => {
-                self.failable(c) || self.failable(t) || self.failable(f)
-            }
+            PrimExpr::Select(c, t, f) => self.failable(c) || self.failable(t) || self.failable(f),
             PrimExpr::Call(_, args) => args.iter().any(|a| self.failable(a)),
             PrimExpr::TensorRead(..) | PrimExpr::Reduce { .. } => true,
         }
@@ -429,7 +423,7 @@ impl Compiler {
             }
         }
         let failable = matches!(op, BinOp::Div | BinOp::FloorDiv | BinOp::FloorMod)
-            && cb.map_or(true, |y| y == 0);
+            && cb.is_none_or(|y| y == 0);
         let ia = self.ival[a as usize];
         let ib = self.ival[b as usize];
         let interval = interval_of(op, ia, ib, cb);
@@ -457,8 +451,8 @@ impl Compiler {
                 let (ra, ca) = self.compile_expr(a)?;
                 let (rb, cb) = self.compile_expr(b)?;
                 if dt.is_float() {
-                    let fa = self.to_f(ra, ca);
-                    let fb = self.to_f(rb, cb);
+                    let fa = self.coerce_f(ra, ca);
+                    let fb = self.coerce_f(rb, cb);
                     let at = (self.fdef[fa as usize].max(self.fdef[fb as usize])) as usize;
                     let dst = self.freg_at(at);
                     let instr = if dt == DType::F32 {
@@ -469,8 +463,8 @@ impl Compiler {
                     self.emit_at(at, instr);
                     Ok((dst, Cls::F))
                 } else {
-                    let ia = self.to_i(ra, ca);
-                    let ib = self.to_i(rb, cb);
+                    let ia = self.coerce_i(ra, ca);
+                    let ib = self.coerce_i(rb, cb);
                     Ok((self.ibin(*op, ia, ib), Cls::I))
                 }
             }
@@ -479,15 +473,15 @@ impl Compiler {
                 let (ra, ca) = self.compile_expr(a)?;
                 let (rb, cb) = self.compile_expr(b)?;
                 if float {
-                    let fa = self.to_f(ra, ca);
-                    let fb = self.to_f(rb, cb);
+                    let fa = self.coerce_f(ra, ca);
+                    let fb = self.coerce_f(rb, cb);
                     let at = (self.fdef[fa as usize].max(self.fdef[fb as usize])) as usize;
                     let dst = self.ireg_at(at, Some((0, 1)));
                     self.emit_at(at, Instr::FCmp(*op, dst, fa, fb));
                     Ok((dst, Cls::I))
                 } else {
-                    let ia = self.to_i(ra, ca);
-                    let ib = self.to_i(rb, cb);
+                    let ia = self.coerce_i(ra, ca);
+                    let ib = self.coerce_i(rb, cb);
                     if let (Some(x), Some(y)) = (self.const_of(ia), self.const_of(ib)) {
                         let r = match op {
                             CmpOp::Eq => x == y,
@@ -545,8 +539,8 @@ impl Compiler {
                 let (rt, ct) = self.compile_expr(t)?;
                 let (rf, cf) = self.compile_expr(f)?;
                 if ct == Cls::F || cf == Cls::F {
-                    let ft = self.to_f(rt, ct);
-                    let ff = self.to_f(rf, cf);
+                    let ft = self.coerce_f(rt, ct);
+                    let ff = self.coerce_f(rf, cf);
                     let at = (self.idef[tc as usize] as usize)
                         .max(self.fdef[ft as usize] as usize)
                         .max(self.fdef[ff as usize] as usize);
@@ -583,11 +577,11 @@ impl Compiler {
                             Ok((dst, Cls::F))
                         }
                     },
-                    DType::F64 => Ok((self.to_f(r, c), Cls::F)),
+                    DType::F64 => Ok((self.coerce_f(r, c), Cls::F)),
                     // Int/bool casts are `as_i64`: identity on ints (no
                     // width truncation, matching the interpreter's i64-wide
                     // `Value`), truncation on floats.
-                    _ => Ok((self.to_i(r, c), Cls::I)),
+                    _ => Ok((self.coerce_i(r, c), Cls::I)),
                 }
             }
             PrimExpr::Call(intr, args) => {
@@ -596,10 +590,10 @@ impl Compiler {
                 }
                 let round = e.dtype() == DType::F32;
                 let (rx, cx) = self.compile_expr(&args[0])?;
-                let fx = self.to_f(rx, cx);
+                let fx = self.coerce_f(rx, cx);
                 if *intr == Intrinsic::Pow {
                     let (ry, cy) = self.compile_expr(&args[1])?;
-                    let fy = self.to_f(ry, cy);
+                    let fy = self.coerce_f(ry, cy);
                     let at = (self.fdef[fx as usize].max(self.fdef[fy as usize])) as usize;
                     let dst = self.freg_at(at);
                     self.emit_at(at, Instr::Call2(*intr, dst, fx, fy, round));
@@ -635,7 +629,7 @@ impl Compiler {
         let mut regs: Vec<Reg> = Vec::with_capacity(idx.len());
         for (d, ie) in idx.iter().enumerate() {
             let (r, c) = self.compile_expr(ie)?;
-            let ir = self.to_i(r, c);
+            let ir = self.coerce_i(r, c);
             regs.push(ir);
             let extent = shape[d] as i64;
             let proven = matches!(self.ival[ir as usize], Some((lo, hi)) if lo >= 0 && hi < extent);
@@ -720,7 +714,11 @@ impl Compiler {
                     extent: *extent,
                     body: Block { items: blk.items },
                 };
-                self.blocks.last_mut().expect("parent block").items.push(item);
+                self.blocks
+                    .last_mut()
+                    .expect("parent block")
+                    .items
+                    .push(item);
                 Ok(())
             }
             Stmt::BufferStore {
@@ -730,7 +728,7 @@ impl Compiler {
             } => {
                 // The interpreter evaluates the value before the indices.
                 let (rv, cv) = self.compile_expr(value)?;
-                let fv = self.to_f(rv, cv);
+                let fv = self.coerce_f(rv, cv);
                 let Some(&slot) = self.buf_slot.get(&buffer.id) else {
                     return reject(format!("no storage for `{}`", buffer.name));
                 };
@@ -746,7 +744,7 @@ impl Compiler {
                 let mut regs: Vec<Reg> = Vec::with_capacity(indices.len());
                 for ie in indices {
                     let (r, c) = self.compile_expr(ie)?;
-                    regs.push(self.to_i(r, c));
+                    regs.push(self.coerce_i(r, c));
                 }
                 let all_proven = regs.iter().zip(shape.iter()).all(|(&r, &ext)| {
                     matches!(self.ival[r as usize], Some((lo, hi)) if lo >= 0 && hi < ext as i64)
@@ -767,7 +765,11 @@ impl Compiler {
             Stmt::IfThenElse { cond, then, else_ } => {
                 let (rc, cc) = self.compile_expr(cond)?;
                 // A condition the compiler already decided needs no branch.
-                if let Some(v) = if cc == Cls::I { self.const_of(rc) } else { None } {
+                if let Some(v) = if cc == Cls::I {
+                    self.const_of(rc)
+                } else {
+                    None
+                } {
                     return if v != 0 {
                         self.compile_stmt(then)
                     } else if let Some(e) = else_ {
@@ -796,7 +798,11 @@ impl Compiler {
                     then: Block { items: tb.items },
                     else_: eb,
                 };
-                self.blocks.last_mut().expect("parent block").items.push(item);
+                self.blocks
+                    .last_mut()
+                    .expect("parent block")
+                    .items
+                    .push(item);
                 Ok(())
             }
             Stmt::Seq(items) => {

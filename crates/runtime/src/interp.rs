@@ -288,10 +288,9 @@ impl<'a> Machine<'a> {
                 value,
             } => {
                 let val = self.eval(value)?;
-                let slot = *self
-                    .buf_slot
-                    .get(&buffer.id)
-                    .ok_or_else(|| ExecError::BadExpr(format!("no storage for `{}`", buffer.name)))?;
+                let slot = *self.buf_slot.get(&buffer.id).ok_or_else(|| {
+                    ExecError::BadExpr(format!("no storage for `{}`", buffer.name))
+                })?;
                 let mut raw = Vec::with_capacity(indices.len());
                 for ie in indices {
                     raw.push(self.eval_index(ie)?);
@@ -542,7 +541,9 @@ mod tests {
         let f = lower(&s, &[a, m], "rowmax");
         let av = NDArray::from_f32(
             &[3, 4],
-            &[1.0, 9.0, 2.0, 3.0, -5.0, -1.0, -9.0, -2.0, 0.0, 0.5, 0.25, 0.75],
+            &[
+                1.0, 9.0, 2.0, 3.0, -5.0, -1.0, -9.0, -2.0, 0.0, 0.5, 0.25, 0.75,
+            ],
         );
         let mut args = [av, NDArray::zeros(&[3], DType::F32)];
         execute(&f, &mut args).expect("run");

@@ -84,9 +84,7 @@ impl NDArray {
         let n: usize = shape.iter().product();
         let mut rng = SmallRng::seed_from_u64(seed);
         let data = match dtype {
-            DType::F32 => {
-                TensorData::F32((0..n).map(|_| rng.gen_range(lo..hi) as f32).collect())
-            }
+            DType::F32 => TensorData::F32((0..n).map(|_| rng.gen_range(lo..hi) as f32).collect()),
             DType::F64 => TensorData::F64((0..n).map(|_| rng.gen_range(lo..hi)).collect()),
             DType::I32 => TensorData::I32(
                 (0..n)

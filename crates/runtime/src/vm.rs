@@ -71,9 +71,7 @@ impl<'a> Vm<'a> {
                         BinOp::Mul => x * y,
                         BinOp::Div => {
                             if y == 0 {
-                                return Err(ExecError::BadExpr(
-                                    "integer division by zero".into(),
-                                ));
+                                return Err(ExecError::BadExpr("integer division by zero".into()));
                             }
                             x / y
                         }
@@ -445,7 +443,9 @@ mod tests {
         let args = vec![
             NDArray::from_f32(
                 &[3, 4],
-                &[1.0, 9.0, 2.0, 3.0, -5.0, -1.0, -9.0, -2.0, 0.0, 0.5, 0.25, 0.75],
+                &[
+                    1.0, 9.0, 2.0, 3.0, -5.0, -1.0, -9.0, -2.0, 0.0, 0.5, 0.25, 0.75,
+                ],
             ),
             NDArray::zeros(&[3], DType::F32),
         ];

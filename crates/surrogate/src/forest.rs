@@ -108,7 +108,13 @@ impl RandomForest {
     /// Fit one tree of the ensemble: bootstrap draw + tree fit, seeded
     /// only by `(forest seed, tree index)` so the result is independent
     /// of whether trees are fitted sequentially or in parallel.
-    fn fit_one_tree(&self, t: usize, x: &[Vec<f64>], y: &[f64], max_features: usize) -> RegressionTree {
+    fn fit_one_tree(
+        &self,
+        t: usize,
+        x: &[Vec<f64>],
+        y: &[f64],
+        max_features: usize,
+    ) -> RegressionTree {
         let n = x.len();
         let tree_seed = self
             .seed
@@ -264,9 +270,6 @@ mod tests {
         let serial: Vec<(f64, f64)> = rows.iter().map(|r| rf.predict_with_std(r)).collect();
         assert_eq!(batch, serial);
         // The small-batch (sequential) path agrees too.
-        assert_eq!(
-            rf.predict_with_std_batch(&rows[..5]),
-            serial[..5].to_vec()
-        );
+        assert_eq!(rf.predict_with_std_batch(&rows[..5]), serial[..5].to_vec());
     }
 }

@@ -101,8 +101,8 @@ impl Regressor for GradientBoosting {
             };
             let rx: Vec<Vec<f64>> = rows.iter().map(|&i| x[i].clone()).collect();
             let ry: Vec<f64> = rows.iter().map(|&i| y[i] - pred[i]).collect();
-            let mut tree = RegressionTree::new(self.max_depth)
-                .with_seed(self.seed.wrapping_add(round as u64));
+            let mut tree =
+                RegressionTree::new(self.max_depth).with_seed(self.seed.wrapping_add(round as u64));
             tree.fit(&rx, &ry);
             for i in 0..n {
                 pred[i] += self.learning_rate * tree.predict_one(&x[i]);
@@ -113,13 +113,7 @@ impl Regressor for GradientBoosting {
 
     fn predict_one(&self, row: &[f64]) -> f64 {
         assert!(self.is_fitted(), "predict before fit");
-        self.base
-            + self.learning_rate
-                * self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict_one(row))
-                    .sum::<f64>()
+        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict_one(row)).sum::<f64>()
     }
 }
 
@@ -154,10 +148,7 @@ mod tests {
         strong.fit(&x, &y);
         let e_weak = rmse(&weak.predict(&x), &y);
         let e_strong = rmse(&strong.predict(&x), &y);
-        assert!(
-            e_strong < e_weak * 0.5,
-            "weak={e_weak}, strong={e_strong}"
-        );
+        assert!(e_strong < e_weak * 0.5, "weak={e_weak}, strong={e_strong}");
     }
 
     #[test]

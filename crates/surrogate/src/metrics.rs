@@ -32,11 +32,7 @@ pub fn r2(pred: &[f64], truth: &[f64]) -> f64 {
     assert!(!pred.is_empty());
     let mean = truth.iter().sum::<f64>() / truth.len() as f64;
     let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
-    let ss_res: f64 = pred
-        .iter()
-        .zip(truth)
-        .map(|(p, t)| (p - t) * (p - t))
-        .sum();
+    let ss_res: f64 = pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
     if ss_tot == 0.0 {
         if ss_res == 0.0 {
             1.0

@@ -8,12 +8,11 @@ use surrogate::tree::RegressionTree;
 use surrogate::Regressor;
 
 fn dataset_strategy() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
-    prop::collection::vec((prop::array::uniform3(-10.0f64..10.0), -100.0f64..100.0), 5..40)
-        .prop_map(|rows| {
-            rows.into_iter()
-                .map(|(x, y)| (x.to_vec(), y))
-                .unzip()
-        })
+    prop::collection::vec(
+        (prop::array::uniform3(-10.0f64..10.0), -100.0f64..100.0),
+        5..40,
+    )
+    .prop_map(|rows| rows.into_iter().map(|(x, y)| (x.to_vec(), y)).unzip())
 }
 
 proptest! {

@@ -143,10 +143,7 @@ impl PrimExpr {
             }
             PrimExpr::Select(_, t, f) => t.dtype().unify(f.dtype()),
             PrimExpr::Cast(t, _) => *t,
-            PrimExpr::Call(_, args) => args
-                .first()
-                .map(|a| a.dtype())
-                .unwrap_or(DType::F32),
+            PrimExpr::Call(_, args) => args.first().map(|a| a.dtype()).unwrap_or(DType::F32),
             PrimExpr::TensorRead(t, _) => t.dtype(),
             PrimExpr::Reduce { source, .. } => source.dtype(),
         }

@@ -41,7 +41,11 @@ pub fn select(
     t: impl Into<PrimExpr>,
     f: impl Into<PrimExpr>,
 ) -> PrimExpr {
-    PrimExpr::Select(Arc::new(cond.into()), Arc::new(t.into()), Arc::new(f.into()))
+    PrimExpr::Select(
+        Arc::new(cond.into()),
+        Arc::new(t.into()),
+        Arc::new(f.into()),
+    )
 }
 
 /// Convert `e` to `dtype`.

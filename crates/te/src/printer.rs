@@ -93,7 +93,11 @@ impl fmt::Display for Op {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.kind {
             OpKind::Placeholder => {
-                write!(f, "placeholder {}: {:?} {}", self.name, self.shape, self.dtype)
+                write!(
+                    f,
+                    "placeholder {}: {:?} {}",
+                    self.name, self.shape, self.dtype
+                )
             }
             OpKind::Compute { axes, body, .. } => {
                 write!(f, "compute {}[", self.name)?;

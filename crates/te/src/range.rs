@@ -15,7 +15,10 @@ pub struct Range {
 impl Range {
     /// Range `[min, min+extent)`.
     pub fn new(min: i64, extent: i64) -> Range {
-        assert!(extent >= 0, "range extent must be non-negative, got {extent}");
+        assert!(
+            extent >= 0,
+            "range extent must be non-negative, got {extent}"
+        );
         Range { min, extent }
     }
 

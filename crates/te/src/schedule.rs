@@ -279,8 +279,8 @@ impl Schedule {
             )
         });
         let parent = stage.leaf_iter_vars[pos].clone();
-        let outer_extent = parent.dom.extent.div_euclid(factor)
-            + i64::from(parent.dom.extent % factor != 0);
+        let outer_extent =
+            parent.dom.extent.div_euclid(factor) + i64::from(parent.dom.extent % factor != 0);
         let outer = IterVar::new(
             crate::range::Range::from_extent(outer_extent),
             format!("{}.outer", parent.var.name),
@@ -412,10 +412,7 @@ impl Schedule {
     ) -> (IterVar, IterVar, IterVar, IterVar) {
         let (xo, xi) = self.split(tensor, x, x_factor);
         let (yo, yi) = self.split(tensor, y, y_factor);
-        self.reorder(
-            tensor,
-            &[xo.clone(), yo.clone(), xi.clone(), yi.clone()],
-        );
+        self.reorder(tensor, &[xo.clone(), yo.clone(), xi.clone(), yi.clone()]);
         (xo, yo, xi, yi)
     }
 
@@ -568,7 +565,9 @@ mod tests {
     #[test]
     fn create_orders_stages_topologically() {
         let (_, _, c, _) = matmul(8);
-        let d = compute([8, 8], "D", |i| c.at(&[i[0].clone(), i[1].clone()]) + int(1));
+        let d = compute([8, 8], "D", |i| {
+            c.at(&[i[0].clone(), i[1].clone()]) + int(1)
+        });
         let s = Schedule::create(&[d.clone()]);
         assert_eq!(s.stages.len(), 2);
         assert!(s.stages[0].tensor.same_as(&c));
@@ -690,7 +689,10 @@ mod tests {
         let (y, x) = (c.axis(0), c.axis(1));
         let (yo, yi) = s.split(&c, &y, 8);
         let (xo, xi) = s.split(&c, &x, 8);
-        s.reorder(&c, &[yo.clone(), xo.clone(), k.clone(), yi.clone(), xi.clone()]);
+        s.reorder(
+            &c,
+            &[yo.clone(), xo.clone(), k.clone(), yi.clone(), xi.clone()],
+        );
         let order: Vec<u64> = s
             .stage(&c)
             .leaf_iter_vars

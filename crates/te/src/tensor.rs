@@ -4,8 +4,8 @@ use crate::dtype::DType;
 use crate::expr::PrimExpr;
 use crate::var::{IterVar, IterVarType};
 use std::fmt;
-use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 static NEXT_OP_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -178,11 +178,7 @@ impl std::hash::Hash for Tensor {
 }
 
 /// Declare an input tensor (`te.placeholder`).
-pub fn placeholder(
-    shape: impl Into<Vec<usize>>,
-    dtype: DType,
-    name: impl Into<String>,
-) -> Tensor {
+pub fn placeholder(shape: impl Into<Vec<usize>>, dtype: DType, name: impl Into<String>) -> Tensor {
     let shape = shape.into();
     assert!(!shape.is_empty(), "placeholder must have rank >= 1");
     Tensor {

@@ -9,10 +9,8 @@ use std::sync::Arc;
 pub fn walk(expr: &PrimExpr, f: &mut impl FnMut(&PrimExpr)) {
     f(expr);
     match expr {
-        PrimExpr::IntImm(..)
-        | PrimExpr::FloatImm(..)
-        | PrimExpr::BoolImm(_)
-        | PrimExpr::Var(_) => {}
+        PrimExpr::IntImm(..) | PrimExpr::FloatImm(..) | PrimExpr::BoolImm(_) | PrimExpr::Var(_) => {
+        }
         PrimExpr::Binary(_, a, b) | PrimExpr::Cmp(_, a, b) => {
             walk(a, f);
             walk(b, f);
@@ -45,10 +43,9 @@ pub fn walk(expr: &PrimExpr, f: &mut impl FnMut(&PrimExpr)) {
 /// the rebuilt node (`None` keeps it).
 pub fn rewrite(expr: &PrimExpr, f: &mut impl FnMut(&PrimExpr) -> Option<PrimExpr>) -> PrimExpr {
     let rebuilt = match expr {
-        PrimExpr::IntImm(..)
-        | PrimExpr::FloatImm(..)
-        | PrimExpr::BoolImm(_)
-        | PrimExpr::Var(_) => expr.clone(),
+        PrimExpr::IntImm(..) | PrimExpr::FloatImm(..) | PrimExpr::BoolImm(_) | PrimExpr::Var(_) => {
+            expr.clone()
+        }
         PrimExpr::Binary(op, a, b) => {
             PrimExpr::Binary(*op, Arc::new(rewrite(a, f)), Arc::new(rewrite(b, f)))
         }
@@ -64,9 +61,7 @@ pub fn rewrite(expr: &PrimExpr, f: &mut impl FnMut(&PrimExpr) -> Option<PrimExpr
             Arc::new(rewrite(t, f)),
             Arc::new(rewrite(e, f)),
         ),
-        PrimExpr::Call(i, args) => {
-            PrimExpr::Call(*i, args.iter().map(|a| rewrite(a, f)).collect())
-        }
+        PrimExpr::Call(i, args) => PrimExpr::Call(*i, args.iter().map(|a| rewrite(a, f)).collect()),
         PrimExpr::TensorRead(t, idx) => {
             PrimExpr::TensorRead(t.clone(), idx.iter().map(|i| rewrite(i, f)).collect())
         }

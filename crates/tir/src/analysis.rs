@@ -156,7 +156,12 @@ pub fn count_flops(e: &PrimExpr) -> f64 {
     flops
 }
 
-fn stride_of(indices: &[PrimExpr], strides_elems: &[usize], loop_var: u64, base: &HashMap<u64, i64>) -> Option<i64> {
+fn stride_of(
+    indices: &[PrimExpr],
+    strides_elems: &[usize],
+    loop_var: u64,
+    base: &HashMap<u64, i64>,
+) -> Option<i64> {
     // Linear offset difference when the loop var moves 0 -> 1.
     let mut env0 = base.clone();
     env0.insert(loop_var, 0);
@@ -369,9 +374,17 @@ mod tests {
         let update = &feats[1];
         // Loops are (i, j, k). Reads: A[i,k] (strides 16,0,1), B[k,j] (0,1,16),
         // C[i,j] (16,1,0). Write C[i,j] likewise.
-        let a = update.reads.iter().find(|r| r.buffer == "A").expect("A read");
+        let a = update
+            .reads
+            .iter()
+            .find(|r| r.buffer == "A")
+            .expect("A read");
         assert_eq!(a.strides, vec![16, 0, 1]);
-        let b = update.reads.iter().find(|r| r.buffer == "B").expect("B read");
+        let b = update
+            .reads
+            .iter()
+            .find(|r| r.buffer == "B")
+            .expect("B read");
         assert_eq!(b.strides, vec![0, 1, 16]);
         assert_eq!(update.write.strides, vec![16, 1, 0]);
     }

@@ -1,0 +1,247 @@
+//! Static schedule-safety analysis over lowered TIR.
+//!
+//! Runs before any compilation or measurement and answers one question:
+//! *is it safe to execute this scheduled function?* Two passes feed a
+//! shared diagnostic stream:
+//!
+//! * [`bounds`] — abstract interpretation over the integer [`interval`]
+//!   domain, proving every buffer access in-bounds (or reporting the
+//!   offending access path),
+//! * [`deps`] — a dependence test over the iterations of
+//!   `ForKind::Parallel` / `ForKind::Vectorized` loops, flagging
+//!   write-write and read-write conflicts.
+//!
+//! Diagnostics carry stable codes (`TIR-OOB`, `TIR-RACE-WW`, ...) and a
+//! [`Severity`]: `Deny` means the config must not be measured (the
+//! evaluator surfaces it as `MeasureError::StaticReject`), `Warn` means
+//! the analyzer could not prove safety but has no certificate of a bug.
+
+pub mod bounds;
+pub mod deps;
+pub mod interval;
+
+use crate::stmt::PrimFunc;
+use std::fmt;
+
+/// How severe a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Could not prove safety; measurement may proceed.
+    Warn,
+    /// Proven (or unprovably) unsafe; the config must be rejected.
+    Deny,
+}
+
+impl Severity {
+    /// Lower-case label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+/// Stable diagnostic codes emitted by the analyzer.
+pub mod codes {
+    /// A buffer access is provably out of bounds.
+    pub const OOB: &str = "TIR-OOB";
+    /// An index expression falls outside the analyzable fragment.
+    pub const UNANALYZABLE: &str = "TIR-UNANALYZABLE";
+    /// Two iterations of a parallel loop write the same element.
+    pub const RACE_WW: &str = "TIR-RACE-WW";
+    /// A parallel iteration reads an element another iteration writes.
+    pub const RACE_RW: &str = "TIR-RACE-RW";
+    /// A potential race that the dependence test could not resolve.
+    pub const RACE_MAYBE: &str = "TIR-RACE-MAYBE";
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (see [`codes`]).
+    pub code: &'static str,
+    /// Deny or Warn.
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Name of the buffer involved, when the finding is access-shaped.
+    pub buffer: Option<String>,
+    /// Rendered access path, e.g. `C[((i*16) + j)] dim 0`.
+    pub access: Option<String>,
+    /// Loop variable the finding is attached to (race findings).
+    pub loop_var: Option<String>,
+}
+
+impl Diagnostic {
+    /// Construct a Deny diagnostic with just a code and message.
+    pub fn deny(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Deny,
+            message: message.into(),
+            buffer: None,
+            access: None,
+            loop_var: None,
+        }
+    }
+
+    /// Construct a Warn diagnostic with just a code and message.
+    pub fn warn(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warn,
+            ..Diagnostic::deny(code, message)
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}",
+            self.severity.label(),
+            self.code,
+            self.message
+        )?;
+        if let Some(access) = &self.access {
+            write!(f, "\n  --> {access}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The full result of analyzing one lowered function.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisReport {
+    /// Name of the analyzed function.
+    pub function: String,
+    /// All findings, bounds first then dependence.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AnalysisReport {
+    /// True when any finding is `Deny`.
+    pub fn is_rejected(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Deny)
+    }
+
+    /// The Deny findings only.
+    pub fn denials(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+    }
+
+    /// One-line summary used as the `StaticReject` error message.
+    pub fn reject_summary(&self) -> String {
+        let n = self.denials().count();
+        match self.denials().next() {
+            Some(first) if n == 1 => format!("{}: {}", first.code, first.message),
+            Some(first) => format!("{}: {} (+{} more)", first.code, first.message, n - 1),
+            None => "accepted".to_string(),
+        }
+    }
+
+    /// Rendered multi-line text report.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "schedule-safety report for `{}`: {}\n",
+            self.function,
+            if self.is_rejected() {
+                "REJECT"
+            } else {
+                "accept"
+            }
+        );
+        if self.diagnostics.is_empty() {
+            out.push_str("  no findings\n");
+        }
+        for d in &self.diagnostics {
+            out.push_str(&format!("  {d}\n"));
+        }
+        out
+    }
+
+    /// Machine-readable JSON document.
+    pub fn to_json(&self) -> String {
+        let diags: Vec<serde_json::Value> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                serde_json::json!({
+                    "code": d.code,
+                    "severity": d.severity.label(),
+                    "message": d.message,
+                    "buffer": d.buffer,
+                    "access": d.access,
+                    "loop_var": d.loop_var,
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "function": self.function,
+            "verdict": if self.is_rejected() { "reject" } else { "accept" },
+            "diagnostics": diags,
+        })
+        .to_string()
+    }
+}
+
+/// Run the full analyzer (bounds + parallel dependence) on a lowered
+/// function.
+pub fn check(func: &PrimFunc) -> AnalysisReport {
+    let mut diagnostics = Vec::new();
+    bounds::check_bounds(func, &mut diagnostics);
+    deps::check_parallel_deps(func, &mut diagnostics);
+    AnalysisReport {
+        function: func.name.clone(),
+        diagnostics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_render_and_json() {
+        let mut r = AnalysisReport {
+            function: "mm".into(),
+            diagnostics: vec![],
+        };
+        assert!(!r.is_rejected());
+        assert!(r.render_text().contains("accept"));
+        r.diagnostics.push(Diagnostic {
+            buffer: Some("C".into()),
+            access: Some("C[i] dim 0".into()),
+            ..Diagnostic::deny(codes::OOB, "index exceeds extent")
+        });
+        r.diagnostics
+            .push(Diagnostic::warn(codes::RACE_MAYBE, "unresolved dependence"));
+        assert!(r.is_rejected());
+        assert_eq!(r.denials().count(), 1);
+        let text = r.render_text();
+        assert!(text.contains("REJECT"));
+        assert!(text.contains("deny[TIR-OOB]"));
+        assert!(text.contains("warn[TIR-RACE-MAYBE]"));
+        let json = r.to_json();
+        assert!(json.contains("\"verdict\":\"reject\""));
+        assert!(json.contains("TIR-OOB"));
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+        assert_eq!(parsed.get("function").and_then(|v| v.as_str()), Some("mm"));
+    }
+
+    #[test]
+    fn reject_summary_counts() {
+        let mut r = AnalysisReport::default();
+        assert_eq!(r.reject_summary(), "accepted");
+        r.diagnostics.push(Diagnostic::deny(codes::OOB, "first"));
+        assert_eq!(r.reject_summary(), "TIR-OOB: first");
+        r.diagnostics
+            .push(Diagnostic::deny(codes::RACE_WW, "second"));
+        assert_eq!(r.reject_summary(), "TIR-OOB: first (+1 more)");
+    }
+}

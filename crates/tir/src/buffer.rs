@@ -1,8 +1,8 @@
 //! Memory buffers referenced by TIR statements.
 
 use std::fmt;
-use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use tvm_te::{DType, Tensor};
 
 static NEXT_BUF_ID: AtomicU64 = AtomicU64::new(1);

@@ -123,9 +123,7 @@ pub fn if_else(cond: PrimExpr, then: Stmt, other: Stmt) -> Stmt {
 
 /// Sequence a list of statements.
 pub fn seq(items: impl IntoIterator<Item = Stmt>) -> Stmt {
-    items
-        .into_iter()
-        .fold(Stmt::Nop, |acc, s| acc.then(s))
+    items.into_iter().fold(Stmt::Nop, |acc, s| acc.then(s))
 }
 
 #[cfg(test)]

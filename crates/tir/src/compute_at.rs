@@ -216,11 +216,8 @@ pub(crate) fn attached_region_stmt(
                 value: identity_expr(*combiner, ptensor.dtype()),
             };
             let read_out = PrimExpr::TensorRead(ptensor.clone(), out_idx.clone());
-            let update_val = crate::lower::combine_expr_pub(
-                *combiner,
-                read_out,
-                substitute(source, &map),
-            );
+            let update_val =
+                crate::lower::combine_expr_pub(*combiner, read_out, substitute(source, &map));
             let mut update = Stmt::BufferStore {
                 buffer: buf.clone(),
                 indices: out_idx,

@@ -11,6 +11,9 @@
 //! * [`analysis`] — loop-nest feature extraction consumed by the
 //!   analytical GPU cost model (`gpu-sim`) and the XGB tuner's feature
 //!   encoding (`autotvm`),
+//! * [`analyze`] — static schedule-safety analysis (interval bounds
+//!   proofs and parallel-dependence race detection) run before any
+//!   config is compiled or measured,
 //! * [`builder`] — an imperative TIR builder used for kernels whose
 //!   loop-carried dependences fall outside pure tensor expressions
 //!   (PolyBench LU and Cholesky).
@@ -27,6 +30,7 @@
 //! ```
 
 pub mod analysis;
+pub mod analyze;
 pub mod buffer;
 pub mod builder;
 pub mod compute_at;

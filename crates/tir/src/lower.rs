@@ -72,9 +72,9 @@ pub fn lower_with_options(
     let mut allocs: Vec<Arc<Buffer>> = Vec::new();
     for st in &schedule.stages {
         let t = &st.tensor;
-        if !buf_of.contains_key(&t.op.id) {
+        if let std::collections::hash_map::Entry::Vacant(e) = buf_of.entry(t.op.id) {
             let b = Buffer::from_tensor(t);
-            buf_of.insert(t.op.id, b.clone());
+            e.insert(b.clone());
             allocs.push(b);
         }
     }
@@ -92,7 +92,10 @@ pub fn lower_with_options(
         if st.is_attached() {
             continue;
         }
-        let inner = attached.get(&st.tensor.op.id).map(Vec::as_slice).unwrap_or(&[]);
+        let inner = attached
+            .get(&st.tensor.op.id)
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
         body = body.then(lower_stage(st, &buf_of, inner));
     }
 

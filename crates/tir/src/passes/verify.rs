@@ -28,6 +28,18 @@ pub enum VerifyError {
     UnknownTensor(String),
     /// A reduction node survived lowering (must not appear in TIR).
     ResidualReduce,
+    /// A loop re-binds a variable already bound by an enclosing loop —
+    /// the inner binding would silently shadow the outer one in every
+    /// index expression of its body.
+    ShadowedVar(String),
+    /// A loop declares a zero or negative extent; lowering must emit
+    /// such loops as `Nop` (or guard them), never as a `For`.
+    NonPositiveExtent {
+        /// Loop variable name.
+        var: String,
+        /// The offending extent.
+        extent: i64,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -38,10 +50,19 @@ impl fmt::Display for VerifyError {
                 name,
                 expected,
                 got,
-            } => write!(f, "rank mismatch on `{name}`: expected {expected}, got {got}"),
+            } => write!(
+                f,
+                "rank mismatch on `{name}`: expected {expected}, got {got}"
+            ),
             VerifyError::UnknownBuffer(n) => write!(f, "store to unknown buffer `{n}`"),
             VerifyError::UnknownTensor(n) => write!(f, "read of unknown tensor `{n}`"),
             VerifyError::ResidualReduce => write!(f, "Reduce node survived lowering"),
+            VerifyError::ShadowedVar(n) => {
+                write!(f, "loop variable `{n}` shadows an enclosing binding")
+            }
+            VerifyError::NonPositiveExtent { var, extent } => {
+                write!(f, "loop over `{var}` has non-positive extent {extent}")
+            }
         }
     }
 }
@@ -59,10 +80,8 @@ fn check_expr(
             return;
         }
         match node {
-            PrimExpr::Var(v) => {
-                if !defined.contains(&v.id) {
-                    err = Some(VerifyError::UndefinedVar(v.name.clone()));
-                }
+            PrimExpr::Var(v) if !defined.contains(&v.id) => {
+                err = Some(VerifyError::UndefinedVar(v.name.clone()));
             }
             PrimExpr::TensorRead(t, idx) => {
                 if idx.len() != t.ndim() {
@@ -89,12 +108,20 @@ fn check_stmt(
     known_ops: &HashSet<u64>,
 ) -> Result<(), VerifyError> {
     match s {
-        Stmt::For { var, body, .. } => {
-            let inserted = defined.insert(var.id);
-            let r = check_stmt(body, defined, known_bufs, known_ops);
-            if inserted {
-                defined.remove(&var.id);
+        Stmt::For {
+            var, extent, body, ..
+        } => {
+            if *extent <= 0 {
+                return Err(VerifyError::NonPositiveExtent {
+                    var: var.name.clone(),
+                    extent: *extent,
+                });
             }
+            if !defined.insert(var.id) {
+                return Err(VerifyError::ShadowedVar(var.name.clone()));
+            }
+            let r = check_stmt(body, defined, known_bufs, known_ops);
+            defined.remove(&var.id);
             r
         }
         Stmt::BufferStore {
@@ -136,8 +163,9 @@ fn check_stmt(
     }
 }
 
-/// Verify a lowered function: variable scoping, index ranks, buffer
-/// bindings, and absence of residual `Reduce` nodes.
+/// Verify a lowered function: variable scoping (including shadowing),
+/// loop extents, index ranks, buffer bindings, and absence of residual
+/// `Reduce` nodes.
 pub fn verify(func: &PrimFunc) -> Result<(), VerifyError> {
     let known_bufs: HashSet<u64> = func.all_buffers().iter().map(|b| b.id).collect();
     let known_ops: HashSet<u64> = func
@@ -230,6 +258,92 @@ mod tests {
             vec![b],
         );
         assert!(verify(&f).is_ok());
+    }
+
+    #[test]
+    fn detects_shadowed_loop_var() {
+        let b = Buffer::new("b", [4usize], DType::F32);
+        let i = Var::index("i");
+        let inner = Stmt::For {
+            var: i.clone(),
+            min: 0,
+            extent: 4,
+            kind: ForKind::Serial,
+            body: Box::new(Stmt::BufferStore {
+                buffer: b.clone(),
+                indices: vec![i.expr()],
+                value: int(0),
+            }),
+        };
+        let f = func_with_body(
+            Stmt::For {
+                var: i.clone(),
+                min: 0,
+                extent: 4,
+                kind: ForKind::Serial,
+                body: Box::new(inner),
+            },
+            vec![b],
+        );
+        match verify(&f) {
+            Err(VerifyError::ShadowedVar(n)) => assert_eq!(n, "i"),
+            other => panic!("expected ShadowedVar, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn distinct_vars_with_same_name_are_not_shadowing() {
+        // Two `Var::index("i")` calls mint distinct ids: nesting them is
+        // legal — shadowing is an *identity* collision, not a name one.
+        let b = Buffer::new("b", [4usize, 4], DType::F32);
+        let outer = Var::index("i");
+        let inner = Var::index("i");
+        let f = func_with_body(
+            Stmt::For {
+                var: outer.clone(),
+                min: 0,
+                extent: 4,
+                kind: ForKind::Serial,
+                body: Box::new(Stmt::For {
+                    var: inner.clone(),
+                    min: 0,
+                    extent: 4,
+                    kind: ForKind::Serial,
+                    body: Box::new(Stmt::BufferStore {
+                        buffer: b.clone(),
+                        indices: vec![outer.expr(), inner.expr()],
+                        value: int(0),
+                    }),
+                }),
+            },
+            vec![b],
+        );
+        assert!(verify(&f).is_ok());
+    }
+
+    #[test]
+    fn detects_non_positive_extent() {
+        let b = Buffer::new("b", [4usize], DType::F32);
+        for bad in [0i64, -3] {
+            let i = Var::index("i");
+            let f = func_with_body(
+                Stmt::For {
+                    var: i.clone(),
+                    min: 0,
+                    extent: bad,
+                    kind: ForKind::Serial,
+                    body: Box::new(Stmt::Nop),
+                },
+                vec![b.clone()],
+            );
+            match verify(&f) {
+                Err(VerifyError::NonPositiveExtent { var, extent }) => {
+                    assert_eq!(var, "i");
+                    assert_eq!(extent, bad);
+                }
+                other => panic!("extent {bad}: expected NonPositiveExtent, got {other:?}"),
+            }
+        }
     }
 
     #[test]

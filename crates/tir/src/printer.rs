@@ -22,7 +22,14 @@ fn print_stmt(s: &Stmt, f: &mut fmt::Formatter<'_>, level: usize) -> fmt::Result
             indent(f, level)?;
             let kw = match kind {
                 ForKind::ThreadBinding(tag) => {
-                    writeln!(f, "bind {} = {} in [{}, {}) {{", var.name, tag.name(), min, min + extent)?;
+                    writeln!(
+                        f,
+                        "bind {} = {} in [{}, {}) {{",
+                        var.name,
+                        tag.name(),
+                        min,
+                        min + extent
+                    )?;
                     print_stmt(body, f, level + 1)?;
                     indent(f, level)?;
                     return writeln!(f, "}}");

@@ -38,7 +38,10 @@ fn main() {
         if let Some(r) = t.runtime_s {
             if r < best {
                 best = r;
-                println!("{:>6} {:>12.2} {:>12.4}  {}", t.index, t.elapsed_s, r, t.config);
+                println!(
+                    "{:>6} {:>12.2} {:>12.4}  {}",
+                    t.index, t.elapsed_s, r, t.config
+                );
             }
         }
     }
@@ -49,7 +52,10 @@ fn main() {
         best.config,
         best.runtime_s.expect("ok")
     );
-    println!("total autotuning process time: {:.1} s", result.total_process_s);
+    println!(
+        "total autotuning process time: {:.1} s",
+        result.total_process_s
+    );
 
     // Persist the performance database (ytopt writes results.csv).
     let db = result.to_database(&format!("lu-{size}"));
@@ -59,6 +65,10 @@ fn main() {
     let json = dir.join("results.json");
     db.save_csv(&csv).expect("csv");
     db.save_json(&json).expect("json");
-    println!("performance database written to {} and {}", csv.display(), json.display());
+    println!(
+        "performance database written to {} and {}",
+        csv.display(),
+        json.display()
+    );
     println!("Problem::name() = {}", Problem::name(&problem));
 }

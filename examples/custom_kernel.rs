@@ -12,8 +12,8 @@ use std::time::Instant;
 use tvm_autotune::bo::problem::{Evaluation, FnProblem};
 use tvm_autotune::bo::{run, BoOptions};
 use tvm_autotune::prelude::*;
-use tvm_autotune::te::select;
 use tvm_autotune::te::ops::cmp;
+use tvm_autotune::te::select;
 
 const N: usize = 96;
 
@@ -35,7 +35,7 @@ fn build_stencil(tile_y: i64, tile_x: i64, unroll_inner: bool) -> Module {
         // 0.2 * 5-point average in the interior; copy on the boundary.
         select(interior, sum5 * PrimExprF32(0.2), center)
     });
-    let mut s = Schedule::create(&[b.clone()]);
+    let mut s = Schedule::create(std::slice::from_ref(&b));
     let (y, x) = (b.axis(0), b.axis(1));
     let (yo, yi) = s.split(&b, &y, tile_y);
     let (xo, xi) = s.split(&b, &x, tile_x);
@@ -66,7 +66,9 @@ fn main() {
     let input = NDArray::random(&[N, N], DType::F32, 9, 0.0, 1.0);
     let tuning_input = input.clone();
     let problem = FnProblem::new(cs, move |cfg: &Configuration| {
-        let unroll = cfg.get("unroll").and_then(|v| v.as_str().map(|s| s == "yes"));
+        let unroll = cfg
+            .get("unroll")
+            .and_then(|v| v.as_str().map(|s| s == "yes"));
         let module = build_stencil(
             cfg.int("tile_y"),
             cfg.int("tile_x"),

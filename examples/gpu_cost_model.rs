@@ -16,10 +16,10 @@ fn tiled_matmul(n: usize, ty: i64, tx: i64) -> PrimFunc {
     let c = compute([n, n], "C", |i| {
         sum(
             a.at(&[i[0].clone(), k.var_expr()]) * b.at(&[k.var_expr(), i[1].clone()]),
-            &[k.clone()],
+            std::slice::from_ref(&k),
         )
     });
-    let mut s = Schedule::create(&[c.clone()]);
+    let mut s = Schedule::create(std::slice::from_ref(&c));
     let (y, x) = (c.axis(0), c.axis(1));
     let (yo, yi) = s.split(&c, &y, ty);
     let (xo, xi) = s.split(&c, &x, tx);
@@ -30,11 +30,7 @@ fn tiled_matmul(n: usize, ty: i64, tx: i64) -> PrimFunc {
 fn main() {
     let n = 2048usize;
     let tiles: [i64; 6] = [1, 8, 32, 128, 512, 2048];
-    let devices = [
-        GpuSpec::a100(),
-        GpuSpec::v100(),
-        GpuSpec::swing_cpu_core(),
-    ];
+    let devices = [GpuSpec::a100(), GpuSpec::v100(), GpuSpec::swing_cpu_core()];
 
     for spec in &devices {
         println!("== {} ==", spec.name);

@@ -15,12 +15,12 @@ fn main() {
     let c = compute([n, n], "C", |i| {
         sum(
             a.at(&[i[0].clone(), k.var_expr()]) * b.at(&[k.var_expr(), i[1].clone()]),
-            &[k.clone()],
+            std::slice::from_ref(&k),
         )
     });
 
     // The paper's schedule pattern: split y/x by a tile factor, reorder.
-    let mut s = Schedule::create(&[c.clone()]);
+    let mut s = Schedule::create(std::slice::from_ref(&c));
     let (y, x) = (c.axis(0), c.axis(1));
     let (yo, yi) = s.split(&c, &y, 8);
     let (xo, xi) = s.split(&c, &x, 8);

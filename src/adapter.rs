@@ -107,7 +107,10 @@ mod tests {
         assert_eq!(res.tuner, "ytopt");
         assert_eq!(res.len(), 60);
         let best = res.best().expect("best").runtime_s.expect("ok");
-        assert!(best < 1.5, "BO through the adapter should converge, got {best}");
+        assert!(
+            best < 1.5,
+            "BO through the adapter should converge, got {best}"
+        );
         let (inc, inc_y) = t.optimizer().incumbent().expect("incumbent");
         assert_eq!(Some(inc_y), res.best().expect("best").runtime_s);
         assert_eq!(inc.len(), 2);

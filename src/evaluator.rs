@@ -12,7 +12,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use tvm_runtime::{CompiledFunc, Device, NDArray};
 use tvm_tir::PrimFunc;
-use ytopt_bo::problem::{CacheStats, Evaluation, Problem};
+use ytopt_bo::problem::{CacheStats, Evaluation, Problem, StaticCheckStats};
 
 /// Modeled host↔device transfer bandwidth (PCIe 4.0 ×16), bytes/s.
 const TRANSFER_BW: f64 = 16e9;
@@ -30,10 +30,13 @@ pub enum EvalMode {
 
 /// One memoized lowering: the instantiated function, its (modeled or
 /// real) build cost, and the device's compiled artifact when it has one.
+/// Statically rejected configs cache the analyzer's verdict instead of a
+/// build: every re-proposal replays the rejection without re-analysis.
 struct CacheEntry {
     func: PrimFunc,
     build_s: f64,
     prepared: Option<Arc<CompiledFunc>>,
+    reject: Option<String>,
 }
 
 /// Measures configurations of one code mold on one device.
@@ -41,6 +44,13 @@ struct CacheEntry {
 /// Process time per evaluation = mold instantiation (real wall clock) +
 /// modeled/real build cost + one data transfer + `repeats` timed runs —
 /// the ingredients of the paper's "overall autotuning process time".
+///
+/// After instantiation — and before any compilation or measurement —
+/// the lowered function passes through the static schedule-safety
+/// analyzer ([`tvm_tir::analyze`]). A `Deny` verdict short-circuits the
+/// evaluation into [`MeasureError::StaticReject`], charged only the
+/// analysis time; accept/reject counters are surfaced through
+/// [`Evaluator::static_check_stats`] next to the cache counters.
 ///
 /// Lowering and compilation are memoized per `(kernel, size, config)`
 /// hash: repeated proposals (GridSearch revisits, GA duplicates, repeated
@@ -62,6 +72,8 @@ pub struct MoldEvaluator {
     cache: Mutex<HashMap<u64, Arc<CacheEntry>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
 }
 
 impl MoldEvaluator {
@@ -75,6 +87,8 @@ impl MoldEvaluator {
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
         }
     }
 
@@ -89,6 +103,8 @@ impl MoldEvaluator {
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
         }
     }
 
@@ -122,6 +138,15 @@ impl MoldEvaluator {
         }
     }
 
+    /// Snapshot of the static analyzer's accept/reject counters (one
+    /// count per analyzed config, i.e. per cache miss).
+    pub fn static_check_stats(&self) -> StaticCheckStats {
+        StaticCheckStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+
     /// Memo key: hash of (kernel, problem size, configuration).
     fn cache_key(&self, config: &Configuration) -> u64 {
         let mut h = DefaultHasher::new();
@@ -140,13 +165,28 @@ impl MoldEvaluator {
             return (Arc::clone(entry), true);
         }
         let func = self.mold.instantiate(config);
-        let build_s = self.device.build_cost(&func);
-        let prepared = self.device.prepare(&func);
-        let entry = Arc::new(CacheEntry {
-            func,
-            build_s,
-            prepared,
-        });
+        // Static schedule-safety gate: a Deny verdict skips the build and
+        // compile entirely; the cached entry replays the rejection.
+        let report = tvm_tir::analyze::check(&func);
+        let entry = if report.is_rejected() {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            Arc::new(CacheEntry {
+                func,
+                build_s: 0.0,
+                prepared: None,
+                reject: Some(report.reject_summary()),
+            })
+        } else {
+            self.accepted.fetch_add(1, Ordering::Relaxed);
+            let build_s = self.device.build_cost(&func);
+            let prepared = self.device.prepare(&func);
+            Arc::new(CacheEntry {
+                func,
+                build_s,
+                prepared,
+                reject: None,
+            })
+        };
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.cache
             .lock()
@@ -165,8 +205,15 @@ impl MoldEvaluator {
         }
         let (entry, cache_hit) = self.lower_cached(config);
         // Real wall clock of this evaluation's lowering work: the full
-        // instantiate on a miss, a map lookup on a hit.
+        // instantiate + static analysis on a miss, a map lookup on a hit.
         let instantiate_s = t0.elapsed().as_secs_f64();
+        if let Some(verdict) = &entry.reject {
+            // Rejected before compilation: only analysis time is charged.
+            return MeasureResult::fail(
+                MeasureError::StaticReject(format!("statically rejected: {verdict}")),
+                instantiate_s,
+            );
+        }
         // The build cost is paid once; cache hits reuse the artifact.
         let build_s = if cache_hit { 0.0 } else { entry.build_s };
         let func = &entry.func;
@@ -220,6 +267,10 @@ impl Evaluator for MoldEvaluator {
     fn cache_stats(&self) -> Option<CacheStats> {
         Some(MoldEvaluator::cache_stats(self))
     }
+
+    fn static_check_stats(&self) -> Option<StaticCheckStats> {
+        Some(MoldEvaluator::static_check_stats(self))
+    }
 }
 
 impl Problem for MoldEvaluator {
@@ -242,6 +293,10 @@ impl Problem for MoldEvaluator {
 
     fn cache_stats(&self) -> Option<CacheStats> {
         Some(MoldEvaluator::cache_stats(self))
+    }
+
+    fn static_check_stats(&self) -> Option<StaticCheckStats> {
+        Some(MoldEvaluator::static_check_stats(self))
     }
 }
 
@@ -302,8 +357,11 @@ mod tests {
 
         let first = Evaluator::evaluate(&ev, &cfg);
         let second = Evaluator::evaluate(&ev, &cfg);
-        let third = Evaluator::evaluate(&ev, &other);
-        assert_eq!(first.runtime_s, second.runtime_s, "same artifact, same time");
+        let _third = Evaluator::evaluate(&ev, &other);
+        assert_eq!(
+            first.runtime_s, second.runtime_s,
+            "same artifact, same time"
+        );
         // The hit skips instantiation and the ~0.8 s simulated build.
         assert!(
             second.process_s < first.process_s - 0.5,
@@ -341,5 +399,171 @@ mod tests {
         );
         let r = Evaluator::evaluate(&ev, &bad);
         assert!(!r.is_ok());
+    }
+
+    /// Test mold that lowers to a safe elementwise kernel for `P0 = 0`
+    /// and to a parallel reduction race for `P0 = 1`.
+    struct RacyMold {
+        space: configspace::ConfigSpace,
+    }
+
+    impl RacyMold {
+        fn new() -> RacyMold {
+            let mut space = configspace::ConfigSpace::new();
+            space.add(configspace::Hyperparameter::ordinal_ints("P0", &[0, 1]));
+            RacyMold { space }
+        }
+    }
+
+    impl CodeMold for RacyMold {
+        fn name(&self) -> &str {
+            "racy"
+        }
+
+        fn size(&self) -> ProblemSize {
+            ProblemSize::Mini
+        }
+
+        fn space(&self) -> &configspace::ConfigSpace {
+            &self.space
+        }
+
+        fn instantiate(&self, config: &Configuration) -> tvm_tir::PrimFunc {
+            use tvm_te::{ops, DType, Var};
+            use tvm_tir::{Buffer, ForKind, PrimFunc, Stmt};
+            let i = Var::index("i");
+            let c = Buffer::new("C", [8usize], DType::F32);
+            let c_read = tvm_te::placeholder([8], DType::F32, "C");
+            let store = if config.int("P0") == 1 {
+                // parallel i: C[0] = C[0] + 1 — write-write race.
+                Stmt::BufferStore {
+                    buffer: c.clone(),
+                    indices: vec![ops::int(0)],
+                    value: c_read.at(&[ops::int(0)]) + ops::float(1.0),
+                }
+            } else {
+                Stmt::BufferStore {
+                    buffer: c.clone(),
+                    indices: vec![i.expr()],
+                    value: ops::float(0.0),
+                }
+            };
+            PrimFunc {
+                name: "racy".into(),
+                params: vec![c],
+                allocs: vec![],
+                body: Stmt::For {
+                    var: i,
+                    min: 0,
+                    extent: 8,
+                    kind: ForKind::Parallel,
+                    body: Box::new(store),
+                },
+            }
+        }
+
+        fn init_args(&self) -> Vec<tvm_runtime::NDArray> {
+            vec![tvm_runtime::NDArray::zeros(&[8], tvm_te::DType::F32)]
+        }
+
+        fn reference_args(&self) -> Vec<Option<tvm_runtime::NDArray>> {
+            vec![None]
+        }
+    }
+
+    #[test]
+    fn racy_config_is_rejected_before_compilation() {
+        let ev =
+            MoldEvaluator::simulated(Box::new(RacyMold::new()), SimDevice::new(GpuSpec::a100()));
+        let safe = Evaluator::space(&ev).at(0);
+        let racy = Evaluator::space(&ev).at(1);
+
+        let good = Evaluator::evaluate(&ev, &safe);
+        assert!(good.is_ok(), "safe config must measure: {:?}", good.error);
+
+        let bad = Evaluator::evaluate(&ev, &racy);
+        assert!(!bad.is_ok());
+        let err = bad.error.as_ref().expect("rejection carries an error");
+        assert_eq!(err.kind(), "static_reject");
+        assert!(
+            err.message().contains("TIR-RACE"),
+            "verdict names the finding: {}",
+            err.message()
+        );
+        // No build or run was charged: only the (fast) analysis time.
+        assert!(
+            bad.process_s < good.process_s,
+            "rejection must be cheaper than a measurement: {} vs {}",
+            bad.process_s,
+            good.process_s
+        );
+
+        // Counters: one accept, one reject, surfaced via both traits.
+        let stats = MoldEvaluator::static_check_stats(&ev);
+        assert_eq!((stats.accepted, stats.rejected), (1, 1));
+        assert_eq!(Evaluator::static_check_stats(&ev), Some(stats));
+        assert_eq!(Problem::static_check_stats(&ev), Some(stats));
+
+        // Replaying the rejected config hits the cache, replays the same
+        // verdict, and does not re-run the analyzer.
+        let again = Evaluator::evaluate(&ev, &racy);
+        assert_eq!(again.error, bad.error);
+        let stats = MoldEvaluator::static_check_stats(&ev);
+        assert_eq!((stats.accepted, stats.rejected), (1, 1));
+        assert_eq!(ev.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn static_reject_round_trips_through_the_journal() {
+        use ytopt_bo::{optimizer, BoOptions};
+        let path = std::env::temp_dir().join(format!(
+            "tvm-autotune-static-reject-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let mut opts = BoOptions {
+            max_evals: 6,
+            ..Default::default()
+        };
+        opts.search.n_initial = 4;
+        opts.search.seed = 11;
+        let ev =
+            MoldEvaluator::simulated(Box::new(RacyMold::new()), SimDevice::new(GpuSpec::a100()));
+        let result = optimizer::run_journaled(&ev, opts, &path).expect("journaled run");
+        let rejected = result
+            .trials
+            .iter()
+            .filter(|t| {
+                t.error
+                    .as_ref()
+                    .is_some_and(|e| e.kind() == "static_reject")
+            })
+            .count();
+        assert!(
+            rejected > 0,
+            "a 2-point space over 6 evals must hit the racy config"
+        );
+        assert_eq!(
+            result.static_checks.map(|s| s.total()),
+            Some(2),
+            "both configs analyzed exactly once"
+        );
+
+        // Resume replays the journaled rejections instead of re-measuring.
+        let fresh =
+            MoldEvaluator::simulated(Box::new(RacyMold::new()), SimDevice::new(GpuSpec::a100()));
+        let resumed = optimizer::resume_from_journal(&fresh, opts, &path).expect("resume");
+        assert_eq!(resumed.trials.len(), result.trials.len());
+        for (a, b) in result.trials.iter().zip(&resumed.trials) {
+            assert_eq!(a.error, b.error, "replayed verdicts match");
+        }
+        let replayed = MoldEvaluator::static_check_stats(&fresh);
+        assert_eq!(
+            replayed.total(),
+            0,
+            "resume must not re-analyze journaled trials"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

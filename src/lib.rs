@@ -21,8 +21,8 @@
 //! the experiments are built on:
 //!
 //! * [`MoldEvaluator`] — measures a PolyBench code mold on a device with
-//!   the paper's process-time accounting (instantiate + build + transfer
-//!   + repeated runs); implements both the AutoTVM
+//!   the paper's process-time accounting (instantiate + build +
+//!   transfer + repeated runs); implements both the AutoTVM
 //!   [`autotvm::Evaluator`] and the ytopt [`bo::Problem`] interfaces,
 //! * [`YtoptTuner`] — exposes the BO search through the AutoTVM `Tuner`
 //!   interface, literally "replacing the autotuning module" as Figure 3

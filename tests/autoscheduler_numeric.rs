@@ -12,7 +12,7 @@ fn mm_graph(n: usize, m: usize, k: usize) -> (Vec<Tensor>, Tensor) {
     let c = compute([n, m], "C", |i| {
         sum(
             a.at(&[i[0].clone(), kk.var_expr()]) * b.at(&[kk.var_expr(), i[1].clone()]),
-            &[kk.clone()],
+            std::slice::from_ref(&kk),
         )
     });
     (vec![a, b, c.clone()], c)
@@ -31,7 +31,11 @@ fn every_generated_config_is_semantics_preserving() {
     for cfg in auto.space().grid() {
         let f = auto.apply(&cfg);
         let m = Module::new(f);
-        let mut run_args = vec![av.clone(), bv.clone(), NDArray::zeros(&[12, 16], DType::F64)];
+        let mut run_args = vec![
+            av.clone(),
+            bv.clone(),
+            NDArray::zeros(&[12, 16], DType::F64),
+        ];
         m.run(&mut run_args).expect("execute");
         assert!(
             run_args[2].allclose(&reference, 1e-10, 1e-12),

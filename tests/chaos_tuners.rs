@@ -109,10 +109,18 @@ fn moderate_chaos_penalizes_failures_without_stopping() {
 fn heavy_chaos_still_completes_and_best_is_successful() {
     for r in run_all(0.5, 3, 100) {
         assert_eq!(r.len(), 100, "{} must complete its budget", r.tuner);
-        assert!(r.failed() > 0, "{}: 50% injection must fail trials", r.tuner);
+        assert!(
+            r.failed() > 0,
+            "{}: 50% injection must fail trials",
+            r.tuner
+        );
         assert!(r.failed() < 100, "{}: some trials must survive", r.tuner);
         let best = r.best().expect("best");
-        assert!(best.runtime_s.is_some() && best.error.is_none(), "{}", r.tuner);
+        assert!(
+            best.runtime_s.is_some() && best.error.is_none(),
+            "{}",
+            r.tuner
+        );
         // The incumbent curve must ignore failures entirely.
         let curve = r.incumbent_curve();
         assert!(curve.last().expect("curve").is_finite(), "{}", r.tuner);
@@ -154,6 +162,61 @@ fn acceptance_twenty_percent_chaos_full_budget_all_tuners() {
         let kb: Vec<String> = b.trials.iter().map(|t| t.config.key()).collect();
         assert_eq!(ka, kb, "{}: chaos runs must be reproducible", a.tuner);
         assert_eq!(a.failed(), b.failed(), "{}", a.tuner);
+    }
+}
+
+/// Injected static rejections behave like the real analyzer's verdicts:
+/// deterministic per configuration (retries replay the same rejection),
+/// charged near-zero process time, and never fatal to the run.
+#[test]
+fn injected_static_rejections_are_deterministic_and_cheap() {
+    let mut plan = FaultPlan::none(5);
+    plan.static_reject = 0.3;
+    let make = || {
+        let inner = FnEvaluator::new(space(), |c| {
+            let r = runtime(c);
+            MeasureResult::ok(r, r + 0.5)
+        });
+        HarnessedEvaluator::new(FaultInjector::new(inner, plan))
+    };
+    let ev = make();
+    let mut tuner = RandomTuner::new(space(), 5);
+    let res = tune(
+        &mut tuner,
+        &ev,
+        TuneOptions {
+            max_evals: 80,
+            batch: 8,
+            max_process_s: None,
+        },
+    );
+    assert_eq!(res.len(), 80);
+    let mut rejected = 0;
+    for t in &res.trials {
+        if let Some(e) = &t.error {
+            assert_eq!(e.kind(), "static_reject", "only static faults planned");
+            assert!(
+                t.eval_process_s < 0.01,
+                "rejection must cost analysis time only, got {}",
+                t.eval_process_s
+            );
+            rejected += 1;
+        }
+    }
+    assert!(rejected > 0, "30% rejection over 80 evals must show up");
+    assert!(res.best().expect("best").error.is_none());
+
+    // Same configuration, fresh injector: the verdict replays — it is a
+    // property of the config, not of evaluation order or attempt count.
+    let ev2 = make();
+    for t in res.trials.iter().take(20) {
+        let replay = ev2.evaluate(&t.config);
+        assert_eq!(
+            replay.error.as_ref().map(|e| e.kind()),
+            t.error.as_ref().map(|e| e.kind()),
+            "verdict for {} must be deterministic",
+            t.config.key()
+        );
     }
 }
 

@@ -28,12 +28,12 @@ fn elementwise_attach_matches_root() {
     let n = 16;
     // Root schedule.
     let (a0, _t0, o0) = elementwise_chain(n);
-    let s0 = Schedule::create(&[o0.clone()]);
+    let s0 = Schedule::create(std::slice::from_ref(&o0));
     let root = Module::new(lower(&s0, &[a0, o0], "root"));
 
     // Attached schedule (tile 4x4, attach under yo).
     let (a1, t1, o1) = elementwise_chain(n);
-    let mut s1 = Schedule::create(&[o1.clone()]);
+    let mut s1 = Schedule::create(std::slice::from_ref(&o1));
     let (y, x) = (o1.axis(0), o1.axis(1));
     let (yo, _yi) = s1.split(&o1, &y, 4);
     let (_xo, _xi) = s1.split(&o1, &x, 4);
@@ -57,17 +57,17 @@ fn reduce_producer_attach_matches_root() {
         let e = compute([n, n], "E", |i| {
             sum(
                 a.at(&[i[0].clone(), k.var_expr()]) * b.at(&[k.var_expr(), i[1].clone()]),
-                &[k.clone()],
+                std::slice::from_ref(&k),
             )
         });
         let l = reduce_axis(0, n as i64, "l");
         let o = compute([n, n], "O", |i| {
             sum(
                 e.at(&[i[0].clone(), l.var_expr()]) * c.at(&[l.var_expr(), i[1].clone()]),
-                &[l.clone()],
+                std::slice::from_ref(&l),
             )
         });
-        let mut s = Schedule::create(&[o.clone()]);
+        let mut s = Schedule::create(std::slice::from_ref(&o));
         let y = o.axis(0);
         let (yo, _yi) = s.split(&o, &y, 3);
         if attach {
@@ -107,7 +107,7 @@ fn stencil_window_attach_matches_root() {
         let o = compute([n - 2], "O", |i| {
             t.at(&[i[0].clone()]) + t.at(&[i[0].clone() + 1]) + t.at(&[i[0].clone() + 2])
         });
-        let mut s = Schedule::create(&[o.clone()]);
+        let mut s = Schedule::create(std::slice::from_ref(&o));
         let x = o.axis(0);
         let (xo, _xi) = s.split(&o, &x, 4);
         if attach {
@@ -139,11 +139,11 @@ proptest! {
     fn prop_attach_any_tiles(ty in 1i64..10, tx in 1i64..10) {
         let n = 14;
         let (a0, _t0, o0) = elementwise_chain(n);
-        let s0 = Schedule::create(&[o0.clone()]);
+        let s0 = Schedule::create(std::slice::from_ref(&o0));
         let root = Module::new(lower(&s0, &[a0, o0], "root"));
 
         let (a1, t1, o1) = elementwise_chain(n);
-        let mut s1 = Schedule::create(&[o1.clone()]);
+        let mut s1 = Schedule::create(std::slice::from_ref(&o1));
         let (y, x) = (o1.axis(0), o1.axis(1));
         let (yo, _yi) = s1.split(&o1, &y, ty);
         let (_xo, _xi) = s1.split(&o1, &x, tx);

@@ -53,7 +53,8 @@ fn ytopt_has_smallest_process_time() {
 /// 228M-point space.
 #[test]
 fn gridsearch_worst_on_3mm() {
-    let space = tvm_autotune::polybench::spaces::space_for(KernelName::Mm3, ProblemSize::ExtraLarge);
+    let space =
+        tvm_autotune::polybench::spaces::space_for(KernelName::Mm3, ProblemSize::ExtraLarge);
     let ev = evaluator(KernelName::Mm3, ProblemSize::ExtraLarge, 1);
     let grid = tune(&mut GridSearchTuner::new(space.clone()), &ev, opts(8));
     let ytopt = tune(&mut YtoptTuner::new(space, SEED), &ev, opts(1));
@@ -112,7 +113,8 @@ fn table1_exact() {
 /// Cholesky-large GA 1.65s vs ytopt 1.66s) and ours land on it.
 #[test]
 fn best_runtimes_are_near_ties_on_small_spaces() {
-    let space = tvm_autotune::polybench::spaces::space_for(KernelName::Cholesky, ProblemSize::Large);
+    let space =
+        tvm_autotune::polybench::spaces::space_for(KernelName::Cholesky, ProblemSize::Large);
     let ev = evaluator(KernelName::Cholesky, ProblemSize::Large, 1);
     let ytopt = tune(&mut YtoptTuner::new(space.clone(), SEED), &ev, opts(1));
     let grid = tune(&mut GridSearchTuner::new(space), &ev, opts(8));

@@ -12,7 +12,7 @@ fn matmul_graph(n: usize) -> (te::Tensor, te::Tensor, te::Tensor, te::IterVar) {
     let c = compute([n, n], "C", |i| {
         sum(
             a.at(&[i[0].clone(), k.var_expr()]) * b.at(&[k.var_expr(), i[1].clone()]),
-            &[k.clone()],
+            std::slice::from_ref(&k),
         )
     });
     (a, b, c, k)
@@ -20,7 +20,7 @@ fn matmul_graph(n: usize) -> (te::Tensor, te::Tensor, te::Tensor, te::IterVar) {
 
 fn run_matmul_with_tiles(n: usize, ty: i64, tx: i64, split_k: Option<i64>) -> NDArray {
     let (a, b, c, k) = matmul_graph(n);
-    let mut s = Schedule::create(&[c.clone()]);
+    let mut s = Schedule::create(std::slice::from_ref(&c));
     let (y, x) = (c.axis(0), c.axis(1));
     let (yo, yi) = s.split(&c, &y, ty);
     let (xo, xi) = s.split(&c, &x, tx);
@@ -42,7 +42,12 @@ fn run_matmul_with_tiles(n: usize, ty: i64, tx: i64, split_k: Option<i64>) -> ND
 #[test]
 fn schedules_are_semantics_preserving() {
     let baseline = run_matmul_with_tiles(24, 1, 1, None);
-    for (ty, tx, kf) in [(4, 6, None), (8, 8, Some(4)), (5, 7, Some(5)), (24, 24, Some(24))] {
+    for (ty, tx, kf) in [
+        (4, 6, None),
+        (8, 8, Some(4)),
+        (5, 7, Some(5)),
+        (24, 24, Some(24)),
+    ] {
         let tiled = run_matmul_with_tiles(24, ty, tx, kf);
         assert!(
             baseline.allclose(&tiled, 1e-4, 1e-5),
@@ -56,7 +61,7 @@ fn schedules_are_semantics_preserving() {
 fn fused_schedule_matches() {
     let n = 16;
     let (a, b, c, _) = matmul_graph(n);
-    let mut s = Schedule::create(&[c.clone()]);
+    let mut s = Schedule::create(std::slice::from_ref(&c));
     let (y, x) = (c.axis(0), c.axis(1));
     let f = s.fuse(&c, &y, &x);
     let (_, _) = s.split(&c, &f, 8);
@@ -73,7 +78,7 @@ fn fused_schedule_matches() {
 fn unroll_and_vectorize_preserve_semantics() {
     let n = 16;
     let (a, b, c, k) = matmul_graph(n);
-    let mut s = Schedule::create(&[c.clone()]);
+    let mut s = Schedule::create(std::slice::from_ref(&c));
     let (y, x) = (c.axis(0), c.axis(1));
     let (yo, yi) = s.split(&c, &y, 4);
     let (xo, xi) = s.split(&c, &x, 4);
@@ -106,7 +111,7 @@ proptest! {
     #[test]
     fn prop_sim_device_deterministic(ty in 1i64..32, tx in 1i64..32) {
         let (a, b, c, k) = matmul_graph(64);
-        let mut s = Schedule::create(&[c.clone()]);
+        let mut s = Schedule::create(std::slice::from_ref(&c));
         let (y, x) = (c.axis(0), c.axis(1));
         let (yo, yi) = s.split(&c, &y, ty);
         let (xo, xi) = s.split(&c, &x, tx);

@@ -78,7 +78,10 @@ fn tuners(seed: u64) -> Vec<(Box<dyn Tuner>, usize)> {
     xgb.improvement_margin = f64::INFINITY;
     // (tuner, driver batch); ytopt evaluates one point at a time.
     vec![
-        (Box::new(RandomTuner::new(space(), seed)) as Box<dyn Tuner>, 8),
+        (
+            Box::new(RandomTuner::new(space(), seed)) as Box<dyn Tuner>,
+            8,
+        ),
         (Box::new(GridSearchTuner::new(space())), 8),
         (Box::new(GaTuner::new(space(), seed)), 8),
         (Box::new(xgb), 8),
@@ -149,9 +152,8 @@ fn acceptance_kill_and_resume_matches_for_all_tuners_under_chaos() {
         assert_eq!(resumed.len(), BUDGET, "{}", resumed.tuner);
         assert_eq!(resumed.replayed, KILL_AT, "{}", resumed.tuner);
 
-        let keys = |r: &TuningResult| -> Vec<String> {
-            r.trials.iter().map(|t| t.config.key()).collect()
-        };
+        let keys =
+            |r: &TuningResult| -> Vec<String> { r.trials.iter().map(|t| t.config.key()).collect() };
         assert_eq!(
             keys(&full),
             keys(&resumed),
@@ -193,8 +195,8 @@ fn resume_of_complete_run_is_pure_replay() {
     assert_eq!(first.len(), 30);
 
     let mut t2 = RandomTuner::new(space(), 5);
-    let replay = resume_from_journal(&mut t2, &chaotic_evaluator(0.1, 5), opts, &path)
-        .expect("resume");
+    let replay =
+        resume_from_journal(&mut t2, &chaotic_evaluator(0.1, 5), opts, &path).expect("resume");
     assert_eq!(replay.len(), 30);
     assert_eq!(replay.replayed, 30, "nothing should be re-measured");
     let _ = std::fs::remove_file(&path);
@@ -242,9 +244,8 @@ fn torn_tail_is_remeasured_on_resume() {
     // Reference: the same run uninterrupted.
     let mut t3 = RandomTuner::new(space(), 11);
     let full = tune(&mut t3, &chaotic_evaluator(0.0, 11), opts);
-    let keys = |r: &TuningResult| -> Vec<String> {
-        r.trials.iter().map(|t| t.config.key()).collect()
-    };
+    let keys =
+        |r: &TuningResult| -> Vec<String> { r.trials.iter().map(|t| t.config.key()).collect() };
     assert_eq!(keys(&full), keys(&resumed));
     let _ = std::fs::remove_file(&path);
 }

@@ -38,7 +38,8 @@ fn ytopt_beats_random_start_on_lu_large() {
 
 #[test]
 fn all_five_tuners_complete_on_cholesky() {
-    let space = tvm_autotune::polybench::spaces::space_for(KernelName::Cholesky, ProblemSize::Large);
+    let space =
+        tvm_autotune::polybench::spaces::space_for(KernelName::Cholesky, ProblemSize::Large);
     let opts = TuneOptions {
         max_evals: 15,
         batch: 4,
@@ -53,7 +54,12 @@ fn all_five_tuners_complete_on_cholesky() {
         tune(&mut YtoptTuner::new(space, 2), &ev, opts),
     ];
     for r in &results {
-        assert!(r.len() >= 1 && r.len() <= 15, "{}: {} evals", r.tuner, r.len());
+        assert!(
+            !r.is_empty() && r.len() <= 15,
+            "{}: {} evals",
+            r.tuner,
+            r.len()
+        );
         assert!(r.best().is_some(), "{} found nothing", r.tuner);
         assert!(r.total_process_s > 0.0);
         // All proposed configurations must be unique.
@@ -123,10 +129,7 @@ fn bo_finds_global_optimum_of_enumerable_space() {
         let r = tvm_autotune::autotvm::Evaluator::evaluate(&ev, &cfg);
         truth.push((cfg.key(), r.runtime_s.expect("ok")));
     }
-    let global_best = truth
-        .iter()
-        .map(|(_, t)| *t)
-        .fold(f64::INFINITY, f64::min);
+    let global_best = truth.iter().map(|(_, t)| *t).fold(f64::INFINITY, f64::min);
 
     let mut tuner = YtoptTuner::new(space, 4);
     let res = tune(
