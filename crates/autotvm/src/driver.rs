@@ -17,7 +17,7 @@ use rayon::prelude::*;
 use std::path::Path;
 use std::time::Instant;
 use ytopt_bo::fault::{panic_message, MeasureError};
-use ytopt_bo::journal::{divergence_error, TrialJournal, TrialRecord};
+use ytopt_bo::journal::{divergence_error, pipeline_mismatch_error, TrialJournal, TrialRecord};
 
 /// Budget and batching options (the paper: `max_evals = 100`).
 #[derive(Debug, Clone, Copy)]
@@ -175,6 +175,7 @@ fn tune_inner(
     mut journal: Option<&mut TrialJournal>,
     replay: Vec<TrialRecord>,
 ) -> std::io::Result<TuningResult> {
+    let pipeline = evaluator.pipeline_fingerprint();
     let mut trials: Vec<Trial> = Vec::with_capacity(opts.max_evals);
     let mut elapsed = 0.0f64;
     let mut think = 0.0f64;
@@ -219,6 +220,13 @@ fn tune_inner(
                             &config.key(),
                         ));
                     }
+                    if rec.pipeline != pipeline {
+                        return Err(pipeline_mismatch_error(
+                            trials.len(),
+                            &rec.pipeline,
+                            &pipeline,
+                        ));
+                    }
                     replayed += 1;
                     elapsed = rec.elapsed_s;
                     (
@@ -253,6 +261,7 @@ fn tune_inner(
                         error: trial.error.clone(),
                         eval_process_s: trial.eval_process_s,
                         elapsed_s: trial.elapsed_s,
+                        pipeline: pipeline.clone(),
                     })?;
                 }
             }

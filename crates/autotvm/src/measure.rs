@@ -97,6 +97,14 @@ pub trait Evaluator {
     fn static_check_stats(&self) -> Option<StaticCheckStats> {
         None
     }
+
+    /// Fingerprint of the compilation/optimization pipeline behind this
+    /// evaluator's measurements (`None` when measurements do not depend
+    /// on a compiler). Stamped into every journal record so a resumed
+    /// run refuses to replay costs measured under a different pipeline.
+    fn pipeline_fingerprint(&self) -> Option<String> {
+        None
+    }
 }
 
 /// A closure-backed evaluator for tests and custom problems.

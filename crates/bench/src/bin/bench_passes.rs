@@ -1,0 +1,251 @@
+//! Pass-pipeline benchmark: scalar VM vs pipeline-optimized VM.
+//!
+//! For each matrix kernel (gemm, 3mm, 2mm) a *tuned* configuration is
+//! found by a short random search on the optimized engine, then that
+//! exact function is executed on both the scalar bytecode VM and the
+//! optimized VM (TIR pass pipeline + strided loops + fused multiply-add
+//! + mul-add microkernels) from identical inputs. Outputs must match
+//! bit for bit — the binary exits nonzero on any divergence, which is
+//! what the CI smoke job checks. A second phase measures end-to-end
+//! tuning throughput (trials/sec) on the scalar vs optimized CPU device.
+//!
+//! Usage: `bench_passes [--smoke] [--size mini|small|medium|large]`
+//! Full mode writes `results/BENCH_passes.json`; smoke mode only prints.
+
+use autotvm::{tune, RandomTuner, TuneOptions};
+use polybench::molds::mold_for;
+use polybench::{KernelName, ProblemSize};
+use std::time::Instant;
+use tvm_autotune::MoldEvaluator;
+use tvm_runtime::{compile, compile_optimized, engine_fingerprint, vm, CpuDevice, NDArray};
+
+struct KernelRow {
+    kernel: &'static str,
+    size: ProblemSize,
+    elements: usize,
+    config: String,
+    scalar_s: f64,
+    opt_s: f64,
+    strided_loops: usize,
+    microkernels: usize,
+}
+
+impl KernelRow {
+    fn scalar_ns_per_element(&self) -> f64 {
+        self.scalar_s * 1e9 / self.elements as f64
+    }
+    fn opt_ns_per_element(&self) -> f64 {
+        self.opt_s * 1e9 / self.elements as f64
+    }
+    fn speedup(&self) -> f64 {
+        self.scalar_s / self.opt_s
+    }
+}
+
+fn kernel_label(kernel: KernelName) -> &'static str {
+    match kernel {
+        KernelName::Gemm => "gemm",
+        KernelName::Mm3 => "3mm",
+        KernelName::Mm2 => "2mm",
+        _ => "other",
+    }
+}
+
+/// Tune briefly on the optimized engine and return the best
+/// configuration found (falling back to the baseline when every trial
+/// failed, which cannot happen for these kernels).
+fn tuned_config(
+    kernel: KernelName,
+    size: ProblemSize,
+    max_evals: usize,
+) -> configspace::Configuration {
+    let mold = mold_for(kernel, size);
+    let baseline = mold.baseline_configuration();
+    let ev = MoldEvaluator::real(mold, CpuDevice::new());
+    let mut tuner = RandomTuner::new(ev.space().clone(), 2023);
+    let res = tune(
+        &mut tuner,
+        &ev,
+        TuneOptions {
+            max_evals,
+            batch: 4,
+            max_process_s: None,
+        },
+    );
+    res.best().map(|t| t.config.clone()).unwrap_or(baseline)
+}
+
+/// Time one tuned kernel on both engines and verify bit-identity.
+fn bench_kernel(
+    kernel: KernelName,
+    size: ProblemSize,
+    reps: usize,
+    tune_evals: usize,
+) -> KernelRow {
+    let config = tuned_config(kernel, size, tune_evals);
+    let mold = mold_for(kernel, size);
+    let func = mold.instantiate(&config);
+    let args = mold.init_args();
+    let elements: usize = func
+        .params
+        .iter()
+        .map(|b| b.shape.iter().product::<usize>())
+        .sum();
+
+    let scalar = compile(&func).expect("PolyBench kernels must compile");
+    let optimized = compile_optimized(&func).expect("optimized pipeline must compile");
+
+    let mut scalar_s = f64::INFINITY;
+    let mut via_scalar: Vec<NDArray> = Vec::new();
+    for _ in 0..reps.max(1) {
+        via_scalar = args.clone();
+        let t0 = Instant::now();
+        vm::execute(&scalar, &mut via_scalar).expect("scalar vm run");
+        scalar_s = scalar_s.min(t0.elapsed().as_secs_f64());
+    }
+
+    let mut opt_s = f64::INFINITY;
+    let mut via_opt: Vec<NDArray> = Vec::new();
+    for _ in 0..reps.max(1) {
+        via_opt = args.clone();
+        let t0 = Instant::now();
+        vm::execute(&optimized, &mut via_opt).expect("optimized vm run");
+        opt_s = opt_s.min(t0.elapsed().as_secs_f64());
+    }
+
+    for (i, (a, b)) in via_scalar.iter().zip(&via_opt).enumerate() {
+        if a != b {
+            eprintln!(
+                "DIVERGENCE: kernel {} size {} arg {} differs between scalar and optimized VM \
+                 (config {config})",
+                mold.name(),
+                size,
+                i
+            );
+            std::process::exit(1);
+        }
+    }
+
+    KernelRow {
+        kernel: kernel_label(kernel),
+        size,
+        elements,
+        config: config.to_string(),
+        scalar_s,
+        opt_s,
+        strided_loops: optimized.strided_loop_count(),
+        microkernels: optimized.microkernel_count(),
+    }
+}
+
+/// End-to-end tuning throughput: trials/sec on a real-execution
+/// evaluator, scalar-VM device vs optimized device.
+fn trials_per_sec(optimized: bool, max_evals: usize) -> (f64, u64, u64) {
+    let mold = mold_for(KernelName::Gemm, ProblemSize::Mini);
+    let device = if optimized {
+        CpuDevice::new()
+    } else {
+        CpuDevice::scalar_vm()
+    };
+    let ev = MoldEvaluator::real(mold, device);
+    let mut tuner = RandomTuner::new(ev.space().clone(), 2023);
+    let t0 = Instant::now();
+    let res = tune(
+        &mut tuner,
+        &ev,
+        TuneOptions {
+            max_evals,
+            batch: 8,
+            max_process_s: None,
+        },
+    );
+    let wall = t0.elapsed().as_secs_f64();
+    let cache = res.cache.unwrap_or_default();
+    (res.len() as f64 / wall, cache.hits, cache.misses)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let size = args
+        .iter()
+        .position(|a| a == "--size")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| ProblemSize::parse(s))
+        .unwrap_or(if smoke {
+            ProblemSize::Mini
+        } else {
+            ProblemSize::Small
+        });
+    let reps = if smoke { 3 } else { 7 };
+    let tune_evals = if smoke { 4 } else { 16 };
+
+    println!("engine fingerprint: {}", engine_fingerprint());
+    let kernels = [KernelName::Gemm, KernelName::Mm3, KernelName::Mm2];
+    let mut rows = Vec::new();
+    println!("kernel  size    elements  scalar ns/el     opt ns/el  strided  ukern  speedup");
+    for k in kernels {
+        let row = bench_kernel(k, size, reps, tune_evals);
+        println!(
+            "{:<7} {:<7} {:>8}  {:>12.1}  {:>12.1}  {:>7}  {:>5}  {:>6.2}x",
+            row.kernel,
+            row.size.to_string(),
+            row.elements,
+            row.scalar_ns_per_element(),
+            row.opt_ns_per_element(),
+            row.strided_loops,
+            row.microkernels,
+            row.speedup()
+        );
+        rows.push(row);
+    }
+
+    let max_evals = if smoke { 6 } else { 20 };
+    let (scalar_tps, _, _) = trials_per_sec(false, max_evals);
+    let (opt_tps, hits, misses) = trials_per_sec(true, max_evals);
+    println!(
+        "end-to-end (gemm/mini, {max_evals} evals): scalar {scalar_tps:.1} trials/s, \
+         optimized {opt_tps:.1} trials/s ({:.2}x, cache {hits} hits / {misses} misses)",
+        opt_tps / scalar_tps
+    );
+
+    if smoke {
+        println!("smoke mode: outputs bit-identical on all kernels");
+        return;
+    }
+
+    let json = serde_json::json!({
+        "engine": engine_fingerprint(),
+        "size": size.to_string(),
+        "kernels": rows.iter().map(|r| serde_json::json!({
+            "kernel": r.kernel,
+            "size": r.size.to_string(),
+            "elements": r.elements,
+            "config": r.config,
+            "scalar_s": r.scalar_s,
+            "optimized_s": r.opt_s,
+            "scalar_ns_per_element": r.scalar_ns_per_element(),
+            "optimized_ns_per_element": r.opt_ns_per_element(),
+            "strided_loops": r.strided_loops,
+            "microkernels": r.microkernels,
+            "speedup": r.speedup(),
+        })).collect::<Vec<_>>(),
+        "end_to_end": {
+            "kernel": "gemm",
+            "size": "mini",
+            "max_evals": max_evals,
+            "scalar_trials_per_s": scalar_tps,
+            "optimized_trials_per_s": opt_tps,
+            "throughput_x": opt_tps / scalar_tps,
+            "cache_hits": hits,
+            "cache_misses": misses,
+        },
+    });
+    std::fs::create_dir_all("results").expect("mkdir results");
+    std::fs::write(
+        "results/BENCH_passes.json",
+        serde_json::to_string_pretty(&json).expect("serialize"),
+    )
+    .expect("write results/BENCH_passes.json");
+    println!("wrote results/BENCH_passes.json");
+}

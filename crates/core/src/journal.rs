@@ -41,6 +41,12 @@ pub struct TrialRecord {
     pub eval_process_s: f64,
     /// Cumulative process time when the trial finished.
     pub elapsed_s: f64,
+    /// Fingerprint of the compile/optimization pipeline that produced
+    /// this measurement (`None` for compiler-independent evaluators, and
+    /// for journals written before the field existed). Resume refuses to
+    /// replay a record whose fingerprint differs from the current one.
+    #[serde(default)]
+    pub pipeline: Option<String>,
 }
 
 /// An open, append-only journal file.
@@ -164,6 +170,27 @@ impl TrialJournal {
     }
 }
 
+/// Error for a resume whose journal was written by a different
+/// compile/optimization pipeline than the one now running: replaying
+/// those costs would silently mix measurements from two engines.
+pub fn pipeline_mismatch_error(
+    index: usize,
+    recorded: &Option<String>,
+    current: &Option<String>,
+) -> std::io::Error {
+    let show = |p: &Option<String>| p.clone().unwrap_or_else(|| "<none>".into());
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!(
+            "journal record {index} was measured under pipeline {}, but the current engine is {} \
+             (stale costs are not replayable; delete the journal or rerun under the original \
+             pipeline)",
+            show(recorded),
+            show(current)
+        ),
+    )
+}
+
 /// Error for a resume whose journal disagrees with the tuner's proposals
 /// (different seed, options, or evaluator than the original run).
 pub fn divergence_error(index: usize, expected: &str, proposed: &str) -> std::io::Error {
@@ -189,6 +216,7 @@ mod tests {
             error: err,
             eval_process_s: 0.5,
             elapsed_s: i as f64,
+            pipeline: Some("vm/test".into()),
         }
     }
 

@@ -10,7 +10,7 @@
 
 use crate::database::{DbRecord, PerformanceDatabase};
 use crate::fault::{panic_message, MeasureError};
-use crate::journal::{divergence_error, TrialJournal, TrialRecord};
+use crate::journal::{divergence_error, pipeline_mismatch_error, TrialJournal, TrialRecord};
 use crate::problem::{CacheStats, Evaluation, Problem, StaticCheckStats};
 use crate::search::{BayesianOptimizer, SearchConfig};
 use configspace::Configuration;
@@ -165,6 +165,7 @@ fn run_inner(
     replay: Vec<TrialRecord>,
 ) -> std::io::Result<BoResult> {
     let mut bo = BayesianOptimizer::new(problem.space().clone(), opts.search);
+    let pipeline = problem.pipeline_fingerprint();
     let mut trials: Vec<BoTrial> = Vec::with_capacity(opts.max_evals);
     let mut elapsed = 0.0f64;
     let mut think = 0.0f64;
@@ -202,6 +203,13 @@ fn run_inner(
                         &config.key(),
                     ));
                 }
+                if rec.pipeline != pipeline {
+                    return Err(pipeline_mismatch_error(
+                        trials.len(),
+                        &rec.pipeline,
+                        &pipeline,
+                    ));
+                }
                 replayed += 1;
                 elapsed = rec.elapsed_s;
                 (
@@ -235,6 +243,7 @@ fn run_inner(
                     error: trial.error.clone(),
                     eval_process_s: trial.eval_process_s,
                     elapsed_s: trial.elapsed_s,
+                    pipeline: pipeline.clone(),
                 })?;
             }
         }
@@ -667,6 +676,70 @@ mod tests {
         };
         let err = resume_from_journal(&p, wrong, &path).expect_err("must diverge");
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_under_changed_pipeline_is_refused() {
+        struct VersionedProblem {
+            space: ConfigSpace,
+            version: &'static str,
+        }
+        impl Problem for VersionedProblem {
+            fn space(&self) -> &ConfigSpace {
+                &self.space
+            }
+            fn evaluate(&self, c: &Configuration) -> Evaluation {
+                Evaluation::ok(c.int("P0") as f64, 0.1)
+            }
+            fn pipeline_fingerprint(&self) -> Option<String> {
+                Some(self.version.to_string())
+            }
+        }
+        let space = || {
+            let mut cs = ConfigSpace::new();
+            cs.add(Hyperparameter::ordinal_ints("P0", &[1, 2, 3, 4]));
+            cs
+        };
+        let path = tmp("resume-pipeline.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let opts = BoOptions {
+            max_evals: 4,
+            ..Default::default()
+        };
+        let v1 = VersionedProblem {
+            space: space(),
+            version: "tir-opt/v1",
+        };
+        run_journaled(&v1, opts, &path).expect("journaled run");
+        // Same seed and options, but the engine changed: the stale costs
+        // must not be replayed.
+        let v2 = VersionedProblem {
+            space: space(),
+            version: "tir-opt/v2",
+        };
+        let err = resume_from_journal(
+            &v2,
+            BoOptions {
+                max_evals: 8,
+                ..opts
+            },
+            &path,
+        )
+        .expect_err("pipeline change must refuse resume");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("pipeline"), "{err}");
+        // The unchanged pipeline still resumes cleanly.
+        let resumed = resume_from_journal(
+            &v1,
+            BoOptions {
+                max_evals: 8,
+                ..opts
+            },
+            &path,
+        )
+        .expect("same pipeline resumes");
+        assert_eq!(resumed.replayed, 4);
         let _ = std::fs::remove_file(&path);
     }
 }

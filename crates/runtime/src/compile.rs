@@ -108,6 +108,48 @@ pub(crate) enum Instr {
         /// Value register (`f64` file).
         val: Reg,
     },
+    /// `freg[dst] = freg[add] + freg[a] * freg[b]`, rounded through `f32`
+    /// after *each* of the two operations when `round32` is set. This is a
+    /// fused *instruction*, not a fused *rounding*: the product is rounded
+    /// exactly as the separate `FBin`/`FBin32` pair it replaces, so results
+    /// stay bit-identical to the unfused program (and the interpreter).
+    FMulAdd {
+        /// Destination (`f64` file).
+        dst: Reg,
+        /// Addend register.
+        add: Reg,
+        /// First factor.
+        a: Reg,
+        /// Second factor.
+        b: Reg,
+        /// Round through `f32` after the multiply and after the add.
+        round32: bool,
+    },
+}
+
+/// Execution flavor of a loop, from the schedule's `ForKind`. `Unrolled`
+/// and thread-bound loops run serially on the CPU VM, so they map to
+/// [`LoopKind::Serial`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LoopKind {
+    /// Ordinary sequential loop.
+    Serial,
+    /// Schedule-declared parallel loop (executed sequentially by this VM,
+    /// but the optimizer must not reorder observable effects across it).
+    Parallel,
+    /// Schedule-declared vectorized loop: the optimizer may use chunked
+    /// slice kernels for stride-1 bodies.
+    Vectorized,
+}
+
+/// One buffer operand of a [`Item::MulAddLoop`] microkernel: the storage
+/// slot, the register holding the linear address at iteration 0, and the
+/// address stride per iteration.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SlotAccess {
+    pub(crate) slot: u16,
+    pub(crate) addr: Reg,
+    pub(crate) stride: i64,
 }
 
 /// One node of the structured program: straight-line code, a counted loop,
@@ -127,6 +169,8 @@ pub(crate) enum Item {
         extent: i64,
         /// Loop body.
         body: Block,
+        /// Execution flavor (drives the block optimizer's choices).
+        kind: LoopKind,
     },
     /// `if ireg[cond] != 0 { then } else { else_ }`
     If {
@@ -136,6 +180,48 @@ pub(crate) enum Item {
         then: Block,
         /// Fallback branch.
         else_: Option<Block>,
+    },
+    /// An innermost loop rewritten by the block optimizer
+    /// ([`crate::optimize`]) into strided-pointer-bump form: `pre` runs
+    /// once per loop entry (loop variable set to `min`, affine index
+    /// registers computed for iteration 0), then `extent` iterations of
+    /// `body` each followed by adding `stride` to every register in
+    /// `bumps`. Registers defined inside an innermost loop are never read
+    /// after it (the compiler emits consumers at the definition block), so
+    /// the bumped registers' post-loop values are unobservable.
+    StridedLoop {
+        /// Trip count.
+        extent: i64,
+        /// Loop-entry prelude: loop-var init plus iteration-0 values of
+        /// the affine registers, in original program order.
+        pre: Vec<Instr>,
+        /// `(register, per-iteration stride)` bumps applied after each
+        /// iteration.
+        bumps: Vec<(Reg, i64)>,
+        /// Per-iteration instructions (everything non-affine).
+        body: Vec<Instr>,
+        /// Original loop kind.
+        kind: LoopKind,
+    },
+    /// A recognized contiguous multiply-accumulate inner loop:
+    /// `dst[i·sd] = dst[i·sd] + a[i·sa] * b[i·sb]` for `extent`
+    /// iterations, with `round32` rounding after each operation. Executes
+    /// as a tight slice microkernel; semantics (including accumulation
+    /// order — strictly ascending, one element at a time) are bit-identical
+    /// to the scalar instruction sequence it replaces.
+    MulAddLoop {
+        /// Trip count.
+        extent: i64,
+        /// Loop-entry prelude (computes the iteration-0 addresses).
+        pre: Vec<Instr>,
+        /// Destination/accumulator operand.
+        dst: SlotAccess,
+        /// First factor operand.
+        a: SlotAccess,
+        /// Second factor operand.
+        b: SlotAccess,
+        /// Round through `f32` after multiply and after add.
+        round32: bool,
     },
 }
 
@@ -190,6 +276,8 @@ impl CompiledFunc {
                     Item::Code(c) => c.len(),
                     Item::Loop { body, .. } => count(body),
                     Item::If { then, else_, .. } => count(then) + else_.as_ref().map_or(0, count),
+                    Item::StridedLoop { pre, body, .. } => pre.len() + body.len(),
+                    Item::MulAddLoop { pre, .. } => pre.len() + 1,
                 })
                 .sum()
         }
@@ -199,16 +287,72 @@ impl CompiledFunc {
     /// Number of runtime bounds checks left after static elision (a proxy
     /// for how much of the index arithmetic was proven safe).
     pub fn bounds_check_count(&self) -> usize {
+        fn in_code(c: &[Instr]) -> usize {
+            c.iter()
+                .filter(|i| matches!(i, Instr::Bound { .. } | Instr::StoreChecked { .. }))
+                .count()
+        }
         fn count(b: &Block) -> usize {
             b.items
                 .iter()
                 .map(|it| match it {
-                    Item::Code(c) => c
-                        .iter()
-                        .filter(|i| matches!(i, Instr::Bound { .. } | Instr::StoreChecked { .. }))
-                        .count(),
+                    Item::Code(c) => in_code(c),
                     Item::Loop { body, .. } => count(body),
                     Item::If { then, else_, .. } => count(then) + else_.as_ref().map_or(0, count),
+                    Item::StridedLoop { pre, body, .. } => in_code(pre) + in_code(body),
+                    Item::MulAddLoop { pre, .. } => in_code(pre),
+                })
+                .sum()
+        }
+        count(&self.body)
+    }
+
+    /// Number of innermost loops the block optimizer turned into
+    /// strided-pointer-bump form (includes microkernel loops).
+    pub fn strided_loop_count(&self) -> usize {
+        fn count(b: &Block) -> usize {
+            b.items
+                .iter()
+                .map(|it| match it {
+                    Item::Code(_) => 0,
+                    Item::Loop { body, .. } => count(body),
+                    Item::If { then, else_, .. } => count(then) + else_.as_ref().map_or(0, count),
+                    Item::StridedLoop { .. } | Item::MulAddLoop { .. } => 1,
+                })
+                .sum()
+        }
+        count(&self.body)
+    }
+
+    /// Number of inner loops dispatched to the multiply-accumulate slice
+    /// microkernel.
+    pub fn microkernel_count(&self) -> usize {
+        fn count(b: &Block) -> usize {
+            b.items
+                .iter()
+                .map(|it| match it {
+                    Item::Code(_) | Item::StridedLoop { .. } => 0,
+                    Item::Loop { body, .. } => count(body),
+                    Item::If { then, else_, .. } => count(then) + else_.as_ref().map_or(0, count),
+                    Item::MulAddLoop { .. } => 1,
+                })
+                .sum()
+        }
+        count(&self.body)
+    }
+
+    /// Number of schedule-vectorized inner loops running in
+    /// strided-pointer-bump form (vectorized loops promoted further, to
+    /// microkernels, are counted by [`CompiledFunc::microkernel_count`]).
+    pub fn vectorized_fast_loop_count(&self) -> usize {
+        fn count(b: &Block) -> usize {
+            b.items
+                .iter()
+                .map(|it| match it {
+                    Item::Code(_) | Item::MulAddLoop { .. } => 0,
+                    Item::Loop { body, .. } => count(body),
+                    Item::If { then, else_, .. } => count(then) + else_.as_ref().map_or(0, count),
+                    Item::StridedLoop { kind, .. } => (*kind == LoopKind::Vectorized) as usize,
                 })
                 .sum()
         }
@@ -686,7 +830,7 @@ impl Compiler {
                 min,
                 extent,
                 body,
-                ..
+                kind,
             } => {
                 self.blocks.push(BlockBuilder::new());
                 let at = self.top();
@@ -713,6 +857,11 @@ impl Compiler {
                     min: *min,
                     extent: *extent,
                     body: Block { items: blk.items },
+                    kind: match kind {
+                        tvm_tir::ForKind::Parallel => LoopKind::Parallel,
+                        tvm_tir::ForKind::Vectorized => LoopKind::Vectorized,
+                        _ => LoopKind::Serial,
+                    },
                 };
                 self.blocks
                     .last_mut()

@@ -97,25 +97,58 @@ pub trait Device: Send + Sync {
             "device has no compiled execution path".into(),
         ))
     }
+
+    /// Fingerprint of the compile/optimization pipeline this device runs
+    /// kernels through, or `None` when measurements do not depend on a
+    /// compiler (analytical devices). Evaluators fold it into memo keys
+    /// and journal records: measurements taken under one pipeline must
+    /// never be silently reused under another.
+    fn fingerprint(&self) -> Option<String> {
+        None
+    }
 }
 
-/// Host CPU device executing kernels through the compiled VM (with
-/// interpreter fallback for functions the compiler rejects).
+/// Execution engine of a [`CpuDevice`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum CpuMode {
+    /// Tree-walking reference interpreter only.
+    Interp,
+    /// Scalar bytecode VM, no optimization pipeline.
+    Scalar,
+    /// TIR pass pipeline + block-optimized VM (the default).
+    #[default]
+    Optimized,
+}
+
+/// Host CPU device executing kernels through the optimized compiled VM
+/// (with interpreter fallback for functions the compiler rejects).
 #[derive(Debug, Clone, Default)]
 pub struct CpuDevice {
-    interp_only: bool,
+    mode: CpuMode,
 }
 
 impl CpuDevice {
-    /// New CPU device (compiled VM execution).
+    /// New CPU device (optimized compiled VM execution).
     pub fn new() -> CpuDevice {
-        CpuDevice { interp_only: false }
+        CpuDevice {
+            mode: CpuMode::Optimized,
+        }
     }
 
     /// CPU device pinned to the reference interpreter — the differential
     /// oracle, and the baseline the `bench_vm` binary compares against.
     pub fn interpreter() -> CpuDevice {
-        CpuDevice { interp_only: true }
+        CpuDevice {
+            mode: CpuMode::Interp,
+        }
+    }
+
+    /// CPU device pinned to the scalar (unoptimized) VM — the baseline
+    /// the `bench_passes` binary compares the optimized engine against.
+    pub fn scalar_vm() -> CpuDevice {
+        CpuDevice {
+            mode: CpuMode::Scalar,
+        }
     }
 }
 
@@ -126,19 +159,23 @@ impl Device for CpuDevice {
 
     fn run(&self, func: &PrimFunc, args: &mut [NDArray]) -> Result<f64, DeviceError> {
         let t0 = Instant::now();
-        if self.interp_only {
-            crate::interp::execute(func, args)?;
-        } else {
-            vm::run(func, args)?;
+        match self.mode {
+            CpuMode::Interp => crate::interp::execute(func, args)?,
+            CpuMode::Scalar => match compile(func) {
+                Ok(cf) => vm::execute(&cf, args)?,
+                Err(_) => crate::interp::execute(func, args)?,
+            },
+            CpuMode::Optimized => vm::run(func, args)?,
         }
         Ok(t0.elapsed().as_secs_f64())
     }
 
     fn prepare(&self, func: &PrimFunc) -> Option<Arc<CompiledFunc>> {
-        if self.interp_only {
-            return None;
+        match self.mode {
+            CpuMode::Interp => None,
+            CpuMode::Scalar => compile(func).ok().map(Arc::new),
+            CpuMode::Optimized => crate::optimize::compile_optimized(func).ok().map(Arc::new),
         }
-        compile(func).ok().map(Arc::new)
     }
 
     fn run_prepared(
@@ -149,6 +186,14 @@ impl Device for CpuDevice {
         let t0 = Instant::now();
         vm::execute(prepared, args)?;
         Ok(t0.elapsed().as_secs_f64())
+    }
+
+    fn fingerprint(&self) -> Option<String> {
+        Some(match self.mode {
+            CpuMode::Interp => "interp/v1".to_string(),
+            CpuMode::Scalar => crate::optimize::ENGINE_VERSION.to_string(),
+            CpuMode::Optimized => crate::optimize::engine_fingerprint(),
+        })
     }
 }
 

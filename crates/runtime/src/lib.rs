@@ -37,9 +37,11 @@ pub mod device;
 pub mod interp;
 pub mod module;
 pub mod ndarray;
+pub mod optimize;
 pub mod vm;
 
 pub use compile::{compile, CompileError, CompiledFunc};
 pub use device::{CpuDevice, Device, DeviceError};
 pub use module::Module;
 pub use ndarray::{NDArray, TensorData};
+pub use optimize::{compile_optimized, engine_fingerprint};

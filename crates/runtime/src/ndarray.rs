@@ -205,6 +205,22 @@ impl NDArray {
         }
     }
 
+    /// Borrow `f64` storage (panics for other dtypes).
+    pub fn as_f64(&self) -> &[f64] {
+        match &self.data {
+            TensorData::F64(v) => v,
+            other => panic!("expected f64 storage, found {:?}", other.dtype()),
+        }
+    }
+
+    /// Borrow `f64` storage mutably.
+    pub fn as_f64_mut(&mut self) -> &mut [f64] {
+        match &mut self.data {
+            TensorData::F64(v) => v,
+            other => panic!("expected f64 storage, found {:?}", other.dtype()),
+        }
+    }
+
     /// Elementwise approximate equality with mixed absolute/relative
     /// tolerance: `|a-b| <= atol + rtol * |b|`.
     pub fn allclose(&self, other: &NDArray, rtol: f64, atol: f64) -> bool {

@@ -1,0 +1,659 @@
+//! Bytecode block optimizer: strided-pointer-bump loops, fused
+//! multiply-add, and microkernel recognition.
+//!
+//! [`compile_optimized`] is the optimizing counterpart of
+//! [`crate::compile`]: it first runs the TIR pass pipeline
+//! ([`tvm_tir::optimize`] — strength reduction, guard unswitching LICM,
+//! simplification, each re-verified), compiles the result, then applies
+//! three bytecode-level transforms:
+//!
+//! 1. **FMA peephole** — adjacent `FBin(Mul)`/`FBin(Add)` pairs whose
+//!    product register has exactly one use fuse into
+//!    [`Instr::FMulAdd`]. Rounding is preserved per-operation, so this
+//!    is a dispatch optimization, not a numeric one.
+//! 2. **Strided loops** — for each innermost loop whose body is
+//!    straight-line code, integer registers that are *affine* in the
+//!    loop variable (built from `+`, `-`, and multiplication by
+//!    loop-invariant constants) are computed once for iteration 0 in a
+//!    loop prelude and thereafter advanced by their constant
+//!    per-iteration stride ([`Item::StridedLoop`]). This removes the
+//!    per-element index arithmetic that `split`/`fuse` reconstruction
+//!    leaves behind. Only pure instructions move: loads, stores, bounds
+//!    checks and anything that can fail keep their original order, so
+//!    outputs and error classification stay bit-identical.
+//! 3. **Microkernel recognition** — a strided body of exactly
+//!    `load dst; load a; load b; fmuladd; store dst` with known address
+//!    strides becomes [`Item::MulAddLoop`], executed by tight slice
+//!    kernels in the VM (`f64` and native-`f32` fast paths, generic
+//!    fallback). This is the 3mm/gemm hot loop.
+//!
+//! Why the incremental address update is exact: a register classified
+//! affine holds `base + i·s` at iteration `i`, so bumping by `s` per
+//! iteration reproduces the recomputed value exactly (the intermediate
+//! values are the same ones the scalar program computes, so overflow
+//! behaviour is unchanged too). Registers defined inside an innermost
+//! loop are never read after it — the compiler places every consumer at
+//! its operands' definition block — so post-loop register state is
+//! unobservable.
+
+use crate::compile::{
+    compile, Block, CompileError, CompiledFunc, Instr, Item, LoopKind, Reg, SlotAccess,
+};
+use std::collections::{HashMap, HashSet};
+use tvm_te::BinOp;
+use tvm_tir::PrimFunc;
+
+/// Version tag of the bytecode engine (compiler + block optimizer +
+/// VM). Bump on any change to instruction semantics or the optimizer.
+pub(crate) const ENGINE_VERSION: &str = "vm/v2";
+
+/// Fingerprint of the full optimization pipeline an execution engine
+/// applies between TIR and measurement: the bytecode engine version
+/// plus the TIR pass-pipeline version. Memo caches and measurement
+/// journals embed this string so results produced by one pipeline are
+/// never silently replayed under another.
+pub fn engine_fingerprint() -> String {
+    format!("{ENGINE_VERSION}+{}", tvm_tir::PIPELINE_VERSION)
+}
+
+/// Compile with the full optimization pipeline: TIR passes (falling
+/// back to the unoptimized function if a pass or its verification
+/// fails), bytecode compilation, then the block optimizer.
+pub fn compile_optimized(func: &PrimFunc) -> Result<CompiledFunc, CompileError> {
+    if let Ok(opt) = tvm_tir::optimize(func) {
+        if let Ok(cf) = compile(&opt) {
+            return Ok(optimize_compiled(&cf));
+        }
+    }
+    // The optimized IR failed to compile (e.g. a rewrite surfaced a
+    // short-circuit shape the compiler rejects): keep the scalar
+    // engine's exact behaviour on the original function.
+    compile(func).map(|cf| optimize_compiled(&cf))
+}
+
+/// Apply the bytecode-level transforms to an already-compiled function.
+pub fn optimize_compiled(cf: &CompiledFunc) -> CompiledFunc {
+    let consts = collect_consts(&cf.body);
+    let fuse = freg_use_counts(&cf.body);
+    let vn = value_numbers(&cf.body);
+    let body = optimize_block(&cf.body, &consts, &fuse, &vn);
+    CompiledFunc { body, ..cf.clone() }
+}
+
+/// Integer destination register of an instruction, if any.
+fn int_dst(i: &Instr) -> Option<Reg> {
+    match i {
+        Instr::IConst(d, _)
+        | Instr::FToI(d, _)
+        | Instr::FBool(d, _)
+        | Instr::IBin(_, d, _, _)
+        | Instr::ICmp(_, d, _, _)
+        | Instr::FCmp(_, d, _, _)
+        | Instr::And(d, _, _)
+        | Instr::Or(d, _, _)
+        | Instr::Not(d, _)
+        | Instr::ISel(d, _, _, _) => Some(*d),
+        _ => None,
+    }
+}
+
+/// `IConst` values: every `IConst` is an interned prologue constant
+/// (single assignment, defined before any loop body that reads it).
+fn collect_consts(b: &Block) -> HashMap<Reg, i64> {
+    fn go(b: &Block, out: &mut HashMap<Reg, i64>) {
+        for it in &b.items {
+            match it {
+                Item::Code(c) => {
+                    for i in c {
+                        if let Instr::IConst(r, v) = i {
+                            out.insert(*r, *v);
+                        }
+                    }
+                }
+                Item::Loop { body, .. } => go(body, out),
+                Item::If { then, else_, .. } => {
+                    go(then, out);
+                    if let Some(e) = else_ {
+                        go(e, out);
+                    }
+                }
+                Item::StridedLoop { .. } | Item::MulAddLoop { .. } => {}
+            }
+        }
+    }
+    let mut out = HashMap::new();
+    go(b, &mut out);
+    out
+}
+
+/// How many times each float register is read anywhere in the program
+/// (gates the FMA peephole: the fused product register must be dead
+/// outside the pair).
+fn freg_use_counts(b: &Block) -> HashMap<Reg, usize> {
+    fn uses(i: &Instr, out: &mut HashMap<Reg, usize>) {
+        let mut u = |r: Reg| *out.entry(r).or_insert(0) += 1;
+        match i {
+            Instr::FToI(_, s) | Instr::F32Round(_, s) | Instr::FBool(_, s) => u(*s),
+            Instr::FBin(_, _, a, b) | Instr::FBin32(_, _, a, b) => {
+                u(*a);
+                u(*b);
+            }
+            Instr::FSel(_, _, t, f) => {
+                u(*t);
+                u(*f);
+            }
+            Instr::Call1(_, _, x, _) => u(*x),
+            Instr::Call2(_, _, x, y, _) => {
+                u(*x);
+                u(*y);
+            }
+            Instr::Store(_, _, v) | Instr::StoreChecked { val: v, .. } => u(*v),
+            Instr::FMulAdd { add, a, b, .. } => {
+                u(*add);
+                u(*a);
+                u(*b);
+            }
+            _ => {}
+        }
+    }
+    fn go(b: &Block, out: &mut HashMap<Reg, usize>) {
+        for it in &b.items {
+            match it {
+                Item::Code(c) => c.iter().for_each(|i| uses(i, out)),
+                Item::Loop { body, .. } => go(body, out),
+                Item::If { then, else_, .. } => {
+                    go(then, out);
+                    if let Some(e) = else_ {
+                        go(e, out);
+                    }
+                }
+                Item::StridedLoop { .. } | Item::MulAddLoop { .. } => {}
+            }
+        }
+    }
+    let mut out = HashMap::new();
+    go(b, &mut out);
+    out
+}
+
+/// Global value numbering over the integer register file: two registers
+/// receive the same number iff they provably compute the same expression
+/// (same constant, same loop variable, or the same operation over
+/// value-equal operands). Sound because every non-loop-var register is
+/// assigned exactly once and consumers live at (or below) their
+/// operands' definition block, so number-equal registers read within one
+/// loop body hold equal values in every iteration. Used to prove that a
+/// load and a store address the same element when the compiler emitted
+/// the index arithmetic twice (it performs no CSE).
+fn value_numbers(b: &Block) -> HashMap<Reg, u32> {
+    #[derive(Hash, PartialEq, Eq)]
+    enum Key {
+        Const(i64),
+        Var(Reg),
+        Opaque(Reg),
+        Bin(u8, u32, u32),
+    }
+    struct Ctx {
+        intern: HashMap<Key, u32>,
+        vn: HashMap<Reg, u32>,
+    }
+    impl Ctx {
+        fn id(&mut self, k: Key) -> u32 {
+            let next = self.intern.len() as u32;
+            *self.intern.entry(k).or_insert(next)
+        }
+        fn reg(&mut self, r: Reg) -> u32 {
+            match self.vn.get(&r) {
+                Some(&v) => v,
+                None => {
+                    let v = self.id(Key::Opaque(r));
+                    self.vn.insert(r, v);
+                    v
+                }
+            }
+        }
+    }
+    fn go(b: &Block, cx: &mut Ctx) {
+        for it in &b.items {
+            match it {
+                Item::Code(c) => {
+                    for i in c {
+                        match i {
+                            Instr::IConst(d, v) => {
+                                let id = cx.id(Key::Const(*v));
+                                cx.vn.insert(*d, id);
+                            }
+                            Instr::IBin(op, d, a, b) => {
+                                let (va, vb) = (cx.reg(*a), cx.reg(*b));
+                                let id = cx.id(Key::Bin(*op as u8, va, vb));
+                                cx.vn.insert(*d, id);
+                            }
+                            _ => {
+                                if let Some(d) = int_dst(i) {
+                                    let id = cx.id(Key::Opaque(d));
+                                    cx.vn.insert(d, id);
+                                }
+                            }
+                        }
+                    }
+                }
+                Item::Loop { var, body, .. } => {
+                    let id = cx.id(Key::Var(*var));
+                    cx.vn.insert(*var, id);
+                    go(body, cx);
+                }
+                Item::If { then, else_, .. } => {
+                    go(then, cx);
+                    if let Some(e) = else_ {
+                        go(e, cx);
+                    }
+                }
+                Item::StridedLoop { .. } | Item::MulAddLoop { .. } => {}
+            }
+        }
+    }
+    let mut cx = Ctx {
+        intern: HashMap::new(),
+        vn: HashMap::new(),
+    };
+    go(b, &mut cx);
+    cx.vn
+}
+
+/// Fuse adjacent `mul`/`add` pairs into [`Instr::FMulAdd`]. Both
+/// instructions must use the same rounding class and the product
+/// register must have exactly one use in the whole program (the add).
+fn fma_peephole(code: &[Instr], fuse: &HashMap<Reg, usize>) -> Vec<Instr> {
+    let mut out: Vec<Instr> = Vec::with_capacity(code.len());
+    let mut i = 0;
+    while i < code.len() {
+        if i + 1 < code.len() {
+            let (mul32, m, a, b) = match &code[i] {
+                Instr::FBin(BinOp::Mul, m, a, b) => (false, *m, *a, *b),
+                Instr::FBin32(BinOp::Mul, m, a, b) => (true, *m, *a, *b),
+                _ => (false, Reg::MAX, 0, 0),
+            };
+            if m != Reg::MAX {
+                let nxt = match &code[i + 1] {
+                    Instr::FBin(BinOp::Add, d, x, y) if !mul32 => Some((*d, *x, *y)),
+                    Instr::FBin32(BinOp::Add, d, x, y) if mul32 => Some((*d, *x, *y)),
+                    _ => None,
+                };
+                if let Some((d, x, y)) = nxt {
+                    let add = if y == m && x != m {
+                        Some(x)
+                    } else if x == m && y != m {
+                        Some(y)
+                    } else {
+                        None
+                    };
+                    if let Some(add) = add {
+                        if fuse.get(&m).copied().unwrap_or(0) == 1 {
+                            out.push(Instr::FMulAdd {
+                                dst: d,
+                                add,
+                                a,
+                                b,
+                                round32: mul32,
+                            });
+                            i += 2;
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+        out.push(code[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Per-iteration stride of an int register inside a loop over `var`:
+/// the loop variable advances by 1, registers never written in the body
+/// are invariant (stride 0), and registers the affine scan classified
+/// carry their computed stride.
+fn stride_of(r: Reg, var: Reg, written: &HashSet<Reg>, strides: &HashMap<Reg, i64>) -> Option<i64> {
+    if r == var {
+        Some(1)
+    } else if let Some(&s) = strides.get(&r) {
+        Some(s)
+    } else if !written.contains(&r) {
+        Some(0)
+    } else {
+        None
+    }
+}
+
+fn optimize_block(
+    b: &Block,
+    consts: &HashMap<Reg, i64>,
+    fuse: &HashMap<Reg, usize>,
+    vn: &HashMap<Reg, u32>,
+) -> Block {
+    let items = b
+        .items
+        .iter()
+        .map(|it| match it {
+            Item::Code(c) => Item::Code(fma_peephole(c, fuse)),
+            Item::If { cond, then, else_ } => Item::If {
+                cond: *cond,
+                then: optimize_block(then, consts, fuse, vn),
+                else_: else_.as_ref().map(|e| optimize_block(e, consts, fuse, vn)),
+            },
+            Item::Loop {
+                var,
+                min,
+                extent,
+                body,
+                kind,
+            } => {
+                let body = optimize_block(body, consts, fuse, vn);
+                try_strided(*var, *min, *extent, *kind, &body, consts, vn).unwrap_or(Item::Loop {
+                    var: *var,
+                    min: *min,
+                    extent: *extent,
+                    body,
+                    kind: *kind,
+                })
+            }
+            other => other.clone(),
+        })
+        .collect();
+    Block { items }
+}
+
+/// Rewrite an innermost straight-line loop into strided-pointer-bump
+/// form, and further into a multiply-accumulate microkernel when the
+/// residual body matches.
+fn try_strided(
+    var: Reg,
+    min: i64,
+    extent: i64,
+    kind: LoopKind,
+    body: &Block,
+    consts: &HashMap<Reg, i64>,
+    vn: &HashMap<Reg, u32>,
+) -> Option<Item> {
+    if extent < 1 {
+        return None;
+    }
+    let code = match body.items.as_slice() {
+        [Item::Code(c)] => c,
+        _ => return None,
+    };
+    let written: HashSet<Reg> = code.iter().filter_map(int_dst).collect();
+    // Affine scan: which int registers advance by a constant stride per
+    // iteration? Only pure `+`/`-`/`·const` chains qualify; their
+    // defining instructions move to the loop prelude.
+    let mut strides: HashMap<Reg, i64> = HashMap::new();
+    let mut moved: Vec<bool> = vec![false; code.len()];
+    for (idx, instr) in code.iter().enumerate() {
+        let Instr::IBin(op, d, a, b) = instr else {
+            continue;
+        };
+        let sa = stride_of(*a, var, &written, &strides);
+        let sb = stride_of(*b, var, &written, &strides);
+        let s = match op {
+            BinOp::Add => sa.zip(sb).and_then(|(x, y)| x.checked_add(y)),
+            BinOp::Sub => sa.zip(sb).and_then(|(x, y)| x.checked_sub(y)),
+            BinOp::Mul => match (sa, sb) {
+                (Some(0), Some(0)) => Some(0),
+                (Some(x), _) if consts.contains_key(b) && !written.contains(b) => {
+                    x.checked_mul(consts[b])
+                }
+                (_, Some(y)) if consts.contains_key(a) && !written.contains(a) => {
+                    y.checked_mul(consts[a])
+                }
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(s) = s {
+            strides.insert(*d, s);
+            moved[idx] = true;
+        }
+    }
+    let mut pre: Vec<Instr> = vec![Instr::IConst(var, min)];
+    let mut rest: Vec<Instr> = Vec::new();
+    for (idx, instr) in code.iter().enumerate() {
+        if moved[idx] {
+            pre.push(instr.clone());
+        } else {
+            rest.push(instr.clone());
+        }
+    }
+    let mut bumps: Vec<(Reg, i64)> = vec![(var, 1)];
+    bumps.extend(
+        strides
+            .iter()
+            .filter(|(_, &s)| s != 0)
+            .map(|(&r, &s)| (r, s)),
+    );
+    bumps.sort_by_key(|&(r, _)| r); // deterministic order
+    if let Some(item) = try_muladd(extent, &pre, &rest, var, &written, &strides, vn) {
+        return Some(item);
+    }
+    if pre.len() <= 1 {
+        // Nothing hoisted and no microkernel: the plain loop is as good.
+        return None;
+    }
+    Some(Item::StridedLoop {
+        extent,
+        pre,
+        bumps,
+        body: rest,
+        kind,
+    })
+}
+
+/// Recognize the contiguous multiply-accumulate body
+/// `dst[·] = dst[·] + a[·]·b[·]` left after address hoisting, with all
+/// three address strides known.
+fn try_muladd(
+    extent: i64,
+    pre: &[Instr],
+    rest: &[Instr],
+    var: Reg,
+    written: &HashSet<Reg>,
+    strides: &HashMap<Reg, i64>,
+    vn: &HashMap<Reg, u32>,
+) -> Option<Item> {
+    let [Instr::Load(c, slot_d, rc), Instr::Load(x, slot_a, ra), Instr::Load(y, slot_b, rb), Instr::FMulAdd {
+        dst,
+        add,
+        a,
+        b,
+        round32,
+    }, Instr::Store(slot_s, rs, vs)] = rest
+    else {
+        return None;
+    };
+    if add != c || slot_s != slot_d || vs != dst {
+        return None;
+    }
+    // The store's address register usually differs from the load's (the
+    // compiler emits index arithmetic twice, without CSE): accept it when
+    // value numbering proves both registers compute the same expression,
+    // and both advance by the same stride.
+    let same_addr = rs == rc || matches!((vn.get(rc), vn.get(rs)), (Some(a), Some(b)) if a == b);
+    if !same_addr {
+        return None;
+    }
+    // Map the microkernel's factor operands in the multiply's own order
+    // so the slice kernel computes exactly `fregs[a] * fregs[b]`.
+    let ((slot_a, ra), (slot_b, rb)) = if a == x && b == y {
+        ((*slot_a, *ra), (*slot_b, *rb))
+    } else if a == y && b == x {
+        ((*slot_b, *rb), (*slot_a, *ra))
+    } else {
+        return None;
+    };
+    let sd = stride_of(*rc, var, written, strides)?;
+    if stride_of(*rs, var, written, strides)? != sd {
+        return None;
+    }
+    let sa = stride_of(ra, var, written, strides)?;
+    let sb = stride_of(rb, var, written, strides)?;
+    Some(Item::MulAddLoop {
+        extent,
+        pre: pre.to_vec(),
+        dst: SlotAccess {
+            slot: *slot_d,
+            addr: *rc,
+            stride: sd,
+        },
+        a: SlotAccess {
+            slot: slot_a,
+            addr: ra,
+            stride: sa,
+        },
+        b: SlotAccess {
+            slot: slot_b,
+            addr: rb,
+            stride: sb,
+        },
+        round32: *round32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ndarray::NDArray;
+    use crate::{interp, vm};
+    use tvm_te::{compute, placeholder, reduce_axis, sum, DType, Schedule};
+    use tvm_tir::lower::lower;
+
+    fn matmul_func(n: usize, tile: i64, dtype: DType) -> PrimFunc {
+        let a = placeholder([n, n], dtype, "A");
+        let b = placeholder([n, n], dtype, "B");
+        let k = reduce_axis(0, n as i64, "k");
+        let c = compute([n, n], "C", |i| {
+            sum(
+                a.at(&[i[0].clone(), k.var_expr()]) * b.at(&[k.var_expr(), i[1].clone()]),
+                &[k.clone()],
+            )
+        });
+        let mut s = Schedule::create(&[c.clone()]);
+        if tile > 1 {
+            let (y, x) = (c.axis(0), c.axis(1));
+            let (yo, yi) = s.split(&c, &y, tile);
+            let (xo, xi) = s.split(&c, &x, tile);
+            s.reorder(&c, &[yo, xo, k.clone(), yi, xi]);
+        }
+        lower(&s, &[a, b, c], "mm")
+    }
+
+    fn assert_three_way(f: &PrimFunc, args: &[NDArray]) {
+        let mut a1: Vec<NDArray> = args.to_vec();
+        let mut a2: Vec<NDArray> = args.to_vec();
+        let mut a3: Vec<NDArray> = args.to_vec();
+        let r1 = interp::execute(f, &mut a1);
+        let scalar = compile(f).expect("compile");
+        let r2 = vm::execute(&scalar, &mut a2);
+        let opt = compile_optimized(f).expect("compile_optimized");
+        let r3 = vm::execute(&opt, &mut a3);
+        assert_eq!(r1, r2);
+        assert_eq!(r1, r3, "optimized VM error must match interpreter");
+        for ((x, y), z) in a1.iter().zip(&a2).zip(&a3) {
+            assert_eq!(x, y);
+            assert_eq!(x, z, "optimized VM output must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn tiled_matmul_hits_microkernel_and_matches() {
+        for dtype in [DType::F32, DType::F64] {
+            let f = matmul_func(16, 4, dtype);
+            let opt = compile_optimized(&f).expect("compile_optimized");
+            assert!(
+                opt.microkernel_count() > 0,
+                "tiled matmul inner loop must dispatch to the muladd microkernel ({dtype:?})"
+            );
+            let args = vec![
+                NDArray::random(&[16, 16], dtype, 11, -1.0, 1.0),
+                NDArray::random(&[16, 16], dtype, 12, -1.0, 1.0),
+                NDArray::zeros(&[16, 16], dtype),
+            ];
+            assert_three_way(&f, &args);
+        }
+    }
+
+    #[test]
+    fn untiled_and_ragged_matmuls_match() {
+        for (n, tile) in [(8usize, 1i64), (10, 3), (12, 5)] {
+            let f = matmul_func(n, tile, DType::F32);
+            let args = vec![
+                NDArray::random(&[n, n], DType::F32, 21, -1.0, 1.0),
+                NDArray::random(&[n, n], DType::F32, 22, -1.0, 1.0),
+                NDArray::zeros(&[n, n], DType::F32),
+            ];
+            assert_three_way(&f, &args);
+        }
+    }
+
+    #[test]
+    fn strided_transform_applies_to_tiled_nest() {
+        let f = matmul_func(16, 4, DType::F32);
+        let opt = compile_optimized(&f).expect("compile_optimized");
+        assert!(opt.strided_loop_count() > 0);
+        // The scalar program must be untouched by the optimized path.
+        let scalar = compile(&f).expect("compile");
+        assert_eq!(scalar.strided_loop_count(), 0);
+    }
+
+    #[test]
+    fn fma_peephole_requires_single_use() {
+        // d = m + m where m = a*b: the product register has two uses in
+        // the add, so fusing would read a stale register. Must not fuse.
+        let fuse: HashMap<Reg, usize> = [(2u32, 2usize)].into_iter().collect();
+        let code = vec![
+            Instr::FBin(BinOp::Mul, 2, 0, 1),
+            Instr::FBin(BinOp::Add, 3, 2, 2),
+        ];
+        let out = fma_peephole(&code, &fuse);
+        assert_eq!(out.len(), 2);
+        assert!(matches!(out[0], Instr::FBin(BinOp::Mul, ..)));
+    }
+
+    #[test]
+    fn fma_peephole_fuses_single_use_product() {
+        let fuse: HashMap<Reg, usize> = [(2u32, 1usize), (4, 1)].into_iter().collect();
+        let code = vec![
+            Instr::FBin32(BinOp::Mul, 2, 0, 1),
+            Instr::FBin32(BinOp::Add, 3, 4, 2),
+        ];
+        let out = fma_peephole(&code, &fuse);
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            Instr::FMulAdd {
+                dst,
+                add,
+                a,
+                b,
+                round32,
+            } => {
+                assert_eq!((*dst, *add, *a, *b, *round32), (3, 4, 0, 1, true));
+            }
+            other => panic!("expected FMulAdd, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_rounding_does_not_fuse() {
+        let fuse: HashMap<Reg, usize> = [(2u32, 1usize)].into_iter().collect();
+        let code = vec![
+            Instr::FBin32(BinOp::Mul, 2, 0, 1),
+            Instr::FBin(BinOp::Add, 3, 4, 2),
+        ];
+        assert_eq!(fma_peephole(&code, &fuse).len(), 2);
+    }
+
+    #[test]
+    fn fingerprint_names_both_layers() {
+        let fp = engine_fingerprint();
+        assert!(fp.contains(ENGINE_VERSION));
+        assert!(fp.contains(tvm_tir::PIPELINE_VERSION));
+    }
+}

@@ -7,10 +7,10 @@
 //! message matches the interpreter's, which the differential tests in the
 //! workspace enforce across all PolyBench kernels.
 
-use crate::compile::{compile, Block, CompiledFunc, Instr, Item};
+use crate::compile::{Block, CompiledFunc, Instr, Item, SlotAccess};
 use crate::interp::ExecError;
 use crate::ndarray::NDArray;
-use tvm_te::{BinOp, CmpOp, Intrinsic};
+use tvm_te::{BinOp, CmpOp, DType, Intrinsic};
 use tvm_tir::PrimFunc;
 
 struct Vm<'a> {
@@ -29,11 +29,45 @@ impl<'a> Vm<'a> {
                     min,
                     extent,
                     body,
+                    ..
                 } => {
                     for it in *min..(min + extent) {
                         self.iregs[*var as usize] = it;
                         self.exec_block(body, storage)?;
                     }
+                }
+                Item::StridedLoop {
+                    extent,
+                    pre,
+                    bumps,
+                    body,
+                    ..
+                } => {
+                    // The prelude computes every affine register for
+                    // iteration 0; each iteration then advances them by
+                    // their constant stride instead of recomputing.
+                    self.exec_code(pre, storage)?;
+                    for _ in 0..*extent {
+                        self.exec_code(body, storage)?;
+                        for &(r, s) in bumps.iter() {
+                            // Wrapping: the bump after the final
+                            // iteration computes a value the scalar
+                            // program never does; it is never read.
+                            let v = &mut self.iregs[r as usize];
+                            *v = v.wrapping_add(s);
+                        }
+                    }
+                }
+                Item::MulAddLoop {
+                    extent,
+                    pre,
+                    dst,
+                    a,
+                    b,
+                    round32,
+                } => {
+                    self.exec_code(pre, storage)?;
+                    self.exec_muladd(*extent, dst, a, b, *round32, storage);
                 }
                 Item::If { cond, then, else_ } => {
                     if self.iregs[*cond as usize] != 0 {
@@ -169,6 +203,26 @@ impl<'a> Vm<'a> {
                     let lin = self.iregs[*addr as usize] as usize;
                     storage[*buf as usize].set_f64_linear(lin, self.fregs[*val as usize]);
                 }
+                Instr::FMulAdd {
+                    dst,
+                    add,
+                    a,
+                    b,
+                    round32,
+                } => {
+                    // Fused dispatch, unfused rounding: the product and
+                    // the sum each round exactly like the FBin/FBin32
+                    // pair this instruction replaces.
+                    let mut m = self.fregs[*a as usize] * self.fregs[*b as usize];
+                    if *round32 {
+                        m = m as f32 as f64;
+                    }
+                    let mut s = self.fregs[*add as usize] + m;
+                    if *round32 {
+                        s = s as f32 as f64;
+                    }
+                    self.fregs[*dst as usize] = s;
+                }
                 Instr::StoreChecked { buf, idx, val } => {
                     let shape = &self.cf.slot_shapes[*buf as usize];
                     let strides = &self.cf.slot_strides[*buf as usize];
@@ -188,6 +242,236 @@ impl<'a> Vm<'a> {
             }
         }
         Ok(())
+    }
+
+    /// Execute a recognized `dst[·] = dst[·] + a[·]·b[·]` inner loop.
+    ///
+    /// Every address the loop touches was proven in-bounds at compile
+    /// time (the pattern admits no `Bound` instructions), so this path
+    /// is infallible. Reductions (`dst` stride 0) keep one accumulator
+    /// updated in strictly ascending iteration order — the same fixed
+    /// order as the scalar program — and are never lane-split, so
+    /// results are bit-identical.
+    fn exec_muladd(
+        &mut self,
+        extent: i64,
+        d: &SlotAccess,
+        a: &SlotAccess,
+        b: &SlotAccess,
+        round32: bool,
+        storage: &mut [NDArray],
+    ) {
+        let n = extent as usize;
+        let d0 = self.iregs[d.addr as usize];
+        let a0 = self.iregs[a.addr as usize];
+        let b0 = self.iregs[b.addr as usize];
+        let (ds, asl, bsl) = (d.slot as usize, a.slot as usize, b.slot as usize);
+        if ds != asl && ds != bsl {
+            let dts = [
+                storage[ds].dtype(),
+                storage[asl].dtype(),
+                storage[bsl].dtype(),
+            ];
+            if dts == [DType::F64; 3] && !round32 {
+                let (dd, aa, bb) = disjoint3(storage, ds, asl, bsl);
+                muladd_f64(
+                    dd.as_f64_mut(),
+                    aa.as_f64(),
+                    bb.as_f64(),
+                    n,
+                    (d0, d.stride),
+                    (a0, a.stride),
+                    (b0, b.stride),
+                );
+                return;
+            }
+            if dts == [DType::F32; 3] && round32 {
+                let (dd, aa, bb) = disjoint3(storage, ds, asl, bsl);
+                muladd_f32(
+                    dd.as_f32_mut(),
+                    aa.as_f32(),
+                    bb.as_f32(),
+                    n,
+                    (d0, d.stride),
+                    (a0, a.stride),
+                    (b0, b.stride),
+                );
+                return;
+            }
+        }
+        // Generic path: replicate the scalar instruction sequence
+        // (load, load, load, fmuladd, store) element by element for
+        // mixed dtypes or an in-place destination.
+        let (mut di, mut ai, mut bi) = (d0, a0, b0);
+        for _ in 0..n {
+            let c = storage[ds].get_f64_linear(di as usize);
+            let x = storage[asl].get_f64_linear(ai as usize);
+            let y = storage[bsl].get_f64_linear(bi as usize);
+            let mut m = x * y;
+            if round32 {
+                m = m as f32 as f64;
+            }
+            let mut s = c + m;
+            if round32 {
+                s = s as f32 as f64;
+            }
+            storage[ds].set_f64_linear(di as usize, s);
+            di = di.wrapping_add(d.stride);
+            ai = ai.wrapping_add(a.stride);
+            bi = bi.wrapping_add(b.stride);
+        }
+    }
+}
+
+/// Split storage into one mutable and two shared disjoint-slot borrows
+/// (`d` must differ from `a` and `b`; `a == b` is fine).
+fn disjoint3(
+    st: &mut [NDArray],
+    d: usize,
+    a: usize,
+    b: usize,
+) -> (&mut NDArray, &NDArray, &NDArray) {
+    debug_assert!(d != a && d != b);
+    let (lo, hi) = st.split_at_mut(d);
+    let (dref, rest) = hi.split_first_mut().expect("slot in range");
+    let pa = if a < d { &lo[a] } else { &rest[a - d - 1] };
+    let pb = if b < d { &lo[b] } else { &rest[b - d - 1] };
+    (dref, pa, pb)
+}
+
+/// `f64` multiply-accumulate microkernel. Operates directly on the
+/// stored values, so it is trivially bit-identical to the scalar VM.
+#[allow(clippy::needless_range_loop)]
+fn muladd_f64(
+    d: &mut [f64],
+    a: &[f64],
+    b: &[f64],
+    n: usize,
+    (d0, sd): (i64, i64),
+    (a0, sa): (i64, i64),
+    (b0, sb): (i64, i64),
+) {
+    let (d0, a0, b0) = (d0 as usize, a0 as usize, b0 as usize);
+    match (sd, sa, sb) {
+        (0, 1, 1) => {
+            // Dot-product reduction: single accumulator, ascending order.
+            let mut acc = d[d0];
+            for (x, y) in a[a0..a0 + n].iter().zip(&b[b0..b0 + n]) {
+                acc += x * y;
+            }
+            d[d0] = acc;
+        }
+        (1, 0, 1) => {
+            let x = a[a0];
+            for (dv, y) in d[d0..d0 + n].iter_mut().zip(&b[b0..b0 + n]) {
+                *dv += x * y;
+            }
+        }
+        (1, 1, 0) => {
+            let y = b[b0];
+            for (dv, x) in d[d0..d0 + n].iter_mut().zip(&a[a0..a0 + n]) {
+                *dv += x * y;
+            }
+        }
+        (1, 1, 1) => {
+            for ((dv, x), y) in d[d0..d0 + n]
+                .iter_mut()
+                .zip(&a[a0..a0 + n])
+                .zip(&b[b0..b0 + n])
+            {
+                *dv += x * y;
+            }
+        }
+        _ => {
+            let (mut di, mut ai, mut bi) = (d0 as i64, a0 as i64, b0 as i64);
+            if sd == 0 {
+                let mut acc = d[d0];
+                for _ in 0..n {
+                    acc += a[ai as usize] * b[bi as usize];
+                    ai = ai.wrapping_add(sa);
+                    bi = bi.wrapping_add(sb);
+                }
+                d[d0] = acc;
+            } else {
+                for _ in 0..n {
+                    d[di as usize] += a[ai as usize] * b[bi as usize];
+                    di = di.wrapping_add(sd);
+                    ai = ai.wrapping_add(sa);
+                    bi = bi.wrapping_add(sb);
+                }
+            }
+        }
+    }
+}
+
+/// Native-`f32` multiply-accumulate microkernel.
+///
+/// The VM's `f32` contract is "compute in `f64`, round to `f32` after
+/// each operation". Native `f32` arithmetic is bit-identical here: the
+/// product of two `f32` values is exact in `f64` (48 significand bits
+/// fit in 53), so rounding it to `f32` equals an `f32` multiply; and
+/// double rounding `f64`→`f32` of an `f32`+`f32` sum is innocuous
+/// because 53 ≥ 2·24 + 2 (Figueroa's theorem). Rust never contracts
+/// `x * y + z` into an FMA without explicit opt-in, so each operation
+/// rounds separately, exactly like the scalar instruction pair.
+fn muladd_f32(
+    d: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    n: usize,
+    (d0, sd): (i64, i64),
+    (a0, sa): (i64, i64),
+    (b0, sb): (i64, i64),
+) {
+    let (d0, a0, b0) = (d0 as usize, a0 as usize, b0 as usize);
+    match (sd, sa, sb) {
+        (0, 1, 1) => {
+            let mut acc = d[d0];
+            for (x, y) in a[a0..a0 + n].iter().zip(&b[b0..b0 + n]) {
+                acc += x * y;
+            }
+            d[d0] = acc;
+        }
+        (1, 0, 1) => {
+            let x = a[a0];
+            for (dv, y) in d[d0..d0 + n].iter_mut().zip(&b[b0..b0 + n]) {
+                *dv += x * y;
+            }
+        }
+        (1, 1, 0) => {
+            let y = b[b0];
+            for (dv, x) in d[d0..d0 + n].iter_mut().zip(&a[a0..a0 + n]) {
+                *dv += x * y;
+            }
+        }
+        (1, 1, 1) => {
+            for ((dv, x), y) in d[d0..d0 + n]
+                .iter_mut()
+                .zip(&a[a0..a0 + n])
+                .zip(&b[b0..b0 + n])
+            {
+                *dv += x * y;
+            }
+        }
+        _ => {
+            let (mut di, mut ai, mut bi) = (d0 as i64, a0 as i64, b0 as i64);
+            if sd == 0 {
+                let mut acc = d[d0];
+                for _ in 0..n {
+                    acc += a[ai as usize] * b[bi as usize];
+                    ai = ai.wrapping_add(sa);
+                    bi = bi.wrapping_add(sb);
+                }
+                d[d0] = acc;
+            } else {
+                for _ in 0..n {
+                    d[di as usize] += a[ai as usize] * b[bi as usize];
+                    di = di.wrapping_add(sd);
+                    ai = ai.wrapping_add(sa);
+                    bi = bi.wrapping_add(sb);
+                }
+            }
+        }
     }
 }
 
@@ -273,11 +557,11 @@ pub fn execute(cf: &CompiledFunc, args: &mut [NDArray]) -> Result<(), ExecError>
     Ok(())
 }
 
-/// Execute `func` through the compiled VM when it compiles, falling back
-/// to the reference interpreter otherwise — the engine entry point behind
-/// [`crate::Module::run`] and [`crate::CpuDevice`].
+/// Execute `func` through the optimized compiled VM when it compiles,
+/// falling back to the reference interpreter otherwise — the engine entry
+/// point behind [`crate::Module::run`] and [`crate::CpuDevice`].
 pub fn run(func: &PrimFunc, args: &mut [NDArray]) -> Result<(), ExecError> {
-    match compile(func) {
+    match crate::optimize::compile_optimized(func) {
         Ok(cf) => execute(&cf, args),
         Err(_) => crate::interp::execute(func, args),
     }
@@ -286,6 +570,7 @@ pub fn run(func: &PrimFunc, args: &mut [NDArray]) -> Result<(), ExecError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compile::compile;
     use crate::interp;
     use tvm_te::{compute, placeholder, reduce_axis, sum, DType, Schedule};
     use tvm_tir::lower::lower;

@@ -2,8 +2,17 @@
 //!
 //! The default [`crate::lower()`] pipeline runs, in order:
 //! [`simplify`] → [`unroll`] → [`simplify`] → [`vectorize`] → [`verify`].
+//!
+//! The post-lowering optimization pipeline ([`pipeline::optimize`],
+//! run by the bytecode engine before compilation) additionally applies
+//! [`strength`] reduction and guard-unswitching [`licm`], re-verifying
+//! after every pass.
 
+pub mod affine;
+pub mod licm;
+pub mod pipeline;
 pub mod simplify;
+pub mod strength;
 pub mod unroll;
 pub mod vectorize;
 pub mod verify;

@@ -147,12 +147,15 @@ impl MoldEvaluator {
         }
     }
 
-    /// Memo key: hash of (kernel, problem size, configuration).
+    /// Memo key: hash of (kernel, problem size, configuration, and the
+    /// device's compile-pipeline fingerprint). Including the fingerprint
+    /// means a pipeline change can never replay a stale cached build.
     fn cache_key(&self, config: &Configuration) -> u64 {
         let mut h = DefaultHasher::new();
         self.mold.name().hash(&mut h);
         self.mold.size().to_string().hash(&mut h);
         config.key().hash(&mut h);
+        self.device.fingerprint().hash(&mut h);
         h.finish()
     }
 
@@ -271,6 +274,10 @@ impl Evaluator for MoldEvaluator {
     fn static_check_stats(&self) -> Option<StaticCheckStats> {
         Some(MoldEvaluator::static_check_stats(self))
     }
+
+    fn pipeline_fingerprint(&self) -> Option<String> {
+        self.device.fingerprint()
+    }
 }
 
 impl Problem for MoldEvaluator {
@@ -297,6 +304,10 @@ impl Problem for MoldEvaluator {
 
     fn static_check_stats(&self) -> Option<StaticCheckStats> {
         Some(MoldEvaluator::static_check_stats(self))
+    }
+
+    fn pipeline_fingerprint(&self) -> Option<String> {
+        self.device.fingerprint()
     }
 }
 

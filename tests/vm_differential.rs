@@ -1,9 +1,11 @@
-//! Differential testing: the compiled VM against the interpreter oracle.
+//! Differential testing: the compiled VMs against the interpreter oracle.
 //!
 //! Every PolyBench kernel, under randomly sampled configurations, must
-//! produce bit-identical outputs on the compiled VM and the reference
-//! interpreter — and must fail identically (same `ExecError`) on
-//! malformed argument lists (arity, shape, dtype).
+//! produce bit-identical outputs on three engines — the reference
+//! interpreter, the scalar bytecode VM, and the pass-pipeline-optimized
+//! VM (strided/vectorized loops, fused multiply-add, microkernels) — and
+//! must fail identically (same `ExecError`) on malformed argument lists
+//! (arity, shape, dtype).
 
 use polybench::molds::mold_for;
 use polybench::{KernelName, ProblemSize};
@@ -11,7 +13,7 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use tvm_runtime::interp::ExecError;
-use tvm_runtime::{compile, interp, vm, NDArray};
+use tvm_runtime::{compile, compile_optimized, interp, vm, NDArray};
 use tvm_te::DType;
 
 const KERNELS: [KernelName; 7] = [
@@ -24,19 +26,33 @@ const KERNELS: [KernelName; 7] = [
     KernelName::Trmm,
 ];
 
-/// Run `func` on both engines from identical argument snapshots; the
-/// results (including any error) and every output array must match
+/// Run `func` on all three engines from identical argument snapshots;
+/// the results (including any error) and every output array must match
 /// bit for bit.
 fn assert_engines_agree(func: &tvm_tir::PrimFunc, args: &[NDArray], context: &str) {
     let mut via_interp = args.to_vec();
     let mut via_vm = args.to_vec();
+    let mut via_opt = args.to_vec();
     let r_interp = interp::execute(func, &mut via_interp);
     let cf = compile(func)
         .unwrap_or_else(|e| panic!("{context}: PolyBench kernels must compile, got {e}"));
     let r_vm = vm::execute(&cf, &mut via_vm);
-    assert_eq!(r_interp, r_vm, "{context}: result/error class diverged");
+    let cf_opt = compile_optimized(func)
+        .unwrap_or_else(|e| panic!("{context}: optimized pipeline must compile, got {e}"));
+    let r_opt = vm::execute(&cf_opt, &mut via_opt);
+    assert_eq!(
+        r_interp, r_vm,
+        "{context}: scalar VM result/error class diverged"
+    );
+    assert_eq!(
+        r_interp, r_opt,
+        "{context}: optimized VM result/error class diverged"
+    );
     for (i, (a, b)) in via_interp.iter().zip(&via_vm).enumerate() {
-        assert_eq!(a, b, "{context}: arg {i} diverged");
+        assert_eq!(a, b, "{context}: arg {i} diverged on the scalar VM");
+    }
+    for (i, (a, b)) in via_interp.iter().zip(&via_opt).enumerate() {
+        assert_eq!(a, b, "{context}: arg {i} diverged on the optimized VM");
     }
 }
 
@@ -84,6 +100,30 @@ fn error_classification_matches_on_malformed_args() {
         bad_dtype[0] = NDArray::zeros(good[0].shape(), flipped);
         assert_engines_agree(&func, &bad_dtype, &format!("{name} dtype"));
     }
+}
+
+#[test]
+fn optimizer_transforms_polybench_hot_loops() {
+    // The three-engine differential above is only meaningful if the
+    // optimized pipeline actually rewrites these kernels: the matrix
+    // kernels' contiguous mul-add inner loops must be promoted to
+    // strided loops or recognized as microkernels.
+    let mut any_microkernel = false;
+    for kernel in [KernelName::Gemm, KernelName::Mm3, KernelName::Mm2] {
+        let mold = mold_for(kernel, ProblemSize::Mini);
+        let func = mold.instantiate(&mold.space().default_configuration());
+        let cf = compile_optimized(&func).expect("optimized compile");
+        assert!(
+            cf.microkernel_count() + cf.strided_loop_count() > 0,
+            "{}: optimizer left every inner loop scalar",
+            mold.name()
+        );
+        any_microkernel |= cf.microkernel_count() > 0;
+    }
+    assert!(
+        any_microkernel,
+        "no matrix kernel dispatched to the mul-add microkernel"
+    );
 }
 
 #[test]
