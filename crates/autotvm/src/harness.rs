@@ -32,6 +32,7 @@
 use crate::measure::{Evaluator, MeasureResult};
 use configspace::{ConfigSpace, Configuration};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -242,6 +243,10 @@ impl<E: Evaluator + Send + Sync + 'static> Evaluator for HarnessedEvaluator<E> {
     fn static_check_stats(&self) -> Option<ytopt_bo::problem::StaticCheckStats> {
         Evaluator::static_check_stats(&*self.inner)
     }
+
+    fn pipeline_fingerprint(&self) -> Option<String> {
+        Evaluator::pipeline_fingerprint(&*self.inner)
+    }
 }
 
 impl<E: Problem + Send + Sync + 'static> Problem for HarnessedEvaluator<E> {
@@ -265,11 +270,18 @@ impl<E: Problem + Send + Sync + 'static> Problem for HarnessedEvaluator<E> {
     fn static_check_stats(&self) -> Option<ytopt_bo::problem::StaticCheckStats> {
         Problem::static_check_stats(&*self.inner)
     }
+
+    fn pipeline_fingerprint(&self) -> Option<String> {
+        Problem::pipeline_fingerprint(&*self.inner)
+    }
 }
 
 /// Per-class injected failure rates (each in `[0, 1]`; they are tried in
 /// field order against one uniform draw, so their sum must stay ≤ 1).
-#[derive(Debug, Clone, Copy)]
+///
+/// Serializable so chaos plans can ride inside persisted service job
+/// specs and be reconstructed identically after a server restart.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// Probability of an injected [`MeasureError::StaticReject`]. Drawn
     /// once per *configuration* (never per attempt): a static verdict is
@@ -515,6 +527,10 @@ impl<E: Evaluator> Evaluator for FaultInjector<E> {
     fn static_check_stats(&self) -> Option<ytopt_bo::problem::StaticCheckStats> {
         Evaluator::static_check_stats(&self.inner)
     }
+
+    fn pipeline_fingerprint(&self) -> Option<String> {
+        Evaluator::pipeline_fingerprint(&self.inner)
+    }
 }
 
 impl<E: Problem> Problem for FaultInjector<E> {
@@ -543,6 +559,10 @@ impl<E: Problem> Problem for FaultInjector<E> {
 
     fn static_check_stats(&self) -> Option<ytopt_bo::problem::StaticCheckStats> {
         Problem::static_check_stats(&self.inner)
+    }
+
+    fn pipeline_fingerprint(&self) -> Option<String> {
+        Problem::pipeline_fingerprint(&self.inner)
     }
 }
 
@@ -732,6 +752,28 @@ mod tests {
             kinds.insert(r.error.expect("error").kind());
         }
         assert!(kinds.len() >= 4, "all classes get exercised: {kinds:?}");
+    }
+
+    #[test]
+    fn wrappers_forward_pipeline_fingerprint() {
+        struct Fp(ConfigSpace);
+        impl Evaluator for Fp {
+            fn space(&self) -> &ConfigSpace {
+                &self.0
+            }
+            fn evaluate(&self, _c: &Configuration) -> MeasureResult {
+                MeasureResult::ok(1.0, 1.0)
+            }
+            fn pipeline_fingerprint(&self) -> Option<String> {
+                Some("vm/fp-test".into())
+            }
+        }
+        let h = HarnessedEvaluator::new(FaultInjector::new(Fp(space()), FaultPlan::none(0)));
+        assert_eq!(
+            Evaluator::pipeline_fingerprint(&h),
+            Some("vm/fp-test".to_string()),
+            "journaled chaos runs must keep the engine stamp through both wrappers"
+        );
     }
 
     #[test]

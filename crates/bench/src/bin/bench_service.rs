@@ -1,0 +1,194 @@
+//! Tuning-service throughput benchmark and integrity gate.
+//!
+//! Runs the multi-tenant service at increasing tenant counts (1, 10, 100
+//! concurrent sessions; smoke mode stops at 10), measuring sessions/sec
+//! and the p50/p99 wall-clock latency of individual live trials. The
+//! binary exits nonzero if any session is lost (submitted but never
+//! terminal), duplicated (trial indices repeat inside a report), or ends
+//! in any state other than `Completed` — which is what the CI smoke job
+//! checks.
+//!
+//! Usage: `bench_service [--smoke] [--evals N] [--workers N]`
+//! Writes `results/BENCH_service.json` in both modes.
+
+use std::io::Write;
+use std::time::{Duration, Instant};
+use tvm_service::job::{EngineKind, JobSpec, TunerKind};
+use tvm_service::service::{JobState, ServiceConfig, TuningService};
+
+const KERNELS: [&str; 7] = ["lu", "cholesky", "3mm", "gemm", "2mm", "syrk", "trmm"];
+
+struct TierRow {
+    tenants: usize,
+    wall_s: f64,
+    sessions_per_sec: f64,
+    trials: usize,
+    p50_trial_s: f64,
+    p99_trial_s: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn spec_for(i: usize, evals: usize) -> JobSpec {
+    let mut spec = JobSpec::new(
+        format!("bench-tenant-{i}"),
+        KERNELS[i % KERNELS.len()],
+        "mini",
+    );
+    spec.tuner = TunerKind::Random;
+    spec.seed = i as u64;
+    spec.max_evals = evals;
+    spec.batch = 4;
+    spec.engine = EngineKind::Simulated;
+    spec
+}
+
+/// Run one tier; exits the process on any lost/duplicated session.
+fn run_tier(tenants: usize, evals: usize, workers: usize) -> TierRow {
+    let dir = std::env::temp_dir()
+        .join("tvm-bench-service")
+        .join(format!("tier-{tenants}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ServiceConfig {
+        workers,
+        queue_capacity: tenants.max(8) * 2,
+        poll_ms: 2,
+        ..ServiceConfig::default()
+    };
+    let (svc, _) = TuningService::open(&dir, cfg).expect("open service");
+
+    let t0 = Instant::now();
+    let ids: Vec<u64> = (0..tenants)
+        .map(|i| {
+            svc.submit(spec_for(i, evals)).unwrap_or_else(|r| {
+                eprintln!("LOST SESSION: tenant {i} rejected at admission: {r}");
+                std::process::exit(1);
+            })
+        })
+        .collect();
+
+    let mut trial_latencies: Vec<f64> = Vec::new();
+    for (i, id) in ids.iter().enumerate() {
+        let Some(outcome) = svc.wait(*id, Duration::from_secs(600)) else {
+            eprintln!("LOST SESSION: tenant {i} (job {id}) never reached a terminal state");
+            std::process::exit(1);
+        };
+        if outcome.state != JobState::Completed {
+            eprintln!(
+                "LOST SESSION: tenant {i} (job {id}) ended {:?}: {:?}",
+                outcome.state, outcome.message
+            );
+            std::process::exit(1);
+        }
+        let report = outcome.report.expect("completed outcome has a report");
+        let mut seen = vec![false; evals];
+        for t in &report.trials {
+            if t.index >= evals || seen[t.index] {
+                eprintln!(
+                    "DUPLICATED SESSION: tenant {i} (job {id}) repeats trial index {}",
+                    t.index
+                );
+                std::process::exit(1);
+            }
+            seen[t.index] = true;
+            if !t.replayed {
+                trial_latencies.push(t.wall_s);
+            }
+        }
+        if report.trials.len() != evals {
+            eprintln!(
+                "LOST TRIALS: tenant {i} (job {id}) has {}/{} trials",
+                report.trials.len(),
+                evals
+            );
+            std::process::exit(1);
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let status = svc.status();
+    svc.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    trial_latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    TierRow {
+        tenants,
+        wall_s,
+        sessions_per_sec: tenants as f64 / wall_s.max(1e-9),
+        trials: trial_latencies.len(),
+        p50_trial_s: percentile(&trial_latencies, 0.50),
+        p99_trial_s: percentile(&trial_latencies, 0.99),
+        cache_hits: status.cache.hits,
+        cache_misses: status.cache.misses,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| -> Option<usize> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    };
+    let evals = flag("--evals").unwrap_or(8);
+    let workers = flag("--workers").unwrap_or(4);
+    let tiers: &[usize] = if smoke { &[1, 10] } else { &[1, 10, 100] };
+
+    println!("# bench_service: {evals} evals/session, {workers} workers");
+    println!(
+        "{:>8} {:>10} {:>14} {:>8} {:>12} {:>12} {:>16}",
+        "tenants", "wall (s)", "sessions/sec", "trials", "p50 (ms)", "p99 (ms)", "cache hit/miss"
+    );
+    let mut rows = Vec::new();
+    for &tenants in tiers {
+        let row = run_tier(tenants, evals, workers);
+        println!(
+            "{:>8} {:>10.3} {:>14.2} {:>8} {:>12.3} {:>12.3} {:>11}/{}",
+            row.tenants,
+            row.wall_s,
+            row.sessions_per_sec,
+            row.trials,
+            row.p50_trial_s * 1e3,
+            row.p99_trial_s * 1e3,
+            row.cache_hits,
+            row.cache_misses
+        );
+        rows.push(row);
+    }
+
+    std::fs::create_dir_all("results").expect("mkdir results");
+    let mut f = std::io::BufWriter::new(
+        std::fs::File::create("results/BENCH_service.json").expect("create json"),
+    );
+    writeln!(f, "[").expect("write");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            f,
+            "  {{\"tenants\": {}, \"wall_s\": {:.6}, \"sessions_per_sec\": {:.3}, \
+             \"live_trials\": {}, \"p50_trial_s\": {:.6}, \"p99_trial_s\": {:.6}, \
+             \"cache_hits\": {}, \"cache_misses\": {}}}{}",
+            r.tenants,
+            r.wall_s,
+            r.sessions_per_sec,
+            r.trials,
+            r.p50_trial_s,
+            r.p99_trial_s,
+            r.cache_hits,
+            r.cache_misses,
+            comma
+        )
+        .expect("write");
+    }
+    writeln!(f, "]").expect("write");
+    println!("wrote results/BENCH_service.json ({} tiers)", rows.len());
+}

@@ -2,6 +2,7 @@
 
 use crate::fault::MeasureError;
 use configspace::{ConfigSpace, Configuration};
+use serde::{Deserialize, Serialize};
 
 /// Outcome of evaluating one configuration (step 4–5 of the paper's
 /// iterative phase).
@@ -44,7 +45,9 @@ impl Evaluation {
 
 /// Hit/miss counters of an evaluator-side memo cache (lowering /
 /// compilation artifacts reused across repeated proposals).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Serializable so the tuning service can report aggregate counters
+/// through its status endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Evaluations served from the cache (no re-lowering, no rebuild).
     pub hits: u64,
@@ -70,7 +73,7 @@ impl CacheStats {
 
 /// Accept/reject counters of an evaluator-side static schedule-safety
 /// analyzer (configs vetted before any compilation or measurement).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StaticCheckStats {
     /// Configurations the analyzer proved safe to measure.
     pub accepted: u64,

@@ -1,0 +1,180 @@
+//! `tune-client` — command-line client for `serve`.
+//!
+//! ```text
+//! tune-client --addr HOST:PORT submit --kernel K --size S [--tuner T]
+//!             [--seed N] [--evals N] [--batch N] [--engine sim|real]
+//!             [--deadline-s S] [--fault-rate R] [--tenant NAME] [--wait]
+//! tune-client --addr HOST:PORT status
+//! tune-client --addr HOST:PORT wait ID [--timeout-s S]
+//! tune-client --addr HOST:PORT outcome ID
+//! tune-client --addr HOST:PORT cancel ID
+//! tune-client --addr HOST:PORT shutdown
+//! ```
+//!
+//! `--addr` may also be `@DIR` to read `DIR/serve.addr` as written by
+//! `serve`. Responses are printed as pretty JSON on stdout.
+
+use autotvm::FaultPlan;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use tvm_service::job::{EngineKind, JobSpec, TunerKind};
+use tvm_service::proto::{Request, Response};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tune-client --addr HOST:PORT|@DIR \
+         (submit --kernel K --size S [opts] | status | wait ID | outcome ID | cancel ID | shutdown)"
+    );
+    std::process::exit(2);
+}
+
+fn resolve_addr(addr: &str) -> String {
+    match addr.strip_prefix('@') {
+        Some(dir) => std::fs::read_to_string(std::path::Path::new(dir).join("serve.addr"))
+            .map(|s| s.trim().to_string())
+            .unwrap_or_else(|e| {
+                eprintln!("tune-client: cannot read {dir}/serve.addr: {e}");
+                std::process::exit(1);
+            }),
+        None => addr.to_string(),
+    }
+}
+
+fn roundtrip(addr: &str, request: &Request) -> Response {
+    let run = || -> std::io::Result<Response> {
+        let stream = TcpStream::connect(addr)?;
+        let mut writer = stream.try_clone()?;
+        serde_json::to_writer(&mut writer, request)?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line)?;
+        Ok(serde_json::from_str(&line)?)
+    };
+    run().unwrap_or_else(|e| {
+        eprintln!("tune-client: {addr}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn print_response(response: &Response) {
+    println!(
+        "{}",
+        serde_json::to_string_pretty(response).expect("serialize response")
+    );
+}
+
+fn parse_submit(mut it: std::env::Args) -> (JobSpec, bool) {
+    let mut kernel = None;
+    let mut size = None;
+    let mut spec = JobSpec::new(whoami(), "lu", "mini");
+    let mut wait = false;
+    while let Some(flag) = it.next() {
+        if flag == "--wait" {
+            wait = true;
+            continue;
+        }
+        let val = it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--kernel" => kernel = Some(val),
+            "--size" => size = Some(val),
+            "--tuner" => {
+                spec.tuner = TunerKind::parse(&val).unwrap_or_else(|| {
+                    eprintln!("tune-client: unknown tuner {val:?}");
+                    std::process::exit(2);
+                })
+            }
+            "--seed" => spec.seed = val.parse().unwrap_or_else(|_| usage()),
+            "--evals" => spec.max_evals = val.parse().unwrap_or_else(|_| usage()),
+            "--batch" => spec.batch = val.parse().unwrap_or_else(|_| usage()),
+            "--engine" => {
+                spec.engine = match val.as_str() {
+                    "sim" | "simulated" => EngineKind::Simulated,
+                    "real" => EngineKind::Real,
+                    _ => usage(),
+                }
+            }
+            "--deadline-s" => spec.deadline_s = Some(val.parse().unwrap_or_else(|_| usage())),
+            "--fault-rate" => {
+                let rate: f64 = val.parse().unwrap_or_else(|_| usage());
+                spec.fault = Some(FaultPlan::uniform(rate, spec.seed));
+            }
+            "--tenant" => spec.tenant = val,
+            _ => usage(),
+        }
+    }
+    spec.kernel = kernel.unwrap_or_else(|| usage());
+    spec.size = size.unwrap_or_else(|| usage());
+    (spec, wait)
+}
+
+fn whoami() -> String {
+    std::env::var("USER").unwrap_or_else(|_| "anonymous".to_string())
+}
+
+fn main() {
+    let mut it = std::env::args();
+    let _argv0 = it.next();
+    let mut addr = None;
+    let command = loop {
+        match it.next().as_deref() {
+            Some("--addr") => addr = it.next(),
+            Some(cmd) => break cmd.to_string(),
+            None => usage(),
+        }
+    };
+    let addr = resolve_addr(&addr.unwrap_or_else(|| usage()));
+
+    let next_id = |it: &mut std::env::Args| -> u64 {
+        it.next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage())
+    };
+    match command.as_str() {
+        "submit" => {
+            let (spec, wait) = parse_submit(it);
+            let response = roundtrip(&addr, &Request::Submit { spec });
+            print_response(&response);
+            if wait {
+                if let Response::Accepted { id } = response {
+                    print_response(&roundtrip(
+                        &addr,
+                        &Request::Wait {
+                            id,
+                            timeout_s: 3600.0,
+                        },
+                    ));
+                } else {
+                    std::process::exit(1);
+                }
+            }
+        }
+        "status" => print_response(&roundtrip(&addr, &Request::Status)),
+        "outcome" => {
+            let id = next_id(&mut it);
+            print_response(&roundtrip(&addr, &Request::Outcome { id }));
+        }
+        "wait" => {
+            let id = next_id(&mut it);
+            let mut timeout_s = 3600.0;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--timeout-s" => {
+                        timeout_s = it
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
+                    _ => usage(),
+                }
+            }
+            print_response(&roundtrip(&addr, &Request::Wait { id, timeout_s }));
+        }
+        "cancel" => {
+            let id = next_id(&mut it);
+            print_response(&roundtrip(&addr, &Request::Cancel { id }));
+        }
+        "shutdown" => print_response(&roundtrip(&addr, &Request::Shutdown)),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,312 @@
+//! Service-level chaos suite.
+//!
+//! The acceptance scenario from the service design: many concurrent
+//! tenant sessions with 0–50% injected fault rates, a journal rotation
+//! policy small enough that kills land across rotation boundaries, and
+//! repeated abrupt server kills mid-flight. After the final restart every
+//! session must complete with trial records *identical* to an
+//! uninterrupted sequential run of the same spec (faults included — the
+//! injector is deterministic): same config keys, same runtimes, same
+//! error kinds — with zero lost or duplicated sessions, and the bounded
+//! admission queue must never exceed its configured capacity.
+//!
+//! Everything here is watchdog-bounded: a deadlock or livelock fails the
+//! test instead of hanging CI.
+
+use autotvm::{FaultPlan, HarnessOptions};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::time::Duration;
+use tvm_autotune::MemoCache;
+use tvm_service::job::{EngineKind, JobSpec, TunerKind};
+use tvm_service::ladder::build_ladder;
+use tvm_service::service::{JobState, ServiceConfig, TuningService};
+use tvm_service::session::{run_session, SessionCtl, SessionOptions};
+use tvm_service::BreakerConfig;
+use ytopt_bo::journal::{RotationPolicy, TrialJournal};
+
+const KERNELS: [&str; 7] = ["lu", "cholesky", "3mm", "gemm", "2mm", "syrk", "trmm"];
+
+/// (config key, runtime, error kind) — the identity triple compared
+/// across kills. Process time is excluded deliberately: it contains real
+/// wall-clock and shared-cache effects, which replay does not promise to
+/// reproduce.
+type Identity = Vec<(String, Option<String>, Option<String>)>;
+
+fn chaos_spec(i: usize) -> JobSpec {
+    let mut spec = JobSpec::new(format!("tenant-{i}"), KERNELS[i % KERNELS.len()], "mini");
+    spec.tuner = if i % 2 == 0 {
+        TunerKind::Random
+    } else {
+        TunerKind::GridSearch
+    };
+    spec.seed = i as u64;
+    spec.max_evals = 8;
+    spec.batch = 2;
+    spec.engine = EngineKind::Simulated;
+    // Fault rates sweep 0%..50% across the tenant population.
+    let rate = 0.5 * (i % 11) as f64 / 10.0;
+    if rate > 0.0 {
+        spec.fault = Some(FaultPlan::uniform(rate, 1000 + i as u64));
+    }
+    spec
+}
+
+fn chaos_cfg() -> ServiceConfig {
+    ServiceConfig {
+        workers: 4,
+        queue_capacity: 128,
+        // Rotation small enough that every session rolls segments, so
+        // kills land across rotation boundaries.
+        rotation: Some(RotationPolicy {
+            max_records_per_segment: 3,
+            compact_after_segments: 2,
+        }),
+        // Breakers stay out of the way here (their own behavior is
+        // covered by unit tests); a storm of *injected* faults must not
+        // throttle the chaos run into the watchdog.
+        breaker: BreakerConfig {
+            failure_threshold: u32::MAX,
+            ..BreakerConfig::default()
+        },
+        demote_after: 3,
+        poll_ms: 2,
+        harness: HarnessOptions::default(),
+    }
+}
+
+/// The ground truth for one spec: a sequential, uninterrupted session in
+/// a fresh journal with no breaker and a private cache.
+fn reference_identity(spec: &JobSpec, dir: &std::path::Path, i: usize) -> Identity {
+    let cache = std::sync::Arc::new(MemoCache::new());
+    let mut ladder =
+        build_ladder(spec, &cache, HarnessOptions::default(), 3).expect("reference ladder");
+    let mut tuner = spec.tuner.build(ladder.space().clone(), spec.seed);
+    let path = dir.join(format!("ref-{i}.jsonl"));
+    let mut journal = TrialJournal::create(&path).expect("reference journal");
+    let report = run_session(
+        tuner.as_mut(),
+        &mut ladder,
+        &mut journal,
+        Vec::new(),
+        SessionOptions {
+            max_evals: spec.max_evals,
+            batch: spec.batch,
+            deadline_unix_ms: None,
+        },
+        &SessionCtl::new(),
+    )
+    .expect("reference session");
+    report
+        .trials
+        .iter()
+        .map(|t| {
+            (
+                t.config.key(),
+                t.runtime_s.map(|r| format!("{r:.12e}")),
+                t.error.as_ref().map(|e| e.kind().to_string()),
+            )
+        })
+        .collect()
+}
+
+fn outcome_identity(outcome: &tvm_service::JobOutcome) -> Identity {
+    outcome
+        .report
+        .as_ref()
+        .expect("completed outcome carries a report")
+        .trials
+        .iter()
+        .map(|t| {
+            (
+                t.config.key(),
+                t.runtime_s.map(|r| format!("{r:.12e}")),
+                t.error.as_ref().map(|e| e.kind().to_string()),
+            )
+        })
+        .collect()
+}
+
+/// Run `body` on a helper thread and fail loudly if it neither finishes
+/// nor panics within `limit` — the suite's deadlock/hang detector.
+fn with_watchdog(limit: Duration, body: impl FnOnce() + Send + 'static) {
+    let (tx, rx) = mpsc::channel::<()>();
+    let handle = std::thread::spawn(move || {
+        body();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(limit) {
+        Ok(()) => handle.join().expect("chaos body panicked"),
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            handle.join().expect("chaos body panicked");
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("watchdog: chaos suite exceeded {limit:?} — deadlock or livelock");
+        }
+    }
+}
+
+#[test]
+fn chaos_sessions_survive_kills_with_identical_results() {
+    with_watchdog(Duration::from_secs(240), || {
+        let dir = std::env::temp_dir()
+            .join("tvm-service-chaos")
+            .join("acceptance");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let ref_dir = dir.join("reference");
+        std::fs::create_dir_all(&ref_dir).expect("mkdir ref");
+
+        const SESSIONS: usize = 100;
+        let specs: Vec<JobSpec> = (0..SESSIONS).map(chaos_spec).collect();
+        let expected: Vec<Identity> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| reference_identity(s, &ref_dir, i))
+            .collect();
+
+        // Submit in three waves; kill the server abruptly after each wave
+        // so in-flight sessions are interrupted mid-journal (including
+        // across rotation boundaries).
+        let svc_dir = dir.join("svc");
+        let waves: [std::ops::Range<usize>; 3] = [0..40, 40..70, 70..SESSIONS];
+        let mut ids: HashMap<usize, u64> = HashMap::new();
+        let mut total_adopted = 0usize;
+        let mut kills = 0usize;
+        for (w, wave) in waves.iter().enumerate() {
+            let (svc, recovery) = TuningService::open(&svc_dir, chaos_cfg()).expect("open service");
+            total_adopted += recovery.adopted;
+            let done_before_wave = svc.status().completed;
+            for i in wave.clone() {
+                let id = svc
+                    .submit(specs[i].clone())
+                    .unwrap_or_else(|r| panic!("wave {w} admission failed: {r}"));
+                ids.insert(i, id);
+            }
+            assert!(
+                svc.status().queue_high_water <= 128,
+                "admission queue exceeded its bound"
+            );
+            // Kill as soon as a couple of sessions have completed: work is
+            // provably mid-flight, so most of the wave gets interrupted no
+            // matter how fast the machine is. (The watchdog bounds this
+            // loop; if the wave finishes entirely first we kill anyway.)
+            loop {
+                let s = svc.status();
+                if s.completed >= done_before_wave + 2 || (s.queued == 0 && s.running == 0) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            svc.kill();
+            kills += 1;
+            drop(svc);
+        }
+        assert_eq!(kills, 3);
+
+        // Final restart: adopt everything and drain to completion.
+        let (svc, recovery) = TuningService::open(&svc_dir, chaos_cfg()).expect("final open");
+        total_adopted += recovery.adopted;
+        assert!(
+            total_adopted > 0,
+            "kills landed after all work finished; nothing was ever adopted"
+        );
+        assert_eq!(
+            recovery.adopted + recovery.already_done,
+            SESSIONS,
+            "no session lost, none duplicated"
+        );
+
+        let mut mismatches = Vec::new();
+        for (i, id) in &ids {
+            let outcome = svc
+                .wait(*id, Duration::from_secs(120))
+                .unwrap_or_else(|| panic!("session {i} (job {id}) never reached a terminal state"));
+            assert_eq!(
+                outcome.state,
+                JobState::Completed,
+                "session {i} ended {:?}: {:?}",
+                outcome.state,
+                outcome.message
+            );
+            let got = outcome_identity(&outcome);
+            assert_eq!(got.len(), specs[*i].max_evals, "session {i} trial count");
+            if got != expected[*i] {
+                mismatches.push(*i);
+            }
+        }
+        assert!(
+            mismatches.is_empty(),
+            "sessions diverged from their fault-deterministic reference: {mismatches:?}"
+        );
+        assert!(svc.status().queue_high_water <= 128);
+        svc.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}
+
+#[test]
+fn queue_bound_holds_under_submission_flood() {
+    with_watchdog(Duration::from_secs(120), || {
+        let dir = std::env::temp_dir().join("tvm-service-chaos").join("flood");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServiceConfig {
+            workers: 2,
+            queue_capacity: 8,
+            poll_ms: 2,
+            ..chaos_cfg()
+        };
+        let (svc, _) = TuningService::open(&dir, cfg).expect("open");
+        let accepted = std::sync::atomic::AtomicUsize::new(0);
+        let rejected = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let svc = &svc;
+                let accepted = &accepted;
+                let rejected = &rejected;
+                scope.spawn(move || {
+                    for i in 0..25usize {
+                        match svc.submit(chaos_spec(4 * i + t)) {
+                            Ok(_) => {
+                                accepted.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(tvm_service::RejectReason::QueueFull { depth, capacity }) => {
+                                assert!(depth <= capacity);
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(other) => panic!("unexpected rejection: {other}"),
+                        }
+                    }
+                });
+            }
+        });
+        let status = svc.status();
+        assert!(
+            status.queue_high_water <= 8,
+            "bound violated: high water {}",
+            status.queue_high_water
+        );
+        assert!(accepted.load(Ordering::Relaxed) > 0);
+        // Every accepted job still terminates (nothing leaked or lost).
+        svc.shutdown();
+        let (svc, recovery) = TuningService::open(&dir, chaos_cfg()).expect("reopen");
+        let _ = recovery;
+        let deadline = std::time::Instant::now() + Duration::from_secs(90);
+        loop {
+            let s = svc.status();
+            if s.queued == 0 && s.running == 0 {
+                assert_eq!(
+                    s.completed,
+                    accepted.load(Ordering::Relaxed),
+                    "every accepted job must complete exactly once"
+                );
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "drain stalled");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        svc.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}

@@ -39,6 +39,67 @@ struct CacheEntry {
     reject: Option<String>,
 }
 
+/// Process-wide lowering + compilation memo cache, shareable across
+/// evaluators and tuning sessions.
+///
+/// Keys already fold in the kernel name, problem size, configuration and
+/// the device's pipeline fingerprint (see [`MoldEvaluator::cache_key`]'s
+/// doc), so one cache can safely serve many concurrent sessions tuning
+/// different kernels on different engines: distinct workloads can never
+/// collide, and a pipeline change can never replay a stale artifact.
+/// Every [`MoldEvaluator`] gets a private cache by default; pass one
+/// [`Arc<MemoCache>`] to several evaluators via
+/// [`MoldEvaluator::with_cache`] to share builds across them — the
+/// multi-tenant tuning service does exactly that and surfaces the
+/// aggregate counters through its status endpoint.
+#[derive(Default)]
+pub struct MemoCache {
+    entries: Mutex<HashMap<u64, Arc<CacheEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MemoCache {
+    /// Fresh, empty cache.
+    pub fn new() -> MemoCache {
+        MemoCache::default()
+    }
+
+    /// Aggregate hit/miss counters across every evaluator using this
+    /// cache.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of memoized lowerings.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+
+    /// True when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookup, counting a hit on success.
+    fn get(&self, key: u64) -> Option<Arc<CacheEntry>> {
+        let found = self.entries.lock().expect("cache lock").get(&key).cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Insert a freshly computed entry, counting the miss that led here.
+    fn insert(&self, key: u64, entry: Arc<CacheEntry>) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.entries.lock().expect("cache lock").insert(key, entry);
+    }
+}
+
 /// Measures configurations of one code mold on one device.
 ///
 /// Process time per evaluation = mold instantiation (real wall clock) +
@@ -69,9 +130,7 @@ pub struct MoldEvaluator {
     /// Timed runs per evaluation (AutoTVM measures multiple times; ytopt
     /// evaluates once).
     pub repeats: usize,
-    cache: Mutex<HashMap<u64, Arc<CacheEntry>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    cache: Arc<MemoCache>,
     accepted: AtomicU64,
     rejected: AtomicU64,
 }
@@ -84,9 +143,7 @@ impl MoldEvaluator {
             device: Box::new(device),
             mode: EvalMode::Simulated,
             repeats: 1,
-            cache: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            cache: Arc::new(MemoCache::new()),
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
         }
@@ -100,9 +157,7 @@ impl MoldEvaluator {
             device: Box::new(device),
             mode: EvalMode::Real,
             repeats: 1,
-            cache: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            cache: Arc::new(MemoCache::new()),
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
         }
@@ -111,6 +166,14 @@ impl MoldEvaluator {
     /// Builder: timed runs per evaluation.
     pub fn with_repeats(mut self, repeats: usize) -> Self {
         self.repeats = repeats.max(1);
+        self
+    }
+
+    /// Builder: share a process-wide [`MemoCache`] instead of the private
+    /// per-evaluator one. Safe across kernels, sizes and engines because
+    /// all of them are folded into the memo key.
+    pub fn with_cache(mut self, cache: Arc<MemoCache>) -> Self {
+        self.cache = cache;
         self
     }
 
@@ -130,12 +193,11 @@ impl MoldEvaluator {
         format!("{}-{}", self.mold.name(), self.mold.size())
     }
 
-    /// Snapshot of the memo cache's hit/miss counters.
+    /// Snapshot of the memo cache's hit/miss counters. With a shared
+    /// [`MemoCache`] these are the *aggregate* counters across every
+    /// evaluator on that cache.
     pub fn cache_stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-        }
+        self.cache.stats()
     }
 
     /// Snapshot of the static analyzer's accept/reject counters (one
@@ -163,9 +225,8 @@ impl MoldEvaluator {
     /// on the first request, a map lookup afterwards.
     fn lower_cached(&self, config: &Configuration) -> (Arc<CacheEntry>, bool) {
         let key = self.cache_key(config);
-        if let Some(entry) = self.cache.lock().expect("cache lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return (Arc::clone(entry), true);
+        if let Some(entry) = self.cache.get(key) {
+            return (entry, true);
         }
         let func = self.mold.instantiate(config);
         // Static schedule-safety gate: a Deny verdict skips the build and
@@ -190,11 +251,7 @@ impl MoldEvaluator {
                 reject: None,
             })
         };
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.cache
-            .lock()
-            .expect("cache lock")
-            .insert(key, Arc::clone(&entry));
+        self.cache.insert(key, Arc::clone(&entry));
         (entry, false)
     }
 
@@ -397,6 +454,46 @@ mod tests {
         assert!(first.is_ok() && second.is_ok());
         let stats = ev.cache_stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn shared_cache_serves_hits_across_evaluators() {
+        let shared = Arc::new(MemoCache::new());
+        let a = MoldEvaluator::simulated(
+            mold_for(KernelName::Lu, ProblemSize::Large),
+            SimDevice::new(GpuSpec::a100()),
+        )
+        .with_cache(Arc::clone(&shared));
+        let b = MoldEvaluator::simulated(
+            mold_for(KernelName::Lu, ProblemSize::Large),
+            SimDevice::new(GpuSpec::a100()),
+        )
+        .with_cache(Arc::clone(&shared));
+        let cfg = Evaluator::space(&a).default_configuration();
+
+        let first = Evaluator::evaluate(&a, &cfg);
+        let second = Evaluator::evaluate(&b, &cfg);
+        assert_eq!(first.runtime_s, second.runtime_s);
+        // The second evaluator never lowered or built: cross-evaluator hit.
+        assert!(
+            second.process_s < first.process_s - 0.5,
+            "shared cache must skip the build: {} vs {}",
+            second.process_s,
+            first.process_s
+        );
+        assert_eq!((shared.stats().hits, shared.stats().misses), (1, 1));
+        assert_eq!(shared.len(), 1);
+
+        // A different kernel on the same cache cannot collide.
+        let c = MoldEvaluator::simulated(
+            mold_for(KernelName::Cholesky, ProblemSize::Large),
+            SimDevice::new(GpuSpec::a100()),
+        )
+        .with_cache(Arc::clone(&shared));
+        let ccfg = Evaluator::space(&c).default_configuration();
+        assert!(Evaluator::evaluate(&c, &ccfg).is_ok());
+        assert_eq!(shared.stats().misses, 2, "distinct workload is a miss");
+        assert_eq!(shared.len(), 2);
     }
 
     #[test]

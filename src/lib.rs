@@ -59,12 +59,12 @@ mod adapter;
 mod evaluator;
 
 pub use adapter::YtoptTuner;
-pub use evaluator::{EvalMode, MoldEvaluator};
+pub use evaluator::{EvalMode, MemoCache, MoldEvaluator};
 
 /// Convenient glob import for examples and downstream users.
 pub mod prelude {
     pub use crate::adapter::YtoptTuner;
-    pub use crate::evaluator::{EvalMode, MoldEvaluator};
+    pub use crate::evaluator::{EvalMode, MemoCache, MoldEvaluator};
     pub use autotvm::{
         resume_from_journal, tune, tune_journaled, tune_parallel, CacheStats, Evaluator,
         FaultInjector, FaultPlan, GaTuner, GridSearchTuner, HarnessOptions, HarnessedEvaluator,
