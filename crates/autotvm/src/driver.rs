@@ -10,7 +10,7 @@
 //! history), so a killed-and-resumed run follows the identical remaining
 //! trajectory as an uninterrupted one.
 
-use crate::measure::{CacheStats, Evaluator, MeasureResult, StaticCheckStats};
+use crate::measure::{CacheStats, Evaluator, JitStats, MeasureResult, StaticCheckStats};
 use crate::tuner::Tuner;
 use configspace::Configuration;
 use rayon::prelude::*;
@@ -79,6 +79,10 @@ pub struct TuningResult {
     /// Accept/reject counters of the evaluator's static schedule-safety
     /// analyzer, when it runs one.
     pub static_checks: Option<StaticCheckStats>,
+    /// Native-codegen compile counters of the evaluator's device, when
+    /// it runs a JIT rung (functions jitted, bytes emitted, fallbacks
+    /// with reasons).
+    pub jit: Option<JitStats>,
 }
 
 impl TuningResult {
@@ -286,6 +290,7 @@ fn tune_inner(
         replayed,
         cache: evaluator.cache_stats(),
         static_checks: evaluator.static_check_stats(),
+        jit: evaluator.jit_stats(),
     })
 }
 
@@ -376,6 +381,7 @@ pub fn tune_parallel<E: Evaluator + Sync>(
         replayed: 0,
         cache: evaluator.cache_stats(),
         static_checks: evaluator.static_check_stats(),
+        jit: evaluator.jit_stats(),
     }
 }
 

@@ -247,6 +247,10 @@ impl<E: Evaluator + Send + Sync + 'static> Evaluator for HarnessedEvaluator<E> {
     fn pipeline_fingerprint(&self) -> Option<String> {
         Evaluator::pipeline_fingerprint(&*self.inner)
     }
+
+    fn jit_stats(&self) -> Option<ytopt_bo::problem::JitStats> {
+        Evaluator::jit_stats(&*self.inner)
+    }
 }
 
 impl<E: Problem + Send + Sync + 'static> Problem for HarnessedEvaluator<E> {
@@ -273,6 +277,10 @@ impl<E: Problem + Send + Sync + 'static> Problem for HarnessedEvaluator<E> {
 
     fn pipeline_fingerprint(&self) -> Option<String> {
         Problem::pipeline_fingerprint(&*self.inner)
+    }
+
+    fn jit_stats(&self) -> Option<ytopt_bo::problem::JitStats> {
+        Problem::jit_stats(&*self.inner)
     }
 }
 
@@ -531,6 +539,10 @@ impl<E: Evaluator> Evaluator for FaultInjector<E> {
     fn pipeline_fingerprint(&self) -> Option<String> {
         Evaluator::pipeline_fingerprint(&self.inner)
     }
+
+    fn jit_stats(&self) -> Option<ytopt_bo::problem::JitStats> {
+        Evaluator::jit_stats(&self.inner)
+    }
 }
 
 impl<E: Problem> Problem for FaultInjector<E> {
@@ -563,6 +575,10 @@ impl<E: Problem> Problem for FaultInjector<E> {
 
     fn pipeline_fingerprint(&self) -> Option<String> {
         Problem::pipeline_fingerprint(&self.inner)
+    }
+
+    fn jit_stats(&self) -> Option<ytopt_bo::problem::JitStats> {
+        Problem::jit_stats(&self.inner)
     }
 }
 

@@ -9,7 +9,7 @@
 use configspace::{ConfigSpace, Configuration};
 pub use ytopt_bo::fault::MeasureError;
 use ytopt_bo::problem::Evaluation;
-pub use ytopt_bo::problem::{CacheStats, StaticCheckStats};
+pub use ytopt_bo::problem::{CacheStats, JitStats, StaticCheckStats};
 
 /// Outcome of measuring one configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +103,13 @@ pub trait Evaluator {
     /// on a compiler). Stamped into every journal record so a resumed
     /// run refuses to replay costs measured under a different pipeline.
     fn pipeline_fingerprint(&self) -> Option<String> {
+        None
+    }
+
+    /// Native-codegen compile counters of this evaluator's device, if it
+    /// runs a JIT rung (`None` otherwise). Snapshotted into
+    /// [`crate::driver::TuningResult::jit`] at the end of a run.
+    fn jit_stats(&self) -> Option<JitStats> {
         None
     }
 }

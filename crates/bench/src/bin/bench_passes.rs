@@ -1,13 +1,16 @@
-//! Pass-pipeline benchmark: scalar VM vs pipeline-optimized VM.
+//! Pass-pipeline benchmark: scalar VM vs pipeline-optimized VM vs JIT.
 //!
 //! For each matrix kernel (gemm, 3mm, 2mm) a *tuned* configuration is
 //! found by a short random search on the optimized engine, then that
-//! exact function is executed on both the scalar bytecode VM and the
-//! optimized VM (TIR pass pipeline + strided loops + fused multiply-add
-//! + mul-add microkernels) from identical inputs. Outputs must match
-//! bit for bit — the binary exits nonzero on any divergence, which is
-//! what the CI smoke job checks. A second phase measures end-to-end
-//! tuning throughput (trials/sec) on the scalar vs optimized CPU device.
+//! exact function is executed on the scalar bytecode VM, the optimized
+//! VM (TIR pass pipeline + strided loops + fused multiply-add + mul-add
+//! microkernels), and the native JIT (x86-64 machine code emitted from
+//! the optimized bytecode; off x86-64 the backend declines and the JIT
+//! column degenerates to the optimized VM) from identical inputs.
+//! Outputs must match bit for bit — the binary exits nonzero on any
+//! divergence, which is what the CI smoke job checks. A second phase
+//! measures end-to-end tuning throughput (trials/sec) on the scalar vs
+//! optimized CPU device.
 //!
 //! Usage: `bench_passes [--smoke] [--size mini|small|medium|large]`
 //! Full mode writes `results/BENCH_passes.json`; smoke mode only prints.
@@ -17,7 +20,10 @@ use polybench::molds::mold_for;
 use polybench::{KernelName, ProblemSize};
 use std::time::Instant;
 use tvm_autotune::MoldEvaluator;
-use tvm_runtime::{compile, compile_optimized, engine_fingerprint, vm, CpuDevice, NDArray};
+use tvm_runtime::{
+    compile, compile_optimized, default_backend, engine_fingerprint, jit_fingerprint, vm,
+    CpuDevice, NDArray,
+};
 
 struct KernelRow {
     kernel: &'static str,
@@ -26,8 +32,12 @@ struct KernelRow {
     config: String,
     scalar_s: f64,
     opt_s: f64,
+    jit_s: f64,
     strided_loops: usize,
     microkernels: usize,
+    jit_nests: usize,
+    jit_code_bytes: usize,
+    jitted: bool,
 }
 
 impl KernelRow {
@@ -37,8 +47,14 @@ impl KernelRow {
     fn opt_ns_per_element(&self) -> f64 {
         self.opt_s * 1e9 / self.elements as f64
     }
+    fn jit_ns_per_element(&self) -> f64 {
+        self.jit_s * 1e9 / self.elements as f64
+    }
     fn speedup(&self) -> f64 {
         self.scalar_s / self.opt_s
+    }
+    fn jit_speedup(&self) -> f64 {
+        self.opt_s / self.jit_s
     }
 }
 
@@ -113,16 +129,37 @@ fn bench_kernel(
         opt_s = opt_s.min(t0.elapsed().as_secs_f64());
     }
 
-    for (i, (a, b)) in via_scalar.iter().zip(&via_opt).enumerate() {
-        if a != b {
-            eprintln!(
-                "DIVERGENCE: kernel {} size {} arg {} differs between scalar and optimized VM \
-                 (config {config})",
-                mold.name(),
-                size,
-                i
-            );
-            std::process::exit(1);
+    // JIT column: the device's fallback contract — when the backend
+    // declines, the optimized bytecode runs unchanged (and the column
+    // honestly reports jitted = false).
+    let (jit_func, jitted) = match default_backend().jit_compile(&optimized) {
+        Ok(jf) => (jf, true),
+        Err(_) => (
+            compile_optimized(&func).expect("optimized pipeline must compile"),
+            false,
+        ),
+    };
+    let mut jit_s = f64::INFINITY;
+    let mut via_jit: Vec<NDArray> = Vec::new();
+    for _ in 0..reps.max(1) {
+        via_jit = args.clone();
+        let t0 = Instant::now();
+        vm::execute(&jit_func, &mut via_jit).expect("jit run");
+        jit_s = jit_s.min(t0.elapsed().as_secs_f64());
+    }
+
+    for (engine, via) in [("optimized VM", &via_opt), ("JIT", &via_jit)] {
+        for (i, (a, b)) in via_scalar.iter().zip(via).enumerate() {
+            if a != b {
+                eprintln!(
+                    "DIVERGENCE: kernel {} size {} arg {} differs between scalar VM and {engine} \
+                     (config {config})",
+                    mold.name(),
+                    size,
+                    i
+                );
+                std::process::exit(1);
+            }
         }
     }
 
@@ -133,8 +170,12 @@ fn bench_kernel(
         config: config.to_string(),
         scalar_s,
         opt_s,
+        jit_s,
         strided_loops: optimized.strided_loop_count(),
         microkernels: optimized.microkernel_count(),
+        jit_nests: jit_func.jit_nest_count(),
+        jit_code_bytes: jit_func.jit_code_bytes(),
+        jitted,
     }
 }
 
@@ -180,22 +221,32 @@ fn main() {
     let reps = if smoke { 3 } else { 7 };
     let tune_evals = if smoke { 4 } else { 16 };
 
-    println!("engine fingerprint: {}", engine_fingerprint());
+    println!(
+        "engine fingerprints: {} / {}",
+        engine_fingerprint(),
+        jit_fingerprint()
+    );
     let kernels = [KernelName::Gemm, KernelName::Mm3, KernelName::Mm2];
     let mut rows = Vec::new();
-    println!("kernel  size    elements  scalar ns/el     opt ns/el  strided  ukern  speedup");
+    println!(
+        "kernel  size    elements  scalar ns/el     opt ns/el     jit ns/el  strided  ukern  \
+         nests  speedup  jit-x"
+    );
     for k in kernels {
         let row = bench_kernel(k, size, reps, tune_evals);
         println!(
-            "{:<7} {:<7} {:>8}  {:>12.1}  {:>12.1}  {:>7}  {:>5}  {:>6.2}x",
+            "{:<7} {:<7} {:>8}  {:>12.1}  {:>12.1}  {:>12.1}  {:>7}  {:>5}  {:>5}  {:>6.2}x  {:>4.2}x",
             row.kernel,
             row.size.to_string(),
             row.elements,
             row.scalar_ns_per_element(),
             row.opt_ns_per_element(),
+            row.jit_ns_per_element(),
             row.strided_loops,
             row.microkernels,
-            row.speedup()
+            row.jit_nests,
+            row.speedup(),
+            row.jit_speedup()
         );
         rows.push(row);
     }
@@ -216,6 +267,7 @@ fn main() {
 
     let json = serde_json::json!({
         "engine": engine_fingerprint(),
+        "jit_engine": jit_fingerprint(),
         "size": size.to_string(),
         "kernels": rows.iter().map(|r| serde_json::json!({
             "kernel": r.kernel,
@@ -224,11 +276,17 @@ fn main() {
             "config": r.config,
             "scalar_s": r.scalar_s,
             "optimized_s": r.opt_s,
+            "jit_s": r.jit_s,
             "scalar_ns_per_element": r.scalar_ns_per_element(),
             "optimized_ns_per_element": r.opt_ns_per_element(),
+            "jit_ns_per_element": r.jit_ns_per_element(),
             "strided_loops": r.strided_loops,
             "microkernels": r.microkernels,
+            "jit_nests": r.jit_nests,
+            "jit_code_bytes": r.jit_code_bytes,
+            "jitted": r.jitted,
             "speedup": r.speedup(),
+            "jit_speedup": r.jit_speedup(),
         })).collect::<Vec<_>>(),
         "end_to_end": {
             "kernel": "gemm",

@@ -52,5 +52,5 @@ pub use journal::{TrialJournal, TrialRecord};
 pub use optimizer::{
     resume_from_journal, run, run_journaled, run_parallel, BoOptions, BoResult, BoTrial,
 };
-pub use problem::{CacheStats, Evaluation, Problem, StaticCheckStats};
+pub use problem::{CacheStats, Evaluation, JitStats, Problem, StaticCheckStats};
 pub use search::BayesianOptimizer;

@@ -11,7 +11,7 @@
 use crate::database::{DbRecord, PerformanceDatabase};
 use crate::fault::{panic_message, MeasureError};
 use crate::journal::{divergence_error, pipeline_mismatch_error, TrialJournal, TrialRecord};
-use crate::problem::{CacheStats, Evaluation, Problem, StaticCheckStats};
+use crate::problem::{CacheStats, Evaluation, JitStats, Problem, StaticCheckStats};
 use crate::search::{BayesianOptimizer, SearchConfig};
 use configspace::Configuration;
 use rayon::prelude::*;
@@ -74,6 +74,9 @@ pub struct BoResult {
     /// Accept/reject counters of the problem's static schedule-safety
     /// analyzer, when it runs one.
     pub static_checks: Option<StaticCheckStats>,
+    /// Native-codegen compile counters of the problem's measurement
+    /// device, when it runs a JIT rung.
+    pub jit: Option<JitStats>,
 }
 
 impl BoResult {
@@ -265,6 +268,7 @@ fn run_inner(
         replayed,
         cache: problem.cache_stats(),
         static_checks: problem.static_check_stats(),
+        jit: problem.jit_stats(),
     })
 }
 
@@ -352,6 +356,7 @@ pub fn run_parallel<P: Problem + Sync>(problem: &P, opts: BoOptions, batch: usiz
         replayed: 0,
         cache: problem.cache_stats(),
         static_checks: problem.static_check_stats(),
+        jit: problem.jit_stats(),
     }
 }
 

@@ -98,6 +98,59 @@ impl StaticCheckStats {
     }
 }
 
+/// Native-codegen compile counters of an evaluator-side JIT rung.
+/// Mirrors the runtime's JIT accounting in a serializable form so the
+/// tuning service can report it through its status endpoint: how many
+/// functions reached machine code, how many declined into the bytecode
+/// VM, and why.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JitStats {
+    /// Functions fully compiled to native code.
+    pub functions_jitted: u64,
+    /// Loop nests emitted as machine code across those functions.
+    pub nests_compiled: u64,
+    /// Total bytes of executable code emitted.
+    pub bytes_emitted: u64,
+    /// Functions that fell back to the bytecode VM.
+    pub fallbacks: u64,
+    /// Fallback reasons with occurrence counts, sorted by reason.
+    pub fallback_reasons: Vec<(String, u64)>,
+}
+
+impl JitStats {
+    /// Total compile attempts (jitted + fallbacks).
+    pub fn attempts(&self) -> u64 {
+        self.functions_jitted + self.fallbacks
+    }
+
+    /// Fraction of compile attempts that reached native code (0 when
+    /// nothing was attempted).
+    pub fn jit_rate(&self) -> f64 {
+        if self.attempts() == 0 {
+            0.0
+        } else {
+            self.functions_jitted as f64 / self.attempts() as f64
+        }
+    }
+
+    /// Fold `other` into `self` (used by the service to aggregate the
+    /// per-session counters into one status line). Fallback reasons are
+    /// merged by reason and kept sorted.
+    pub fn merge(&mut self, other: &JitStats) {
+        self.functions_jitted += other.functions_jitted;
+        self.nests_compiled += other.nests_compiled;
+        self.bytes_emitted += other.bytes_emitted;
+        self.fallbacks += other.fallbacks;
+        for (reason, n) in &other.fallback_reasons {
+            match self.fallback_reasons.iter_mut().find(|(r, _)| r == reason) {
+                Some((_, count)) => *count += n,
+                None => self.fallback_reasons.push((reason.clone(), *n)),
+            }
+        }
+        self.fallback_reasons.sort();
+    }
+}
+
 /// A tuning problem: the parameter space plus the user-defined evaluation
 /// interface (the paper's "code mold + interface" pair).
 pub trait Problem {
@@ -132,6 +185,13 @@ pub trait Problem {
     /// a compiler). Stamped into every journal record so a resumed run
     /// refuses to replay costs measured under a different pipeline.
     fn pipeline_fingerprint(&self) -> Option<String> {
+        None
+    }
+
+    /// Native-codegen compile counters of this problem's measurement
+    /// device, if it runs a JIT rung (`None` otherwise). Snapshotted
+    /// alongside [`Problem::cache_stats`] at the end of a run.
+    fn jit_stats(&self) -> Option<JitStats> {
         None
     }
 }
@@ -195,6 +255,52 @@ mod tests {
             2.0,
         );
         assert_eq!(t.error.as_ref().map(|e| e.kind()), Some("timeout"));
+    }
+
+    #[test]
+    fn jit_stats_rates() {
+        let s = JitStats::default();
+        assert_eq!(s.attempts(), 0);
+        assert_eq!(s.jit_rate(), 0.0);
+        let s = JitStats {
+            functions_jitted: 3,
+            nests_compiled: 5,
+            bytes_emitted: 4096,
+            fallbacks: 1,
+            fallback_reasons: vec![("float op Max".into(), 1)],
+        };
+        assert_eq!(s.attempts(), 4);
+        assert!((s.jit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jit_stats_merge_sums_counters_and_reasons() {
+        let mut a = JitStats {
+            functions_jitted: 2,
+            nests_compiled: 4,
+            bytes_emitted: 1000,
+            fallbacks: 1,
+            fallback_reasons: vec![("float op Max".into(), 1)],
+        };
+        let b = JitStats {
+            functions_jitted: 1,
+            nests_compiled: 1,
+            bytes_emitted: 200,
+            fallbacks: 3,
+            fallback_reasons: vec![("float op Max".into(), 2), ("int buffer".into(), 1)],
+        };
+        a.merge(&b);
+        assert_eq!(a.functions_jitted, 3);
+        assert_eq!(a.nests_compiled, 5);
+        assert_eq!(a.bytes_emitted, 1200);
+        assert_eq!(a.fallbacks, 4);
+        assert_eq!(
+            a.fallback_reasons,
+            vec![("float op Max".to_string(), 3), ("int buffer".to_string(), 1)]
+        );
+        let mut empty = JitStats::default();
+        empty.merge(&a);
+        assert_eq!(empty, a);
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Native code generation behind the engine ladder.
+//!
+//! The [`CodegenBackend`] trait turns an already-optimized
+//! [`CompiledFunc`] (strided pointer-bump loops and multiply-add
+//! microkernels from [`crate::optimize`]) into one whose jittable loop
+//! nests are replaced by calls into freshly emitted machine code. The
+//! only native backend today is the hand-rolled x86-64 emitter in
+//! [`x86_64`]; every other target gets [`NoopBackend`], which always
+//! reports a [`CompileError`] so devices fall back to the optimized VM
+//! — the JIT is strictly an *additional* rung, never a requirement.
+//!
+//! Compiled code lives in a W^X [`exec_mem::ExecBuf`] owned by the
+//! [`JitProgram`]; functions are addressed by entry-point index, and
+//! back-edge relocations are resolved at emission time (the buffer is
+//! sealed read+execute before any pointer escapes).
+//!
+//! Fingerprints: a JIT-mode device reports
+//! [`jit_fingerprint`] = `vm/v2+tir-opt/v1+jit/v1`, distinct from the
+//! optimized VM's [`crate::optimize::engine_fingerprint`] so the
+//! service's engine ladder can attribute trial records to the exact
+//! engine that produced them.
+
+use crate::compile::{CompileError, CompiledFunc};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+pub(crate) mod exec_mem;
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+mod x86_64;
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+pub use x86_64::X86Backend;
+
+/// Version tag of the native codegen rung, appended to the optimized
+/// engine fingerprint. Bump on any change to emitted code semantics.
+pub const JIT_VERSION: &str = "jit/v1";
+
+/// Fingerprint reported by a JIT-mode device: the optimized engine's
+/// fingerprint plus the codegen version.
+pub fn jit_fingerprint() -> String {
+    format!("{}+{}", crate::optimize::engine_fingerprint(), JIT_VERSION)
+}
+
+/// ABI of an emitted nest function: `(iregs, fregs, slot_base_ptrs)`.
+/// All state stays in the VM's register files and storage buffers, so a
+/// nest call is observably identical to interpreting the nest.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+pub(crate) type JitFn = unsafe extern "sysv64" fn(*mut i64, *mut f64, *const *mut u8);
+
+/// Executable machine code for every jitted nest of one function.
+#[derive(Debug)]
+pub struct JitProgram {
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    pub(crate) buf: exec_mem::ExecBuf,
+    /// Byte offset of each nest's entry point inside the buffer.
+    pub(crate) entries: Vec<usize>,
+    /// Total machine-code bytes emitted.
+    pub(crate) bytes: usize,
+}
+
+impl JitProgram {
+    /// Number of loop nests compiled to native code.
+    pub fn nest_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total machine-code bytes emitted for this function.
+    pub fn code_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Callable entry point of nest `idx`.
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    pub(crate) fn entry_fn(&self, idx: usize) -> JitFn {
+        unsafe { std::mem::transmute(self.buf.entry(self.entries[idx])) }
+    }
+}
+
+/// A native code generator for optimized bytecode programs.
+///
+/// `jit_compile` either returns a new function in which at least one
+/// loop nest has been replaced by a [`crate::compile::Item::JitCall`]
+/// (holding a shared [`JitProgram`]), or a [`CompileError`] naming the
+/// first reason nothing could be compiled — the caller then runs the
+/// optimized VM program unchanged (fallback is never an error).
+pub trait CodegenBackend: Send + Sync + std::fmt::Debug {
+    /// Short target name (`"x86_64"`, `"noop"`), for stats and logs.
+    fn name(&self) -> &'static str;
+
+    /// Compile every jittable loop nest of `cf` to machine code.
+    fn jit_compile(&self, cf: &CompiledFunc) -> Result<CompiledFunc, CompileError>;
+}
+
+/// Backend for targets without a native emitter: always falls back.
+#[derive(Debug, Clone, Default)]
+pub struct NoopBackend;
+
+impl CodegenBackend for NoopBackend {
+    fn name(&self) -> &'static str {
+        "noop"
+    }
+
+    fn jit_compile(&self, _cf: &CompiledFunc) -> Result<CompiledFunc, CompileError> {
+        Err(CompileError(
+            "native codegen unsupported on this target".into(),
+        ))
+    }
+}
+
+/// The best backend for the build target: the x86-64 emitter on
+/// x86-64 Linux, the always-fallback [`NoopBackend`] everywhere else.
+pub fn default_backend() -> Arc<dyn CodegenBackend> {
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    {
+        Arc::new(X86Backend::detect())
+    }
+    #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+    {
+        Arc::new(NoopBackend)
+    }
+}
+
+/// Snapshot of JIT compile activity (see [`JitCounters`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JitStats {
+    /// Functions where at least one nest compiled to native code.
+    pub functions_jitted: u64,
+    /// Total loop nests compiled across those functions.
+    pub nests_compiled: u64,
+    /// Total machine-code bytes emitted.
+    pub bytes_emitted: u64,
+    /// Functions that fell back entirely to the optimized VM.
+    pub fallbacks: u64,
+    /// Fallback reason → count, sorted by reason for stable output.
+    pub fallback_reasons: Vec<(String, u64)>,
+}
+
+/// Thread-safe JIT compile counters, shared by all clones of a device.
+#[derive(Debug, Default)]
+pub struct JitCounters {
+    functions_jitted: AtomicU64,
+    nests_compiled: AtomicU64,
+    bytes_emitted: AtomicU64,
+    fallbacks: AtomicU64,
+    reasons: Mutex<HashMap<String, u64>>,
+}
+
+impl JitCounters {
+    /// A function compiled with `nests` native nests totalling `bytes`.
+    pub fn record_success(&self, nests: u64, bytes: u64) {
+        self.functions_jitted.fetch_add(1, Ordering::Relaxed);
+        self.nests_compiled.fetch_add(nests, Ordering::Relaxed);
+        self.bytes_emitted.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// A function fell back to the optimized VM for `reason`.
+    pub fn record_fallback(&self, reason: &str) {
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        let mut m = self.reasons.lock().expect("jit reason lock");
+        *m.entry(reason.to_string()).or_insert(0) += 1;
+    }
+
+    /// Consistent-enough snapshot for status reporting.
+    pub fn snapshot(&self) -> JitStats {
+        let mut fallback_reasons: Vec<(String, u64)> = self
+            .reasons
+            .lock()
+            .expect("jit reason lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        fallback_reasons.sort();
+        JitStats {
+            functions_jitted: self.functions_jitted.load(Ordering::Relaxed),
+            nests_compiled: self.nests_compiled.load(Ordering::Relaxed),
+            bytes_emitted: self.bytes_emitted.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            fallback_reasons,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_backend_always_falls_back() {
+        let f = tvm_te::placeholder([2], tvm_te::DType::F32, "A");
+        let b = tvm_te::compute([2], "B", |i| f.at(&[i[0].clone()]) + 1i64);
+        let s = tvm_te::Schedule::create(&[b.clone()]);
+        let pf = tvm_tir::lower::lower(&s, &[f, b], "idf");
+        let cf = crate::compile::compile(&pf).expect("compile");
+        assert!(NoopBackend.jit_compile(&cf).is_err());
+    }
+
+    #[test]
+    fn counters_snapshot_is_sorted_and_complete() {
+        let c = JitCounters::default();
+        c.record_success(3, 512);
+        c.record_success(1, 128);
+        c.record_fallback("zebra reason");
+        c.record_fallback("alpha reason");
+        c.record_fallback("alpha reason");
+        let s = c.snapshot();
+        assert_eq!(s.functions_jitted, 2);
+        assert_eq!(s.nests_compiled, 4);
+        assert_eq!(s.bytes_emitted, 640);
+        assert_eq!(s.fallbacks, 3);
+        assert_eq!(
+            s.fallback_reasons,
+            vec![("alpha reason".into(), 2), ("zebra reason".into(), 1)]
+        );
+    }
+
+    #[test]
+    fn jit_fingerprint_extends_engine_fingerprint() {
+        let fp = jit_fingerprint();
+        assert!(fp.starts_with(&crate::optimize::engine_fingerprint()));
+        assert!(fp.ends_with(JIT_VERSION));
+        assert_ne!(fp, crate::optimize::engine_fingerprint());
+    }
+}

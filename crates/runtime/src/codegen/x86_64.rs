@@ -1,0 +1,1275 @@
+//! Hand-rolled x86-64 emitter and loop-nest compiler.
+//!
+//! The backend compiles whole *loop nests* of an optimized bytecode
+//! program — subtrees built from `Loop`, `StridedLoop`, `MulAddLoop`
+//! and straight-line `Code` whose every instruction is in the
+//! infallible JIT subset — into single native functions, eliminating
+//! the VM's per-item dispatch and per-instruction interpretation.
+//!
+//! # Bit-exactness contract
+//!
+//! Emitted code must match the optimized VM (and therefore the
+//! reference interpreter) bit for bit:
+//!
+//! - Register files stay in memory (`iregs`/`fregs` arrays passed in
+//!   `rdi`/`rsi`); each bytecode instruction lowers to a short template
+//!   over scratch registers, so evaluation order is the VM's order.
+//! - Float ops use scalar SSE2 (`mulsd`/`addsd`/`divsd`/`sqrtsd`),
+//!   which are IEEE-correctly-rounded exactly like Rust's `f64` ops.
+//!   `f32` rounding replicates the VM's `as f32 as f64` with
+//!   `cvtsd2ss`/`cvtss2sd` pairs after each operation.
+//! - Microkernel SIMD (`movupd`/`mulpd`/`addpd`, or their VEX-256
+//!   forms when AVX is detected) is only used for *parallel* stride
+//!   patterns, where every lane performs one multiply and one add with
+//!   per-element rounding — bit-identical to the scalar order. The
+//!   dot-product reduction pattern (`dst` stride 0) has a serial
+//!   accumulation chain and always stays scalar.
+//! - FMA (`vfmadd231pd`) rounds *once* where the VM rounds twice, so
+//!   it is **not** bit-exact and is gated behind the off-by-default
+//!   [`X86Backend::allow_fma`] option (never enabled on the engine
+//!   ladder or the differential path).
+//!
+//! Anything outside the subset — conditionals, bounds checks, checked
+//! stores, failable integer division, float min/max (NaN semantics
+//!   differ from Rust's), float→int casts (saturation differs), and
+//! integer-typed buffers — rejects the nest; the VM executes those
+//! items unchanged.
+
+use super::exec_mem::ExecBuf;
+use super::{CodegenBackend, JitProgram};
+use crate::compile::{Block, CompileError, CompiledFunc, Instr, Item, Reg, SlotAccess};
+use std::sync::Arc;
+use tvm_te::{BinOp, DType, Intrinsic};
+
+// ---------------------------------------------------------------- registers
+
+/// General-purpose register number (REX numbering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct R(u8);
+
+const RAX: R = R(0);
+const RCX: R = R(1);
+/// Slot base-pointer table argument.
+const RDX: R = R(2);
+/// `fregs` argument.
+const RSI: R = R(6);
+/// `iregs` argument.
+const RDI: R = R(7);
+const R8: R = R(8);
+const R9: R = R(9);
+const R10: R = R(10);
+/// Innermost-loop trip counter.
+const R11: R = R(11);
+
+/// XMM/YMM register number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct X(u8);
+
+const X0: X = X(0);
+const X1: X = X(1);
+const X2: X = X(2);
+const X3: X = X(3);
+
+/// Condition code for `jcc` (low nibble of the `0F 8x` opcode).
+const CC_L: u8 = 0xC;
+const CC_NZ: u8 = 0x5;
+
+// ---------------------------------------------------------------- assembler
+
+/// Byte-level x86-64 assembler with forward-label fixups and backward
+/// (loop back-edge) jump relocation.
+struct Asm {
+    code: Vec<u8>,
+}
+
+/// A forward `jcc`/`jmp` whose 32-bit displacement is patched later.
+/// (Loop templates currently only need backward edges — trip counts are
+/// static and ≥ 1 — but guards over dynamic extents will want this.)
+#[allow(dead_code)]
+struct Fwd(usize);
+
+impl Asm {
+    fn new() -> Asm {
+        Asm { code: Vec::new() }
+    }
+
+    fn here(&self) -> usize {
+        self.code.len()
+    }
+
+    fn b(&mut self, byte: u8) {
+        self.code.push(byte);
+    }
+
+    fn imm32(&mut self, v: i32) {
+        self.code.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn imm64(&mut self, v: i64) {
+        self.code.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// REX prefix; always emitted when `w` (64-bit operand) is set,
+    /// otherwise only when an extended register is referenced.
+    fn rex(&mut self, w: bool, reg: u8, index: u8, base: u8) {
+        let rex =
+            0x40 | ((w as u8) << 3) | ((reg >> 3) << 2) | ((index >> 3) << 1) | (base >> 3);
+        if rex != 0x40 || w {
+            self.b(rex);
+        }
+    }
+
+    /// ModRM + optional SIB + displacement for `[base + disp]`.
+    fn mem(&mut self, reg: u8, base: R, disp: i32) {
+        let b = base.0 & 7;
+        let (md, small) = if disp == 0 && b != 5 {
+            (0x00u8, true)
+        } else if (-128..=127).contains(&disp) {
+            (0x40, true)
+        } else {
+            (0x80, false)
+        };
+        if b == 4 {
+            // rsp/r12 as base require a SIB byte (index = none).
+            self.b(md | (reg & 7) << 3 | 4);
+            self.b(0x24);
+        } else {
+            self.b(md | (reg & 7) << 3 | b);
+        }
+        if md == 0x40 {
+            self.b(disp as u8);
+        } else if md == 0x80 || !small {
+            self.imm32(disp);
+        }
+    }
+
+    /// ModRM + SIB for `[base + index*scale]` (scale ∈ {1,4,8}).
+    fn mem_sib(&mut self, reg: u8, base: R, index: R, scale: u8) {
+        let ss = match scale {
+            1 => 0,
+            4 => 2,
+            8 => 3,
+            _ => unreachable!("unsupported scale"),
+        };
+        let b = base.0 & 7;
+        if b == 5 {
+            // rbp/r13 base needs an explicit disp8.
+            self.b(0x40 | (reg & 7) << 3 | 4);
+            self.b(ss << 6 | (index.0 & 7) << 3 | b);
+            self.b(0);
+        } else {
+            self.b((reg & 7) << 3 | 4);
+            self.b(ss << 6 | (index.0 & 7) << 3 | b);
+        }
+    }
+
+    fn modrm_rr(&mut self, reg: u8, rm: u8) {
+        self.b(0xC0 | (reg & 7) << 3 | (rm & 7));
+    }
+
+    // ---- integer ops (64-bit) ----
+
+    fn mov_ri(&mut self, r: R, v: i64) {
+        if v as i32 as i64 == v {
+            self.rex(true, 0, 0, r.0);
+            self.b(0xC7);
+            self.modrm_rr(0, r.0);
+            self.imm32(v as i32);
+        } else {
+            self.rex(true, 0, 0, r.0);
+            self.b(0xB8 + (r.0 & 7));
+            self.imm64(v);
+        }
+    }
+
+    /// `mov r, [base+disp]`
+    fn mov_rm(&mut self, r: R, base: R, disp: i32) {
+        self.rex(true, r.0, 0, base.0);
+        self.b(0x8B);
+        self.mem(r.0, base, disp);
+    }
+
+    /// `mov [base+disp], r`
+    fn mov_mr(&mut self, base: R, disp: i32, r: R) {
+        self.rex(true, r.0, 0, base.0);
+        self.b(0x89);
+        self.mem(r.0, base, disp);
+    }
+
+    /// Two-register ALU op (dst = dst op src): opcodes with /r form.
+    fn alu_rr(&mut self, opcode: &[u8], dst: R, src: R) {
+        self.rex(true, dst.0, 0, src.0);
+        self.code.extend_from_slice(opcode);
+        self.modrm_rr(dst.0, src.0);
+    }
+
+    fn add_rr(&mut self, dst: R, src: R) {
+        self.alu_rr(&[0x03], dst, src);
+    }
+
+    fn sub_rr(&mut self, dst: R, src: R) {
+        self.alu_rr(&[0x2B], dst, src);
+    }
+
+    fn imul_rr(&mut self, dst: R, src: R) {
+        self.alu_rr(&[0x0F, 0xAF], dst, src);
+    }
+
+    fn cmp_rr(&mut self, a: R, b: R) {
+        self.alu_rr(&[0x3B], a, b);
+    }
+
+    /// `add r, imm32` (sign-extended).
+    fn add_ri(&mut self, r: R, imm: i32) {
+        self.rex(true, 0, 0, r.0);
+        if (-128..=127).contains(&imm) {
+            self.b(0x83);
+            self.modrm_rr(0, r.0);
+            self.b(imm as u8);
+        } else {
+            self.b(0x81);
+            self.modrm_rr(0, r.0);
+            self.imm32(imm);
+        }
+    }
+
+    /// `add qword [base+disp], imm32`
+    fn add_mi(&mut self, base: R, disp: i32, imm: i32) {
+        self.rex(true, 0, 0, base.0);
+        if (-128..=127).contains(&imm) {
+            self.b(0x83);
+            self.mem(0, base, disp);
+            self.b(imm as u8);
+        } else {
+            self.b(0x81);
+            self.mem(0, base, disp);
+            self.imm32(imm);
+        }
+    }
+
+    /// `add qword [base+disp], r`
+    fn add_mr(&mut self, base: R, disp: i32, r: R) {
+        self.rex(true, r.0, 0, base.0);
+        self.b(0x01);
+        self.mem(r.0, base, disp);
+    }
+
+    fn cmp_ri(&mut self, r: R, imm: i32) {
+        self.rex(true, 0, 0, r.0);
+        if (-128..=127).contains(&imm) {
+            self.b(0x83);
+            self.modrm_rr(7, r.0);
+            self.b(imm as u8);
+        } else {
+            self.b(0x81);
+            self.modrm_rr(7, r.0);
+            self.imm32(imm);
+        }
+    }
+
+    fn dec_r(&mut self, r: R) {
+        self.rex(true, 0, 0, r.0);
+        self.b(0xFF);
+        self.modrm_rr(1, r.0);
+    }
+
+    /// `lea dst, [base + index*scale]`
+    fn lea_sib(&mut self, dst: R, base: R, index: R, scale: u8) {
+        self.rex(true, dst.0, index.0, base.0);
+        self.b(0x8D);
+        self.mem_sib(dst.0, base, index, scale);
+    }
+
+    // ---- control flow ----
+
+    fn ret(&mut self) {
+        self.b(0xC3);
+    }
+
+    /// Backward conditional jump to an already-emitted position: the
+    /// rel32 back-edge displacement is resolved immediately.
+    fn jcc_back(&mut self, cc: u8, target: usize) {
+        self.b(0x0F);
+        self.b(0x80 + cc);
+        let rel = target as i64 - (self.here() as i64 + 4);
+        self.imm32(i32::try_from(rel).expect("back-edge in range"));
+    }
+
+    /// Forward conditional jump; patch with [`Asm::land`].
+    #[allow(dead_code)]
+    fn jcc_fwd(&mut self, cc: u8) -> Fwd {
+        self.b(0x0F);
+        self.b(0x80 + cc);
+        let at = self.here();
+        self.imm32(0);
+        Fwd(at)
+    }
+
+    /// Resolve a forward jump to land here.
+    #[allow(dead_code)]
+    fn land(&mut self, f: Fwd) {
+        let rel = self.here() as i64 - (f.0 as i64 + 4);
+        let bytes = i32::try_from(rel).expect("forward jump in range").to_le_bytes();
+        self.code[f.0..f.0 + 4].copy_from_slice(&bytes);
+    }
+
+    // ---- SSE scalar / packed ----
+
+    /// Legacy-SSE op with a memory operand: `prefix 0F op /r [base+disp]`.
+    fn sse_rm(&mut self, prefix: Option<u8>, op: u8, x: X, base: R, disp: i32) {
+        if let Some(p) = prefix {
+            self.b(p);
+        }
+        self.rex(false, x.0, 0, base.0);
+        self.b(0x0F);
+        self.b(op);
+        self.mem(x.0, base, disp);
+    }
+
+    /// Legacy-SSE op with an indexed memory operand `[base + index*scale]`.
+    fn sse_rm_sib(&mut self, prefix: Option<u8>, op: u8, x: X, base: R, index: R, scale: u8) {
+        if let Some(p) = prefix {
+            self.b(p);
+        }
+        self.rex(false, x.0, index.0, base.0);
+        self.b(0x0F);
+        self.b(op);
+        self.mem_sib(x.0, base, index, scale);
+    }
+
+    /// Legacy-SSE register-register op.
+    fn sse_rr(&mut self, prefix: Option<u8>, op: u8, dst: X, src: X) {
+        if let Some(p) = prefix {
+            self.b(p);
+        }
+        self.rex(false, dst.0, 0, src.0);
+        self.b(0x0F);
+        self.b(op);
+        self.modrm_rr(dst.0, src.0);
+    }
+
+    fn movsd_rm(&mut self, x: X, base: R, disp: i32) {
+        self.sse_rm(Some(0xF2), 0x10, x, base, disp);
+    }
+
+    fn movsd_mr(&mut self, base: R, disp: i32, x: X) {
+        self.sse_rm(Some(0xF2), 0x11, x, base, disp);
+    }
+
+    fn movss_rm(&mut self, x: X, base: R, disp: i32) {
+        self.sse_rm(Some(0xF3), 0x10, x, base, disp);
+    }
+
+    fn movss_mr(&mut self, base: R, disp: i32, x: X) {
+        self.sse_rm(Some(0xF3), 0x11, x, base, disp);
+    }
+
+    fn cvtss2sd_rr(&mut self, dst: X, src: X) {
+        self.sse_rr(Some(0xF3), 0x5A, dst, src);
+    }
+
+    fn cvtsd2ss_rr(&mut self, dst: X, src: X) {
+        self.sse_rr(Some(0xF2), 0x5A, dst, src);
+    }
+
+    /// `cvtsi2sd x, r64`
+    fn cvtsi2sd(&mut self, x: X, r: R) {
+        self.b(0xF2);
+        self.rex(true, x.0, 0, r.0);
+        self.b(0x0F);
+        self.b(0x2A);
+        self.modrm_rr(x.0, r.0);
+    }
+
+    /// Round an f64 in `x` through f32 (`as f32 as f64`).
+    fn round32(&mut self, x: X) {
+        self.cvtsd2ss_rr(x, x);
+        self.cvtss2sd_rr(x, x);
+    }
+
+    // ---- VEX (AVX) ----
+
+    /// 3-byte VEX prefix. `r`/`x`/`b` are the *full* register numbers
+    /// (bit 3 is extracted), `mm` the opcode map (1=0F, 2=0F38),
+    /// `pp` the mandatory-prefix code (0=none, 1=66, 2=F3, 3=F2).
+    fn vex(&mut self, r: u8, xi: u8, b: u8, mm: u8, w: bool, vvvv: u8, l256: bool, pp: u8) {
+        self.b(0xC4);
+        self.b(((!(r >> 3) & 1) << 7) | ((!(xi >> 3) & 1) << 6) | ((!(b >> 3) & 1) << 5) | mm);
+        self.b(((w as u8) << 7) | ((!vvvv & 0xF) << 3) | ((l256 as u8) << 2) | pp);
+    }
+
+    /// VEX op, `dst, vvvv_src, [base+disp]` (map 0F). `src1` is a plain
+    /// register *number* (the helper 1's-complements it); pass 0 when the
+    /// instruction ignores vvvv — that encodes the mandatory 1111.
+    fn vex_rm(&mut self, pp: u8, op: u8, dst: X, src1: u8, base: R, disp: i32) {
+        self.vex(dst.0, 0, base.0, 1, false, src1, true, pp);
+        self.b(op);
+        self.mem(dst.0, base, disp);
+    }
+
+    fn vex_rr(&mut self, pp: u8, op: u8, dst: X, src1: u8, src2: X) {
+        self.vex(dst.0, 0, src2.0, 1, false, src1, true, pp);
+        self.b(op);
+        self.modrm_rr(dst.0, src2.0);
+    }
+
+    /// `vbroadcastsd/ss ymm, [base]` (map 0F38, W0).
+    fn vbroadcast(&mut self, op: u8, dst: X, base: R) {
+        self.vex(dst.0, 0, base.0, 2, false, 0, true, 1);
+        self.b(op);
+        self.mem(dst.0, base, 0);
+    }
+
+    /// `vfmadd231pd ymm_dst, ymm_src1, [base]`: dst = src1*mem + dst.
+    fn vfmadd231pd_rm(&mut self, dst: X, src1: u8, base: R) {
+        self.vex(dst.0, 0, base.0, 2, true, src1, true, 1);
+        self.b(0xB8);
+        self.mem(dst.0, base, 0);
+    }
+
+    fn vzeroupper(&mut self) {
+        self.b(0xC5);
+        self.b(0xF8);
+        self.b(0x77);
+    }
+}
+
+// ------------------------------------------------------------ nest checking
+
+fn reject<T>(msg: impl Into<String>) -> Result<T, String> {
+    Err(msg.into())
+}
+
+fn float_slot(dts: &[DType], slot: u16) -> Result<DType, String> {
+    match dts[slot as usize] {
+        dt @ (DType::F32 | DType::F64) => Ok(dt),
+        other => reject(format!("integer-typed buffer ({other:?})")),
+    }
+}
+
+/// Is this instruction in the infallible, bit-exact JIT subset?
+fn check_instr(i: &Instr, dts: &[DType]) -> Result<(), String> {
+    match i {
+        Instr::IConst(..) | Instr::FConst(..) | Instr::IToF(..) | Instr::IToF32(..) => Ok(()),
+        Instr::F32Round(..) | Instr::FMulAdd { .. } => Ok(()),
+        Instr::IBin(op, ..) => match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul => Ok(()),
+            // Div/FloorDiv/FloorMod can fail; Min/Max are cheap enough
+            // that the VM handles the (rare) nests using them.
+            other => reject(format!("integer op {other:?}")),
+        },
+        Instr::FBin(op, ..) | Instr::FBin32(op, ..) => match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => Ok(()),
+            // minsd/maxsd NaN and ±0 semantics differ from Rust's
+            // f64::min/max; floor ops need roundsd (SSE4.1) — rejected.
+            other => reject(format!("float op {other:?}")),
+        },
+        Instr::Call1(Intrinsic::Sqrt, ..) => Ok(()),
+        Instr::Call1(intr, ..) | Instr::Call2(intr, ..) => {
+            reject(format!("intrinsic {intr:?}"))
+        }
+        Instr::Load(_, slot, _) | Instr::Store(slot, _, _) => {
+            float_slot(dts, *slot).map(|_| ())
+        }
+        Instr::Bound { .. } => reject("runtime bounds check"),
+        Instr::StoreChecked { .. } => reject("checked store"),
+        // cvttsd2si saturation differs from Rust's `as i64`; FBool and
+        // the compare/select family need NaN-faithful flag handling —
+        // all left to the VM.
+        Instr::FToI(..) => reject("float-to-int cast"),
+        Instr::FBool(..)
+        | Instr::ICmp(..)
+        | Instr::FCmp(..)
+        | Instr::And(..)
+        | Instr::Or(..)
+        | Instr::Not(..)
+        | Instr::ISel(..)
+        | Instr::FSel(..) => reject("compare/select"),
+    }
+}
+
+fn check_code(code: &[Instr], dts: &[DType]) -> Result<(), String> {
+    code.iter().try_for_each(|i| check_instr(i, dts))
+}
+
+/// Is this item compilable as (part of) a native nest?
+fn check_item(item: &Item, dts: &[DType]) -> Result<(), String> {
+    match item {
+        Item::Code(c) => check_code(c, dts),
+        Item::Loop {
+            min, extent, body, ..
+        } => {
+            if min.checked_add(*extent).is_none() {
+                return reject("loop bound overflow");
+            }
+            body.items.iter().try_for_each(|it| check_item(it, dts))
+        }
+        Item::StridedLoop {
+            extent, pre, body, ..
+        } => {
+            if *extent < 1 {
+                return reject("empty strided loop");
+            }
+            check_code(pre, dts)?;
+            check_code(body, dts)
+        }
+        Item::MulAddLoop {
+            extent,
+            pre,
+            dst,
+            a,
+            b,
+            ..
+        } => {
+            if *extent < 1 {
+                return reject("empty microkernel loop");
+            }
+            check_code(pre, dts)?;
+            for acc in [dst, a, b] {
+                float_slot(dts, acc.slot)?;
+                let esize = if dts[acc.slot as usize] == DType::F64 { 8 } else { 4 };
+                if acc.stride.checked_mul(esize).and_then(|v| i32::try_from(v).ok()).is_none() {
+                    return reject("microkernel stride out of range");
+                }
+            }
+            Ok(())
+        }
+        Item::If { .. } => reject("conditional"),
+        Item::JitCall { .. } => reject("already compiled"),
+    }
+}
+
+// ------------------------------------------------------------ nest codegen
+
+/// Hand-rolled x86-64 backend (the only native backend today; the
+/// [`CodegenBackend`] trait keeps aarch64/Cranelift additive).
+#[derive(Debug, Clone)]
+pub struct X86Backend {
+    /// Use VEX-256 (4×f64 / 8×f32) vectors in microkernels instead of
+    /// SSE2 128-bit ones. Detected at construction.
+    pub avx: bool,
+    /// Allow single-rounded `vfmadd231pd` in f64 microkernels. **Not
+    /// bit-exact** with the VM's two-rounding contract — off by
+    /// default and never enabled on the differential or ladder paths.
+    pub allow_fma: bool,
+    /// FMA units present (gates `allow_fma` actually emitting FMA).
+    pub fma_available: bool,
+}
+
+impl X86Backend {
+    /// Detect host features; bit-exact defaults.
+    pub fn detect() -> X86Backend {
+        X86Backend {
+            avx: std::arch::is_x86_feature_detected!("avx"),
+            allow_fma: false,
+            fma_available: std::arch::is_x86_feature_detected!("fma"),
+        }
+    }
+
+    /// SSE2-only variant (what a pre-AVX host would produce); used by
+    /// tests to cover both vector paths on one machine.
+    pub fn sse2_only() -> X86Backend {
+        X86Backend {
+            avx: false,
+            allow_fma: false,
+            fma_available: false,
+        }
+    }
+}
+
+impl CodegenBackend for X86Backend {
+    fn name(&self) -> &'static str {
+        "x86_64"
+    }
+
+    fn jit_compile(&self, cf: &CompiledFunc) -> Result<CompiledFunc, CompileError> {
+        let dts: Vec<DType> = cf
+            .params
+            .iter()
+            .map(|p| p.dtype)
+            .chain(cf.allocs.iter().map(|(_, dt)| *dt))
+            .collect();
+        let mut asm = Asm::new();
+        let mut entries: Vec<usize> = Vec::new();
+        let mut first_reason: Option<String> = None;
+        let body = rewrite_block(&cf.body, &dts, self, &mut asm, &mut entries, &mut first_reason);
+        if entries.is_empty() {
+            let why = first_reason.unwrap_or_else(|| "no loop nest in function".into());
+            return Err(CompileError(format!("no jittable loop nest: {why}")));
+        }
+        let bytes = asm.code.len();
+        let buf = ExecBuf::from_code(&asm.code)?;
+        let program = JitProgram {
+            buf,
+            entries,
+            bytes,
+        };
+        Ok(CompiledFunc {
+            body,
+            jit: Some(Arc::new(program)),
+            ..cf.clone()
+        })
+    }
+}
+
+/// Replace every maximal jittable loop nest with a [`Item::JitCall`],
+/// recursing into loops and conditionals that are not jittable as a
+/// whole so inner nests still compile.
+fn rewrite_block(
+    b: &Block,
+    dts: &[DType],
+    opts: &X86Backend,
+    asm: &mut Asm,
+    entries: &mut Vec<usize>,
+    first_reason: &mut Option<String>,
+) -> Block {
+    let items = b
+        .items
+        .iter()
+        .map(|item| match item {
+            Item::Loop { .. } | Item::StridedLoop { .. } | Item::MulAddLoop { .. } => {
+                match check_item(item, dts) {
+                    Ok(()) => {
+                        let entry = asm.here();
+                        let mut nc = NestCompiler { asm, dts, opts };
+                        nc.emit_item(item);
+                        nc.asm.ret();
+                        entries.push(entry);
+                        Item::JitCall {
+                            entry: entries.len() - 1,
+                        }
+                    }
+                    Err(why) => {
+                        first_reason.get_or_insert(why);
+                        match item {
+                            // A rejected outer loop may still hold
+                            // jittable inner nests.
+                            Item::Loop {
+                                var,
+                                min,
+                                extent,
+                                body,
+                                kind,
+                            } => Item::Loop {
+                                var: *var,
+                                min: *min,
+                                extent: *extent,
+                                body: rewrite_block(body, dts, opts, asm, entries, first_reason),
+                                kind: *kind,
+                            },
+                            other => other.clone(),
+                        }
+                    }
+                }
+            }
+            Item::If { cond, then, else_ } => Item::If {
+                cond: *cond,
+                then: rewrite_block(then, dts, opts, asm, entries, first_reason),
+                else_: else_
+                    .as_ref()
+                    .map(|e| rewrite_block(e, dts, opts, asm, entries, first_reason)),
+            },
+            other => other.clone(),
+        })
+        .collect();
+    Block { items }
+}
+
+/// Offset of register `r` inside its (8-byte-element) register file.
+fn off(r: Reg) -> i32 {
+    (r as i32) * 8
+}
+
+struct NestCompiler<'a> {
+    asm: &'a mut Asm,
+    dts: &'a [DType],
+    opts: &'a X86Backend,
+}
+
+impl NestCompiler<'_> {
+    fn emit_item(&mut self, item: &Item) {
+        match item {
+            Item::Code(c) => c.iter().for_each(|i| self.emit_instr(i)),
+            Item::Loop {
+                var,
+                min,
+                extent,
+                body,
+                ..
+            } => {
+                if *extent < 1 {
+                    return;
+                }
+                let end = min + extent;
+                self.asm.mov_ri(RAX, *min);
+                self.asm.mov_mr(RDI, off(*var), RAX);
+                let top = self.asm.here();
+                for it in &body.items {
+                    self.emit_item(it);
+                }
+                self.asm.mov_rm(RAX, RDI, off(*var));
+                self.asm.add_ri(RAX, 1);
+                self.asm.mov_mr(RDI, off(*var), RAX);
+                if end as i32 as i64 == end {
+                    self.asm.cmp_ri(RAX, end as i32);
+                } else {
+                    self.asm.mov_ri(RCX, end);
+                    self.asm.cmp_rr(RAX, RCX);
+                }
+                self.asm.jcc_back(CC_L, top);
+            }
+            Item::StridedLoop {
+                extent,
+                pre,
+                bumps,
+                body,
+                ..
+            } => {
+                pre.iter().for_each(|i| self.emit_instr(i));
+                self.asm.mov_ri(R11, *extent);
+                let top = self.asm.here();
+                body.iter().for_each(|i| self.emit_instr(i));
+                for &(r, s) in bumps {
+                    if s as i32 as i64 == s {
+                        self.asm.add_mi(RDI, off(r), s as i32);
+                    } else {
+                        self.asm.mov_ri(RAX, s);
+                        self.asm.add_mr(RDI, off(r), RAX);
+                    }
+                }
+                self.asm.dec_r(R11);
+                self.asm.jcc_back(CC_NZ, top);
+            }
+            Item::MulAddLoop {
+                extent,
+                pre,
+                dst,
+                a,
+                b,
+                round32,
+            } => {
+                pre.iter().for_each(|i| self.emit_instr(i));
+                self.emit_muladd(*extent, dst, a, b, *round32);
+            }
+            // Checked away before codegen.
+            Item::If { .. } | Item::JitCall { .. } => unreachable!("rejected by check_item"),
+        }
+    }
+
+    fn emit_instr(&mut self, i: &Instr) {
+        let a = &mut *self.asm;
+        match *i {
+            Instr::IConst(d, v) => {
+                a.mov_ri(RAX, v);
+                a.mov_mr(RDI, off(d), RAX);
+            }
+            Instr::FConst(d, v) => {
+                a.mov_ri(RAX, v.to_bits() as i64);
+                a.mov_mr(RSI, off(d), RAX);
+            }
+            Instr::IToF(d, s) => {
+                a.mov_rm(RAX, RDI, off(s));
+                a.cvtsi2sd(X0, RAX);
+                a.movsd_mr(RSI, off(d), X0);
+            }
+            Instr::IToF32(d, s) => {
+                a.mov_rm(RAX, RDI, off(s));
+                a.cvtsi2sd(X0, RAX);
+                a.round32(X0);
+                a.movsd_mr(RSI, off(d), X0);
+            }
+            Instr::F32Round(d, s) => {
+                a.movsd_rm(X0, RSI, off(s));
+                a.round32(X0);
+                a.movsd_mr(RSI, off(d), X0);
+            }
+            Instr::IBin(op, d, x, y) => {
+                a.mov_rm(RAX, RDI, off(x));
+                a.mov_rm(RCX, RDI, off(y));
+                match op {
+                    BinOp::Add => a.add_rr(RAX, RCX),
+                    BinOp::Sub => a.sub_rr(RAX, RCX),
+                    BinOp::Mul => a.imul_rr(RAX, RCX),
+                    _ => unreachable!("rejected by check_instr"),
+                }
+                a.mov_mr(RDI, off(d), RAX);
+            }
+            Instr::FBin(op, d, x, y) | Instr::FBin32(op, d, x, y) => {
+                let r32 = matches!(i, Instr::FBin32(..));
+                a.movsd_rm(X0, RSI, off(x));
+                let opc = match op {
+                    BinOp::Add => 0x58,
+                    BinOp::Mul => 0x59,
+                    BinOp::Sub => 0x5C,
+                    BinOp::Div => 0x5E,
+                    _ => unreachable!("rejected by check_instr"),
+                };
+                a.sse_rm(Some(0xF2), opc, X0, RSI, off(y));
+                if r32 {
+                    a.round32(X0);
+                }
+                a.movsd_mr(RSI, off(d), X0);
+            }
+            Instr::FMulAdd {
+                dst,
+                add,
+                a: fa,
+                b: fb,
+                round32,
+            } => {
+                a.movsd_rm(X0, RSI, off(fa));
+                a.sse_rm(Some(0xF2), 0x59, X0, RSI, off(fb)); // mulsd
+                if round32 {
+                    a.round32(X0);
+                }
+                a.movsd_rm(X1, RSI, off(add));
+                a.sse_rr(Some(0xF2), 0x58, X1, X0); // addsd: add + m
+                if round32 {
+                    a.round32(X1);
+                }
+                a.movsd_mr(RSI, off(dst), X1);
+            }
+            Instr::Call1(Intrinsic::Sqrt, d, x, round) => {
+                a.movsd_rm(X0, RSI, off(x));
+                a.sse_rr(Some(0xF2), 0x51, X0, X0); // sqrtsd
+                if round {
+                    a.round32(X0);
+                }
+                a.movsd_mr(RSI, off(d), X0);
+            }
+            Instr::Load(d, slot, addr) => {
+                a.mov_rm(RAX, RDI, off(addr));
+                a.mov_rm(RCX, RDX, (slot as i32) * 8);
+                if self.dts[slot as usize] == DType::F64 {
+                    a.sse_rm_sib(Some(0xF2), 0x10, X0, RCX, RAX, 8); // movsd
+                } else {
+                    a.sse_rm_sib(Some(0xF3), 0x10, X0, RCX, RAX, 4); // movss
+                    a.cvtss2sd_rr(X0, X0);
+                }
+                a.movsd_mr(RSI, off(d), X0);
+            }
+            Instr::Store(slot, addr, val) => {
+                a.mov_rm(RAX, RDI, off(addr));
+                a.mov_rm(RCX, RDX, (slot as i32) * 8);
+                a.movsd_rm(X0, RSI, off(val));
+                if self.dts[slot as usize] == DType::F64 {
+                    a.sse_rm_sib(Some(0xF2), 0x11, X0, RCX, RAX, 8);
+                } else {
+                    a.cvtsd2ss_rr(X0, X0);
+                    a.sse_rm_sib(Some(0xF3), 0x11, X0, RCX, RAX, 4);
+                }
+            }
+            _ => unreachable!("rejected by check_instr"),
+        }
+    }
+
+    /// Materialise the three element pointers of a microkernel into
+    /// `r8` (dst), `r9` (a), `r10` (b).
+    fn muladd_pointers(&mut self, dst: &SlotAccess, sa: &SlotAccess, sb: &SlotAccess) {
+        for (acc, preg) in [(dst, R8), (sa, R9), (sb, R10)] {
+            let esize = if self.dts[acc.slot as usize] == DType::F64 { 8 } else { 4 };
+            self.asm.mov_rm(RAX, RDI, off(acc.addr));
+            self.asm.mov_rm(preg, RDX, (acc.slot as i32) * 8);
+            self.asm.lea_sib(preg, preg, RAX, esize);
+        }
+    }
+
+    fn emit_muladd(
+        &mut self,
+        extent: i64,
+        dst: &SlotAccess,
+        sa: &SlotAccess,
+        sb: &SlotAccess,
+        round32: bool,
+    ) {
+        self.muladd_pointers(dst, sa, sb);
+        let dt = self.dts[dst.slot as usize];
+        let uniform = self.dts[sa.slot as usize] == dt && self.dts[sb.slot as usize] == dt;
+        let matched_rounding =
+            (dt == DType::F64 && !round32) || (dt == DType::F32 && round32);
+        let disjoint = dst.slot != sa.slot && dst.slot != sb.slot;
+        let fast = uniform && matched_rounding && disjoint;
+        let strides = (dst.stride, sa.stride, sb.stride);
+        if fast && strides.0 == 0 && strides.1 == 1 && strides.2 == 1 {
+            self.muladd_reduction(extent, dt);
+            return;
+        }
+        if fast && matches!(strides, (1, 0, 1) | (1, 1, 0) | (1, 1, 1)) {
+            self.muladd_parallel(extent, dt, strides);
+            return;
+        }
+        self.muladd_generic(extent, dst, sa, sb, round32);
+    }
+
+    /// Dot-product pattern `(sd, sa, sb) = (0, 1, 1)`: a single serial
+    /// accumulator chain, kept scalar to preserve accumulation order.
+    fn muladd_reduction(&mut self, extent: i64, dt: DType) {
+        let a = &mut *self.asm;
+        let (mov_rm, mov_mr, mul, add, step): (
+            fn(&mut Asm, X, R, i32),
+            fn(&mut Asm, R, i32, X),
+            u8,
+            u8,
+            i32,
+        ) = if dt == DType::F64 {
+            (Asm::movsd_rm, Asm::movsd_mr, 0x59, 0x58, 8)
+        } else {
+            (Asm::movss_rm, Asm::movss_mr, 0x59, 0x58, 4)
+        };
+        let p = if dt == DType::F64 { Some(0xF2) } else { Some(0xF3) };
+        mov_rm(a, X1, R8, 0); // acc = dst[d0]
+        a.mov_ri(R11, extent);
+        let top = a.here();
+        mov_rm(a, X0, R9, 0);
+        a.sse_rm(p, mul, X0, R10, 0); // x * y
+        a.sse_rr(p, add, X1, X0); // acc += m
+        a.add_ri(R9, step);
+        a.add_ri(R10, step);
+        a.dec_r(R11);
+        a.jcc_back(CC_NZ, top);
+        mov_mr(a, R8, 0, X1);
+    }
+
+    /// Parallel patterns `(1,0,1)`, `(1,1,0)`, `(1,1,1)`: every element
+    /// is an independent multiply+add, so lane-splitting preserves
+    /// per-element rounding exactly — vectorize with AVX-256 when
+    /// available, SSE2 128-bit otherwise, scalar tail.
+    fn muladd_parallel(&mut self, extent: i64, dt: DType, strides: (i64, i64, i64)) {
+        let f64p = dt == DType::F64;
+        let esize: i32 = if f64p { 8 } else { 4 };
+        let lanes: i64 = if self.opts.avx {
+            if f64p { 4 } else { 8 }
+        } else if f64p {
+            2
+        } else {
+            4
+        };
+        let vec_iters = extent / lanes;
+        let tail = extent % lanes;
+        let pp: u8 = if f64p { 1 } else { 0 }; // VEX pp for pd/ps
+        let sse_p: Option<u8> = if f64p { Some(0x66) } else { None };
+        let fma = self.opts.allow_fma && self.opts.fma_available && self.opts.avx && f64p;
+        if vec_iters > 0 {
+            // Broadcast the loop-invariant factor once (X2).
+            match strides {
+                (1, 0, 1) | (1, 1, 0) => {
+                    let inv = if strides.1 == 0 { R9 } else { R10 };
+                    if self.opts.avx {
+                        self.asm.vbroadcast(if f64p { 0x19 } else { 0x18 }, X2, inv);
+                    } else if f64p {
+                        self.asm.movsd_rm(X2, inv, 0);
+                        self.asm.sse_rr(Some(0x66), 0x14, X2, X2); // unpcklpd
+                    } else {
+                        self.asm.movss_rm(X2, inv, 0);
+                        self.asm.sse_rr(None, 0xC6, X2, X2); // shufps x2,x2,0
+                        self.asm.b(0x00);
+                    }
+                }
+                _ => {}
+            }
+            self.asm.mov_ri(R11, vec_iters);
+            let top = self.asm.here();
+            // X0 = a * b in the multiply's operand order.
+            match strides {
+                (1, 0, 1) => {
+                    // x = a (invariant), y = b[i]. Legacy-SSE arithmetic
+                    // requires aligned memory operands, so go through an
+                    // unaligned movup* into a scratch register.
+                    if self.opts.avx {
+                        self.asm.vex_rm(pp, 0x59, X0, X2.0, R10, 0);
+                    } else {
+                        self.asm.sse_rr(sse_p, 0x28, X0, X2); // movap* x0, x2
+                        self.asm.sse_rm(sse_p, 0x10, X3, R10, 0);
+                        self.asm.sse_rr(sse_p, 0x59, X0, X3);
+                    }
+                }
+                (1, 1, 0) => {
+                    // x = a[i], y = b (invariant)
+                    if self.opts.avx {
+                        self.asm.vex_rm(pp, 0x10, X0, 0, R9, 0); // vmovup*
+                        self.asm.vex_rr(pp, 0x59, X0, X0.0, X2);
+                    } else {
+                        self.asm.sse_rm(sse_p, 0x10, X0, R9, 0); // movup*
+                        self.asm.sse_rr(sse_p, 0x59, X0, X2);
+                    }
+                }
+                _ => {
+                    // (1,1,1): x = a[i], y = b[i]
+                    if self.opts.avx {
+                        self.asm.vex_rm(pp, 0x10, X0, 0, R9, 0);
+                        self.asm.vex_rm(pp, 0x59, X0, X0.0, R10, 0);
+                    } else {
+                        self.asm.sse_rm(sse_p, 0x10, X0, R9, 0);
+                        self.asm.sse_rm(sse_p, 0x10, X3, R10, 0);
+                        self.asm.sse_rr(sse_p, 0x59, X0, X3);
+                    }
+                }
+            }
+            if fma && strides == (1, 0, 1) {
+                // dst += a*b single-rounded (opt-in, not bit-exact):
+                // reload dst and fuse instead of the mul+add pair.
+                self.asm.vex_rm(pp, 0x10, X1, 0, R8, 0);
+                self.asm.vfmadd231pd_rm(X1, X2.0, R10);
+            } else if self.opts.avx {
+                self.asm.vex_rm(pp, 0x10, X1, 0, R8, 0);
+                self.asm.vex_rr(pp, 0x58, X1, X1.0, X0); // dst + m
+            } else {
+                self.asm.sse_rm(sse_p, 0x10, X1, R8, 0);
+                self.asm.sse_rr(sse_p, 0x58, X1, X0);
+            }
+            if self.opts.avx {
+                self.asm.vex_rm(pp, 0x11, X1, 0, R8, 0);
+            } else {
+                self.asm.sse_rm(sse_p, 0x11, X1, R8, 0);
+            }
+            let vstep = (lanes as i32) * esize;
+            self.asm.add_ri(R8, vstep);
+            if strides.1 == 1 {
+                self.asm.add_ri(R9, vstep);
+            }
+            if strides.2 == 1 {
+                self.asm.add_ri(R10, vstep);
+            }
+            self.asm.dec_r(R11);
+            self.asm.jcc_back(CC_NZ, top);
+            if self.opts.avx {
+                self.asm.vzeroupper();
+            }
+        }
+        if tail > 0 {
+            let p: Option<u8> = if f64p { Some(0xF2) } else { Some(0xF3) };
+            self.asm.mov_ri(R11, tail);
+            let top = self.asm.here();
+            // Scalar per-element op in native precision (bit-exact for
+            // both f64 and — via Figueroa double-rounding innocuity —
+            // native f32).
+            if f64p {
+                self.asm.movsd_rm(X0, R9, 0);
+            } else {
+                self.asm.movss_rm(X0, R9, 0);
+            }
+            self.asm.sse_rm(p, 0x59, X0, R10, 0);
+            if f64p {
+                self.asm.movsd_rm(X1, R8, 0);
+            } else {
+                self.asm.movss_rm(X1, R8, 0);
+            }
+            self.asm.sse_rr(p, 0x58, X1, X0);
+            if f64p {
+                self.asm.movsd_mr(R8, 0, X1);
+            } else {
+                self.asm.movss_mr(R8, 0, X1);
+            }
+            self.asm.add_ri(R8, esize);
+            if strides.1 == 1 {
+                self.asm.add_ri(R9, esize);
+            }
+            if strides.2 == 1 {
+                self.asm.add_ri(R10, esize);
+            }
+            self.asm.dec_r(R11);
+            self.asm.jcc_back(CC_NZ, top);
+        }
+    }
+
+    /// Generic element-order path: mixed dtypes, arbitrary strides, or
+    /// an aliased destination. Replicates the VM's generic loop (load
+    /// dst, load a, load b, round-per-op multiply-add, store) exactly,
+    /// including its strict ascending element order.
+    fn muladd_generic(
+        &mut self,
+        extent: i64,
+        dst: &SlotAccess,
+        sa: &SlotAccess,
+        sb: &SlotAccess,
+        round32: bool,
+    ) {
+        let dt_d = self.dts[dst.slot as usize];
+        let dt_a = self.dts[sa.slot as usize];
+        let dt_b = self.dts[sb.slot as usize];
+        let esize = |dt: DType| if dt == DType::F64 { 8i64 } else { 4 };
+        self.asm.mov_ri(R11, extent);
+        let top = self.asm.here();
+        self.load_widen(X1, R8, dt_d); // c
+        self.load_widen(X0, R9, dt_a); // x
+        self.load_widen(X2, R10, dt_b); // y
+        self.asm.sse_rr(Some(0xF2), 0x59, X0, X2); // m = x*y (f64)
+        if round32 {
+            self.asm.round32(X0);
+        }
+        self.asm.sse_rr(Some(0xF2), 0x58, X1, X0); // s = c + m
+        if round32 {
+            self.asm.round32(X1);
+        }
+        self.store_narrow(R8, dt_d, X1);
+        for (acc, preg, dt) in [(dst, R8, dt_d), (sa, R9, dt_a), (sb, R10, dt_b)] {
+            let step = acc.stride * esize(dt);
+            if step != 0 {
+                self.asm.add_ri(preg, step as i32); // range-checked in check_item
+            }
+        }
+        self.asm.dec_r(R11);
+        self.asm.jcc_back(CC_NZ, top);
+    }
+
+    /// `x ← f64(*ptr)` honoring the slot dtype (f32 widens).
+    fn load_widen(&mut self, x: X, ptr: R, dt: DType) {
+        if dt == DType::F64 {
+            self.asm.movsd_rm(x, ptr, 0);
+        } else {
+            self.asm.movss_rm(x, ptr, 0);
+            self.asm.cvtss2sd_rr(x, x);
+        }
+    }
+
+    /// `*ptr ← x` honoring the slot dtype (f32 narrows, like
+    /// `set_f64_linear`'s `as f32`).
+    fn store_narrow(&mut self, ptr: R, dt: DType, x: X) {
+        if dt == DType::F64 {
+            self.asm.movsd_mr(ptr, 0, x);
+        } else {
+            self.asm.cvtsd2ss_rr(x, x);
+            self.asm.movss_mr(ptr, 0, x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_code(code: &[u8], iregs: &mut [i64], fregs: &mut [f64], slots: &[*mut u8]) {
+        let buf = ExecBuf::from_code(code).expect("map");
+        let f: super::super::JitFn = unsafe { std::mem::transmute(buf.entry(0)) };
+        unsafe { f(iregs.as_mut_ptr(), fregs.as_mut_ptr(), slots.as_ptr()) }
+    }
+
+    #[test]
+    fn integer_templates_execute() {
+        // iregs[2] = iregs[0] + iregs[1]; iregs[3] = iregs[0] * iregs[1]
+        let mut a = Asm::new();
+        let mut nc = NestCompiler {
+            asm: &mut a,
+            dts: &[],
+            opts: &X86Backend::sse2_only(),
+        };
+        nc.emit_instr(&Instr::IBin(BinOp::Add, 2, 0, 1));
+        nc.emit_instr(&Instr::IBin(BinOp::Mul, 3, 0, 1));
+        nc.emit_instr(&Instr::IConst(4, -7_000_000_000));
+        a.ret();
+        let mut ir = [6i64, 7, 0, 0, 0];
+        let mut fr = [0f64];
+        run_code(&a.code, &mut ir, &mut fr, &[]);
+        assert_eq!(ir[2], 13);
+        assert_eq!(ir[3], 42);
+        assert_eq!(ir[4], -7_000_000_000);
+    }
+
+    #[test]
+    fn float_templates_match_rust_semantics() {
+        let mut a = Asm::new();
+        let mut nc = NestCompiler {
+            asm: &mut a,
+            dts: &[],
+            opts: &X86Backend::sse2_only(),
+        };
+        nc.emit_instr(&Instr::FBin(BinOp::Div, 2, 0, 1));
+        nc.emit_instr(&Instr::FBin32(BinOp::Mul, 3, 0, 1));
+        nc.emit_instr(&Instr::FMulAdd {
+            dst: 4,
+            add: 2,
+            a: 0,
+            b: 1,
+            round32: false,
+        });
+        nc.emit_instr(&Instr::Call1(Intrinsic::Sqrt, 5, 0, false));
+        nc.emit_instr(&Instr::IToF32(1, 0));
+        a.ret();
+        let (x, y) = (1.9371823_f64, -0.3718_f64);
+        let mut ir = [123456789i64, 0];
+        let mut fr = [x, y, 0.0, 0.0, 0.0, 0.0];
+        run_code(&a.code, &mut ir, &mut fr, &[]);
+        assert_eq!(fr[2], x / y);
+        assert_eq!(fr[3], (x * y) as f32 as f64);
+        assert_eq!(fr[4], x / y + x * y);
+        assert_eq!(fr[5], x.sqrt());
+        assert_eq!(fr[1], 123456789i64 as f64 as f32 as f64);
+    }
+
+    #[test]
+    fn loop_and_memory_templates_execute() {
+        // for i in 2..6 { B[i] = A[i] (f32, widened/narrowed) }
+        let mut av: Vec<f32> = (0..8).map(|v| v as f32 * 1.5).collect();
+        let mut bv: Vec<f32> = vec![0.0; 8];
+        let slots = [av.as_mut_ptr().cast::<u8>(), bv.as_mut_ptr().cast::<u8>()];
+        let mut a = Asm::new();
+        let dts = [DType::F32, DType::F32];
+        let mut nc = NestCompiler {
+            asm: &mut a,
+            dts: &dts,
+            opts: &X86Backend::sse2_only(),
+        };
+        nc.emit_item(&Item::Loop {
+            var: 0,
+            min: 2,
+            extent: 4,
+            body: Block {
+                items: vec![Item::Code(vec![
+                    Instr::Load(0, 0, 0),
+                    Instr::Store(1, 0, 0),
+                ])],
+            },
+            kind: crate::compile::LoopKind::Serial,
+        });
+        a.ret();
+        let mut ir = [0i64];
+        let mut fr = [0f64];
+        run_code(&a.code, &mut ir, &mut fr, &slots);
+        assert_eq!(&bv[..2], &[0.0, 0.0]);
+        assert_eq!(&bv[2..6], &av[2..6]);
+        assert_eq!(&bv[6..], &[0.0, 0.0]);
+        assert_eq!(ir[0], 6, "loop var left at end bound");
+    }
+
+    #[test]
+    fn fma_encoding_single_rounds() {
+        // The opt-in FMA path must produce f64::mul_add (single
+        // rounding) — demonstrably different plumbing from the
+        // bit-exact default.
+        if !std::arch::is_x86_feature_detected!("fma") {
+            return;
+        }
+        // a = b = 1+2⁻⁵², c = −(1+2⁻⁵¹): a·b = 1+2⁻⁵¹+2⁻¹⁰⁴, so the
+        // two-rounding result is exactly 0 while FMA keeps the 2⁻¹⁰⁴.
+        let n = 4usize;
+        let one_ulp = f64::from_bits(0x3FF0000000000001);
+        let c = -(1.0 + 2f64.powi(-51));
+        let mut d = vec![c; n];
+        let a_inv = [one_ulp];
+        let mut b: Vec<f64> = vec![one_ulp; n];
+        let expect: Vec<f64> = d.iter().map(|&c| a_inv[0].mul_add(b[0], c)).collect();
+        let mut asm = Asm::new();
+        // r8=dst, r9=a(invariant), r10=b
+        asm.mov_rm(R8, RDX, 0);
+        asm.mov_rm(R9, RDX, 8);
+        asm.mov_rm(R10, RDX, 16);
+        asm.vbroadcast(0x19, X2, R9);
+        asm.vex_rm(1, 0x10, X1, 0, R8, 0);
+        asm.vfmadd231pd_rm(X1, X2.0, R10);
+        asm.vex_rm(1, 0x11, X1, 0, R8, 0);
+        asm.vzeroupper();
+        asm.ret();
+        let slots = [
+            d.as_mut_ptr().cast::<u8>(),
+            a_inv.as_ptr() as *mut u8,
+            b.as_mut_ptr().cast::<u8>(),
+        ];
+        let mut ir = [0i64];
+        let mut fr = [0f64];
+        run_code(&asm.code, &mut ir, &mut fr, &slots);
+        assert_eq!(d, expect, "fused multiply-add semantics");
+        // And it differs from the two-rounding contract on this input.
+        let two_round = c + a_inv[0] * b[0];
+        assert_ne!(d[0], two_round, "FMA must single-round");
+    }
+}

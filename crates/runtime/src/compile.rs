@@ -223,6 +223,15 @@ pub(crate) enum Item {
         /// Round through `f32` after multiply and after add.
         round32: bool,
     },
+    /// A loop nest compiled to native machine code by a
+    /// [`crate::codegen::CodegenBackend`]: the VM calls entry point
+    /// `entry` of the owning function's [`crate::codegen::JitProgram`],
+    /// passing its register files and storage base pointers. Emitted
+    /// code is bit-exact with the items it replaced.
+    JitCall {
+        /// Entry-point index into [`CompiledFunc::jit`].
+        entry: usize,
+    },
 }
 
 /// A sequence of [`Item`]s.
@@ -259,6 +268,10 @@ pub struct CompiledFunc {
     pub(crate) n_iregs: usize,
     pub(crate) n_fregs: usize,
     pub(crate) body: Block,
+    /// Native code for the function's [`Item::JitCall`]s, when a
+    /// codegen backend compiled any loop nests (`None` on the plain
+    /// interpreter/VM paths).
+    pub(crate) jit: Option<std::sync::Arc<crate::codegen::JitProgram>>,
 }
 
 impl CompiledFunc {
@@ -278,6 +291,7 @@ impl CompiledFunc {
                     Item::If { then, else_, .. } => count(then) + else_.as_ref().map_or(0, count),
                     Item::StridedLoop { pre, body, .. } => pre.len() + body.len(),
                     Item::MulAddLoop { pre, .. } => pre.len() + 1,
+                    Item::JitCall { .. } => 1,
                 })
                 .sum()
         }
@@ -301,6 +315,8 @@ impl CompiledFunc {
                     Item::If { then, else_, .. } => count(then) + else_.as_ref().map_or(0, count),
                     Item::StridedLoop { pre, body, .. } => in_code(pre) + in_code(body),
                     Item::MulAddLoop { pre, .. } => in_code(pre),
+                    // Jitted nests contain no checks by construction.
+                    Item::JitCall { .. } => 0,
                 })
                 .sum()
         }
@@ -314,7 +330,7 @@ impl CompiledFunc {
             b.items
                 .iter()
                 .map(|it| match it {
-                    Item::Code(_) => 0,
+                    Item::Code(_) | Item::JitCall { .. } => 0,
                     Item::Loop { body, .. } => count(body),
                     Item::If { then, else_, .. } => count(then) + else_.as_ref().map_or(0, count),
                     Item::StridedLoop { .. } | Item::MulAddLoop { .. } => 1,
@@ -331,7 +347,7 @@ impl CompiledFunc {
             b.items
                 .iter()
                 .map(|it| match it {
-                    Item::Code(_) | Item::StridedLoop { .. } => 0,
+                    Item::Code(_) | Item::StridedLoop { .. } | Item::JitCall { .. } => 0,
                     Item::Loop { body, .. } => count(body),
                     Item::If { then, else_, .. } => count(then) + else_.as_ref().map_or(0, count),
                     Item::MulAddLoop { .. } => 1,
@@ -349,7 +365,7 @@ impl CompiledFunc {
             b.items
                 .iter()
                 .map(|it| match it {
-                    Item::Code(_) | Item::MulAddLoop { .. } => 0,
+                    Item::Code(_) | Item::MulAddLoop { .. } | Item::JitCall { .. } => 0,
                     Item::Loop { body, .. } => count(body),
                     Item::If { then, else_, .. } => count(then) + else_.as_ref().map_or(0, count),
                     Item::StridedLoop { kind, .. } => (*kind == LoopKind::Vectorized) as usize,
@@ -362,6 +378,28 @@ impl CompiledFunc {
     /// Register file sizes `(int, float)`.
     pub fn reg_counts(&self) -> (usize, usize) {
         (self.n_iregs, self.n_fregs)
+    }
+
+    /// Number of loop nests compiled to native machine code (0 unless a
+    /// [`crate::codegen::CodegenBackend`] processed this function).
+    pub fn jit_nest_count(&self) -> usize {
+        fn count(b: &Block) -> usize {
+            b.items
+                .iter()
+                .map(|it| match it {
+                    Item::Code(_) | Item::StridedLoop { .. } | Item::MulAddLoop { .. } => 0,
+                    Item::Loop { body, .. } => count(body),
+                    Item::If { then, else_, .. } => count(then) + else_.as_ref().map_or(0, count),
+                    Item::JitCall { .. } => 1,
+                })
+                .sum()
+        }
+        count(&self.body)
+    }
+
+    /// Machine-code bytes backing this function's jitted nests.
+    pub fn jit_code_bytes(&self) -> usize {
+        self.jit.as_ref().map_or(0, |p| p.code_bytes())
     }
 }
 
@@ -1085,6 +1123,7 @@ pub fn compile(func: &PrimFunc) -> Result<CompiledFunc, CompileError> {
         n_iregs: c.idef.len(),
         n_fregs: c.fdef.len(),
         body: Block { items: root.items },
+        jit: None,
     })
 }
 

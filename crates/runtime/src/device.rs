@@ -1,5 +1,6 @@
 //! Device abstraction: anything that can run and time a lowered function.
 
+use crate::codegen::{default_backend, CodegenBackend, JitCounters, JitStats};
 use crate::compile::{compile, CompiledFunc};
 use crate::interp::ExecError;
 use crate::ndarray::NDArray;
@@ -106,6 +107,14 @@ pub trait Device: Send + Sync {
     fn fingerprint(&self) -> Option<String> {
         None
     }
+
+    /// Native-codegen compile statistics, or `None` when this device has
+    /// no JIT rung. Counters accumulate across all clones of a device
+    /// (evaluator workers share them), so the snapshot reflects the whole
+    /// tuning run.
+    fn jit_stats(&self) -> Option<JitStats> {
+        None
+    }
 }
 
 /// Execution engine of a [`CpuDevice`].
@@ -118,13 +127,27 @@ enum CpuMode {
     /// TIR pass pipeline + block-optimized VM (the default).
     #[default]
     Optimized,
+    /// Optimized pipeline plus native machine-code generation for the
+    /// hot loop nests, falling back to the optimized VM per function.
+    Jit,
+}
+
+/// Codegen backend plus compile counters, shared by every clone of a
+/// JIT-mode device so stats cover a whole (possibly multi-threaded)
+/// tuning run.
+#[derive(Debug)]
+struct JitState {
+    backend: Arc<dyn CodegenBackend>,
+    counters: JitCounters,
 }
 
 /// Host CPU device executing kernels through the optimized compiled VM
-/// (with interpreter fallback for functions the compiler rejects).
+/// (with interpreter fallback for functions the compiler rejects), and
+/// optionally through native JIT-compiled code ([`CpuDevice::jit`]).
 #[derive(Debug, Clone, Default)]
 pub struct CpuDevice {
     mode: CpuMode,
+    jit: Option<Arc<JitState>>,
 }
 
 impl CpuDevice {
@@ -132,6 +155,7 @@ impl CpuDevice {
     pub fn new() -> CpuDevice {
         CpuDevice {
             mode: CpuMode::Optimized,
+            jit: None,
         }
     }
 
@@ -140,6 +164,7 @@ impl CpuDevice {
     pub fn interpreter() -> CpuDevice {
         CpuDevice {
             mode: CpuMode::Interp,
+            jit: None,
         }
     }
 
@@ -148,6 +173,49 @@ impl CpuDevice {
     pub fn scalar_vm() -> CpuDevice {
         CpuDevice {
             mode: CpuMode::Scalar,
+            jit: None,
+        }
+    }
+
+    /// CPU device with the native JIT rung: optimized bytecode whose hot
+    /// loop nests run as emitted machine code, with per-function fallback
+    /// to the optimized VM whenever the backend declines (every fallback
+    /// is counted with its reason — see [`Device::jit_stats`]).
+    pub fn jit() -> CpuDevice {
+        CpuDevice::jit_with_backend(default_backend())
+    }
+
+    /// JIT-mode device with an explicit backend (tests use this to pin
+    /// the SSE2-only emitter or a never-compiling backend).
+    pub fn jit_with_backend(backend: Arc<dyn CodegenBackend>) -> CpuDevice {
+        CpuDevice {
+            mode: CpuMode::Jit,
+            jit: Some(Arc::new(JitState {
+                backend,
+                counters: JitCounters::default(),
+            })),
+        }
+    }
+
+    /// Optimize + JIT-compile with fallback accounting. `None` only when
+    /// even the bytecode compiler rejects the function (interpreter
+    /// territory); `Some` is the jitted function or, after a recorded
+    /// fallback, the optimized-VM function unchanged.
+    fn jit_prepare(&self, func: &PrimFunc) -> Option<Arc<CompiledFunc>> {
+        let state = self.jit.as_ref().expect("jit mode without state");
+        let cf = crate::optimize::compile_optimized(func).ok()?;
+        match state.backend.jit_compile(&cf) {
+            Ok(jitted) => {
+                state.counters.record_success(
+                    jitted.jit_nest_count() as u64,
+                    jitted.jit_code_bytes() as u64,
+                );
+                Some(Arc::new(jitted))
+            }
+            Err(e) => {
+                state.counters.record_fallback(&e.0);
+                Some(Arc::new(cf))
+            }
         }
     }
 }
@@ -166,6 +234,10 @@ impl Device for CpuDevice {
                 Err(_) => crate::interp::execute(func, args)?,
             },
             CpuMode::Optimized => vm::run(func, args)?,
+            CpuMode::Jit => match self.jit_prepare(func) {
+                Some(cf) => vm::execute(&cf, args)?,
+                None => crate::interp::execute(func, args)?,
+            },
         }
         Ok(t0.elapsed().as_secs_f64())
     }
@@ -175,6 +247,7 @@ impl Device for CpuDevice {
             CpuMode::Interp => None,
             CpuMode::Scalar => compile(func).ok().map(Arc::new),
             CpuMode::Optimized => crate::optimize::compile_optimized(func).ok().map(Arc::new),
+            CpuMode::Jit => self.jit_prepare(func),
         }
     }
 
@@ -193,15 +266,37 @@ impl Device for CpuDevice {
             CpuMode::Interp => "interp/v1".to_string(),
             CpuMode::Scalar => crate::optimize::ENGINE_VERSION.to_string(),
             CpuMode::Optimized => crate::optimize::engine_fingerprint(),
+            // Distinct from Optimized even though fallbacks execute the
+            // same bytecode: replay verification must attribute a trial
+            // to the engine that could have jitted it.
+            CpuMode::Jit => crate::codegen::jit_fingerprint(),
         })
+    }
+
+    fn jit_stats(&self) -> Option<JitStats> {
+        self.jit.as_ref().map(|s| s.counters.snapshot())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tvm_te::{compute, placeholder, DType, Schedule};
+    use tvm_te::{compute, placeholder, reduce_axis, sum, DType, Schedule};
     use tvm_tir::lower::lower;
+
+    fn matmul(n: usize) -> PrimFunc {
+        let a = placeholder([n, n], DType::F32, "A");
+        let b = placeholder([n, n], DType::F32, "B");
+        let k = reduce_axis(0, n as i64, "k");
+        let c = compute([n, n], "C", |i| {
+            sum(
+                a.at(&[i[0].clone(), k.var_expr()]) * b.at(&[k.var_expr(), i[1].clone()]),
+                &[k.clone()],
+            )
+        });
+        let s = Schedule::create(&[c.clone()]);
+        lower(&s, &[a, b, c], "mm")
+    }
 
     #[test]
     fn cpu_device_times_execution() {
@@ -240,5 +335,90 @@ mod tests {
         assert_eq!(via_run[1], via_prepared[1]);
         // The interpreter-pinned device has no compiled path.
         assert!(CpuDevice::interpreter().prepare(&f).is_none());
+    }
+
+    #[test]
+    fn jit_device_matches_optimized_bit_for_bit() {
+        let f = matmul(10);
+        let mk_args = || {
+            [
+                NDArray::random(&[10, 10], DType::F32, 11, -1.0, 1.0),
+                NDArray::random(&[10, 10], DType::F32, 12, -1.0, 1.0),
+                NDArray::zeros(&[10, 10], DType::F32),
+            ]
+        };
+        let jit = CpuDevice::jit();
+        let mut via_jit = mk_args();
+        let mut via_opt = mk_args();
+        jit.run(&f, &mut via_jit).expect("jit run");
+        CpuDevice::new().run(&f, &mut via_opt).expect("opt run");
+        assert_eq!(via_jit[2], via_opt[2], "jit must match the optimized VM");
+
+        let stats = jit.jit_stats().expect("jit device reports stats");
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        {
+            assert_eq!(stats.functions_jitted, 1, "matmul must actually jit");
+            assert!(stats.nests_compiled >= 1);
+            assert!(stats.bytes_emitted > 0);
+            assert_eq!(stats.fallbacks, 0, "{:?}", stats.fallback_reasons);
+            let prepared = jit.prepare(&f).expect("prepare");
+            assert!(prepared.jit_nest_count() >= 1, "prepared artifact carries native code");
+        }
+        #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+        {
+            assert_eq!(stats.functions_jitted, 0);
+            assert_eq!(stats.fallbacks, 1, "noop backend must count its refusal");
+        }
+        // Non-JIT devices expose no stats.
+        assert!(CpuDevice::new().jit_stats().is_none());
+    }
+
+    #[test]
+    fn jit_fallback_is_counted_and_still_correct() {
+        // Float max is outside the jittable subset (NaN/-0.0 semantics),
+        // so this relu must fall back to the optimized VM with a reason.
+        let a = placeholder([16], DType::F32, "A");
+        let b = compute([16], "B", |i| {
+            tvm_te::max_expr(a.at(&[i[0].clone()]), 0.0f32)
+        });
+        let s = Schedule::create(&[b.clone()]);
+        let f = lower(&s, &[a, b], "sel");
+        let dev = CpuDevice::jit();
+        let mut args = [
+            NDArray::random(&[16], DType::F32, 9, -1.0, 1.0),
+            NDArray::zeros(&[16], DType::F32),
+        ];
+        dev.run(&f, &mut args).expect("fallback run");
+        let mut expect = [args[0].clone(), NDArray::zeros(&[16], DType::F32)];
+        CpuDevice::new().run(&f, &mut expect).expect("opt run");
+        assert_eq!(args[1], expect[1]);
+        let stats = dev.jit_stats().expect("stats");
+        assert_eq!(stats.fallbacks, 1);
+        assert_eq!(stats.functions_jitted, 0);
+        assert_eq!(
+            stats.fallback_reasons.iter().map(|(_, n)| n).sum::<u64>(),
+            1,
+            "every fallback carries a reason: {:?}",
+            stats.fallback_reasons
+        );
+    }
+
+    #[test]
+    fn jit_fingerprint_is_distinct_per_rung() {
+        let fps: Vec<String> = [
+            CpuDevice::interpreter(),
+            CpuDevice::scalar_vm(),
+            CpuDevice::new(),
+            CpuDevice::jit(),
+        ]
+        .iter()
+        .map(|d| d.fingerprint().expect("cpu devices fingerprint"))
+        .collect();
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "rung fingerprints must be distinct");
+            }
+        }
+        assert!(fps[3].ends_with(crate::codegen::JIT_VERSION));
     }
 }

@@ -32,6 +32,7 @@
 //! assert_eq!(args[1].to_f64_vec(), vec![2.0, 3.0, 4.0, 5.0]);
 //! ```
 
+pub mod codegen;
 pub mod compile;
 pub mod device;
 pub mod interp;
@@ -40,6 +41,10 @@ pub mod ndarray;
 pub mod optimize;
 pub mod vm;
 
+pub use codegen::{
+    default_backend, jit_fingerprint, CodegenBackend, JitCounters, JitProgram, JitStats,
+    NoopBackend, JIT_VERSION,
+};
 pub use compile::{compile, CompileError, CompiledFunc};
 pub use device::{CpuDevice, Device, DeviceError};
 pub use module::Module;

@@ -221,6 +221,18 @@ impl NDArray {
         }
     }
 
+    /// Raw base pointer of the element storage, for the JIT slot table.
+    /// Valid until the array is dropped or its storage resized; the VM
+    /// never resizes storage while a compiled function executes.
+    pub(crate) fn base_ptr_mut(&mut self) -> *mut u8 {
+        match &mut self.data {
+            TensorData::F32(v) => v.as_mut_ptr().cast(),
+            TensorData::F64(v) => v.as_mut_ptr().cast(),
+            TensorData::I32(v) => v.as_mut_ptr().cast(),
+            TensorData::I64(v) => v.as_mut_ptr().cast(),
+        }
+    }
+
     /// Elementwise approximate equality with mixed absolute/relative
     /// tolerance: `|a-b| <= atol + rtol * |b|`.
     pub fn allclose(&self, other: &NDArray, rtol: f64, atol: f64) -> bool {

@@ -117,7 +117,7 @@ fn collect_consts(b: &Block) -> HashMap<Reg, i64> {
                         go(e, out);
                     }
                 }
-                Item::StridedLoop { .. } | Item::MulAddLoop { .. } => {}
+                Item::StridedLoop { .. } | Item::MulAddLoop { .. } | Item::JitCall { .. } => {}
             }
         }
     }
@@ -167,7 +167,7 @@ fn freg_use_counts(b: &Block) -> HashMap<Reg, usize> {
                         go(e, out);
                     }
                 }
-                Item::StridedLoop { .. } | Item::MulAddLoop { .. } => {}
+                Item::StridedLoop { .. } | Item::MulAddLoop { .. } | Item::JitCall { .. } => {}
             }
         }
     }
@@ -248,7 +248,7 @@ fn value_numbers(b: &Block) -> HashMap<Reg, u32> {
                         go(e, cx);
                     }
                 }
-                Item::StridedLoop { .. } | Item::MulAddLoop { .. } => {}
+                Item::StridedLoop { .. } | Item::MulAddLoop { .. } | Item::JitCall { .. } => {}
             }
         }
     }

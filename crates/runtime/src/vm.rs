@@ -76,6 +76,32 @@ impl<'a> Vm<'a> {
                         self.exec_block(e, storage)?;
                     }
                 }
+                Item::JitCall { entry } => {
+                    let program = self.cf.jit.as_ref().expect("JitCall without program");
+                    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+                    {
+                        let slots: Vec<*mut u8> =
+                            storage.iter_mut().map(|a| a.base_ptr_mut()).collect();
+                        let f = program.entry_fn(*entry);
+                        // Safety: the backend only compiles nests whose
+                        // every memory access was statically proven
+                        // in-bounds (no Bound/StoreChecked instructions),
+                        // register indices are < n_iregs/n_fregs by
+                        // construction, and the storage base pointers
+                        // stay valid for the whole call (the VM never
+                        // resizes storage mid-execution).
+                        unsafe {
+                            f(self.iregs.as_mut_ptr(), self.fregs.as_mut_ptr(), slots.as_ptr())
+                        };
+                    }
+                    #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+                    {
+                        // Non-native targets use NoopBackend, which never
+                        // produces JitCall items.
+                        let _ = (entry, program);
+                        unreachable!("JitCall on a target without native codegen");
+                    }
+                }
             }
         }
         Ok(())

@@ -7,8 +7,11 @@
 //! engine-level failures (failed builds, numeric divergence against the
 //! oracle, runtime crashes) at the current rung the session demotes one
 //! rung and keeps tuning. For real CPU execution the ladder is:
-//! optimized VM → scalar VM → reference interpreter (the oracle, which
-//! has no compile pipeline left to fail).
+//! native JIT → optimized VM → scalar VM → reference interpreter (the
+//! oracle, which has no compile pipeline left to fail). The JIT rung
+//! already falls back *per function* to the optimized VM when the
+//! backend declines a kernel; ladder demotion is the coarser response
+//! to an engine that keeps failing outright.
 //!
 //! Demotion interacts with crash recovery through the journal's
 //! `pipeline` stamps: each record carries the fingerprint of the rung
@@ -28,12 +31,12 @@ use polybench::molds::mold_for;
 use std::sync::Arc;
 use tvm_autotune::{MemoCache, MoldEvaluator};
 use tvm_runtime::CpuDevice;
-use ytopt_bo::problem::{CacheStats, StaticCheckStats};
+use ytopt_bo::problem::{CacheStats, JitStats, StaticCheckStats};
 
 /// One engine level: a display name plus the (harnessed) evaluator.
 pub struct Rung {
-    /// Display name (`"optimized-vm"`, `"scalar-vm"`, `"interpreter"`,
-    /// `"sim-a100"`).
+    /// Display name (`"jit"`, `"optimized-vm"`, `"scalar-vm"`,
+    /// `"interpreter"`, `"sim-a100"`).
     pub name: String,
     /// The evaluator measuring on this engine.
     pub evaluator: Box<dyn Evaluator + Send + Sync>,
@@ -109,6 +112,14 @@ impl EngineLadder {
         self.rungs[self.level].evaluator.static_check_stats()
     }
 
+    /// The JIT rung's native-codegen counters, regardless of the rung the
+    /// ladder is currently on (`None` when no rung runs a JIT device) —
+    /// after a demotion the compile work done *before* stepping down is
+    /// still part of the session's story.
+    pub fn jit_stats(&self) -> Option<JitStats> {
+        self.rungs.iter().find_map(|r| r.evaluator.jit_stats())
+    }
+
     /// Feed one trial's outcome (live or replayed) into the demotion
     /// state machine. Returns `true` when this observation demoted the
     /// ladder. Success resets the streak; engine-failure kinds extend
@@ -182,6 +193,13 @@ pub fn build_ladder(
             ),
         }],
         EngineKind::Real => vec![
+            Rung {
+                name: "jit".into(),
+                evaluator: wrap(
+                    MoldEvaluator::real(mold_for(kernel, size), CpuDevice::jit())
+                        .with_cache(Arc::clone(cache)),
+                ),
+            },
             Rung {
                 name: "optimized-vm".into(),
                 evaluator: wrap(
@@ -307,17 +325,18 @@ mod tests {
     }
 
     #[test]
-    fn real_ladder_has_three_distinct_rungs() {
+    fn real_ladder_has_four_distinct_rungs() {
         let cache = Arc::new(MemoCache::new());
         let mut spec = JobSpec::new("t", "lu", "mini");
         spec.engine = EngineKind::Real;
         let l = build_ladder(&spec, &cache, HarnessOptions::default(), 3).expect("ladder");
         assert_eq!(l.level(), 0);
+        assert_eq!(l.rung_name(), "jit", "native codegen tops the ladder");
         let mut fps = Vec::new();
         let mut l = l;
         loop {
             fps.push(l.fingerprint());
-            if l.level() + 1 >= 3 {
+            if l.level() + 1 >= 4 {
                 break;
             }
             // Force a demotion.
@@ -325,12 +344,12 @@ mod tests {
                 l.observe(Some("build_failed"));
             }
         }
-        assert_eq!(fps.len(), 3);
+        assert_eq!(fps.len(), 4);
         assert!(
-            fps.iter().collect::<std::collections::HashSet<_>>().len() == 3,
+            fps.iter().collect::<std::collections::HashSet<_>>().len() == 4,
             "each rung has a distinct fingerprint: {fps:?}"
         );
-        assert_eq!(fps[2], Some("interp/v1".into()), "oracle at the bottom");
+        assert_eq!(fps[3], Some("interp/v1".into()), "oracle at the bottom");
     }
 
     #[test]

@@ -44,7 +44,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use tvm_autotune::MemoCache;
 use ytopt_bo::journal::{RotationPolicy, TrialJournal};
-use ytopt_bo::problem::CacheStats;
+use ytopt_bo::problem::{CacheStats, JitStats};
 
 /// Sentinel id that makes a worker panic *outside* the job runner's
 /// panic guard — a test hook proving the supervisor respawns workers.
@@ -155,6 +155,10 @@ pub struct ServiceStatus {
     /// Aggregate lowering/compilation memo-cache counters (shared across
     /// every evaluator and session in the process).
     pub cache: CacheStats,
+    /// Aggregate native-codegen compile counters over every terminal
+    /// session report (JIT rungs only; all-zero when no real-engine job
+    /// has finished).
+    pub jit: JitStats,
     /// Per-kernel breaker states.
     pub breakers: Vec<BreakerStatus>,
     /// Workers respawned by the supervisor after a crash.
@@ -397,6 +401,17 @@ impl TuningService {
     pub fn status(&self) -> ServiceStatus {
         let jobs = self.inner.jobs.lock();
         let count = |s: JobState| jobs.values().filter(|e| e.state == s).count();
+        let mut jit = JitStats::default();
+        for entry in jobs.values() {
+            if let Some(s) = entry
+                .outcome
+                .as_ref()
+                .and_then(|o| o.report.as_ref())
+                .and_then(|r| r.jit.as_ref())
+            {
+                jit.merge(s);
+            }
+        }
         ServiceStatus {
             queued: count(JobState::Queued),
             running: count(JobState::Running),
@@ -408,6 +423,7 @@ impl TuningService {
             queue_capacity: self.inner.queue.capacity(),
             queue_high_water: self.inner.queue.high_water(),
             cache: self.inner.cache.stats(),
+            jit,
             breakers: self.inner.breakers.snapshot(),
             worker_restarts: self.inner.worker_restarts.load(Ordering::Relaxed),
             workers: self.inner.cfg.workers.max(1),

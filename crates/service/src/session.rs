@@ -21,7 +21,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime};
 use ytopt_bo::fault::MeasureError;
 use ytopt_bo::journal::{divergence_error, TrialJournal, TrialRecord};
-use ytopt_bo::problem::CacheStats;
+use ytopt_bo::problem::{CacheStats, JitStats};
 
 /// Milliseconds since the UNIX epoch (deadline arithmetic survives
 /// process restarts, unlike `Instant`).
@@ -133,6 +133,10 @@ pub struct SessionReport {
     pub final_engine: String,
     /// Memo-cache counters at session end (aggregate when shared).
     pub cache: Option<CacheStats>,
+    /// Native-codegen compile counters of the JIT rung at session end
+    /// (`None` for ladders without one). Survives demotion: the compile
+    /// work done before stepping down is still reported.
+    pub jit: Option<JitStats>,
 }
 
 impl SessionReport {
@@ -330,6 +334,7 @@ pub fn run_session(
         demotions: ladder.demotions(),
         final_engine: ladder.rung_name().to_string(),
         cache: ladder.cache_stats(),
+        jit: ladder.jit_stats(),
         trials,
     })
 }

@@ -247,6 +247,126 @@ fn chaos_sessions_survive_kills_with_identical_results() {
 }
 
 #[test]
+fn jit_rung_demotion_is_replay_identical() {
+    with_watchdog(Duration::from_secs(120), || {
+        let dir = std::env::temp_dir()
+            .join("tvm-service-chaos")
+            .join("jit-demote");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+
+        // A real-engine session that starts on the native JIT rung, with
+        // injected infra failures so total that every trial reports a
+        // failed build: after `demote_after` consecutive engine failures
+        // the ladder must step down to the optimized VM, and the journal
+        // must record which rung measured what.
+        let mut spec = JobSpec::new("tenant-jit", "gemm", "mini");
+        spec.tuner = TunerKind::Random;
+        spec.seed = 7;
+        spec.max_evals = 5;
+        spec.batch = 1;
+        spec.engine = EngineKind::Real;
+        let mut plan = FaultPlan::none(4242);
+        plan.build_failed = 1.0;
+        spec.fault = Some(plan);
+
+        let opts = SessionOptions {
+            max_evals: spec.max_evals,
+            batch: spec.batch,
+            deadline_unix_ms: None,
+        };
+        let identity = |trials: &[tvm_service::session::SessionTrial]| -> Identity {
+            trials
+                .iter()
+                .map(|t| {
+                    (
+                        t.config.key(),
+                        t.runtime_s.map(|r| format!("{r:.12e}")),
+                        t.error.as_ref().map(|e| e.kind().to_string()),
+                    )
+                })
+                .collect()
+        };
+
+        let cache = std::sync::Arc::new(MemoCache::new());
+        let mut ladder =
+            build_ladder(&spec, &cache, HarnessOptions::default(), 3).expect("ladder");
+        assert_eq!(ladder.rung_name(), "jit", "real sessions start on native codegen");
+        let mut tuner = spec.tuner.build(ladder.space().clone(), spec.seed);
+        let path = dir.join("session.jsonl");
+        let mut journal = TrialJournal::create(&path).expect("journal");
+        let live = run_session(
+            tuner.as_mut(),
+            &mut ladder,
+            &mut journal,
+            Vec::new(),
+            opts,
+            &SessionCtl::new(),
+        )
+        .expect("live session");
+        drop(journal);
+
+        assert_eq!(live.demotions, 1, "three build failures demote exactly once");
+        assert_eq!(live.final_engine, "optimized-vm");
+        let engines: Vec<&str> = live.trials.iter().map(|t| t.engine.as_str()).collect();
+        assert_eq!(
+            engines,
+            ["jit", "jit", "jit", "optimized-vm", "optimized-vm"],
+            "demotion lands after the third engine failure"
+        );
+
+        // The journal stamps each record with the fingerprint of the rung
+        // that measured it — the JIT rung's stamp is distinct from the
+        // optimized VM's, so replay can prove no engines were mixed up.
+        let (journal2, replay) = TrialJournal::open_resume(&path).expect("reopen journal");
+        assert_eq!(replay.len(), spec.max_evals);
+        assert!(
+            replay[..3]
+                .iter()
+                .all(|r| r.pipeline.as_deref() == Some("vm/v2+tir-opt/v1+jit/v1")),
+            "pre-demotion records carry the JIT fingerprint: {:?}",
+            replay.iter().map(|r| r.pipeline.clone()).collect::<Vec<_>>()
+        );
+        assert!(
+            replay[3..]
+                .iter()
+                .all(|r| r.pipeline.as_deref() == Some("vm/v2+tir-opt/v1")),
+            "post-demotion records carry the optimized-VM fingerprint"
+        );
+
+        // Replay through a fresh ladder: `run_session` hard-errors if any
+        // stamp drifts from the reconstructed rung, and the replayed
+        // trial records must be identical to the live ones.
+        let mut journal2 = journal2;
+        let cache2 = std::sync::Arc::new(MemoCache::new());
+        let mut ladder2 =
+            build_ladder(&spec, &cache2, HarnessOptions::default(), 3).expect("replay ladder");
+        let mut tuner2 = spec.tuner.build(ladder2.space().clone(), spec.seed);
+        let replayed = run_session(
+            tuner2.as_mut(),
+            &mut ladder2,
+            &mut journal2,
+            replay,
+            opts,
+            &SessionCtl::new(),
+        )
+        .expect("replay session");
+        assert_eq!(replayed.replayed, spec.max_evals, "every trial came off the tape");
+        assert_eq!(replayed.demotions, 1);
+        assert_eq!(replayed.final_engine, "optimized-vm");
+        assert_eq!(
+            identity(&replayed.trials),
+            identity(&live.trials),
+            "replay must reproduce the demoting run exactly"
+        );
+        let replay_engines: Vec<&str> = replayed.trials.iter().map(|t| t.engine.as_str()).collect();
+        assert_eq!(replay_engines, engines, "rung attribution survives replay");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}
+
+#[test]
 fn queue_bound_holds_under_submission_flood() {
     with_watchdog(Duration::from_secs(120), || {
         let dir = std::env::temp_dir().join("tvm-service-chaos").join("flood");

@@ -12,7 +12,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use tvm_runtime::{CompiledFunc, Device, NDArray};
 use tvm_tir::PrimFunc;
-use ytopt_bo::problem::{CacheStats, Evaluation, Problem, StaticCheckStats};
+use ytopt_bo::problem::{CacheStats, Evaluation, JitStats, Problem, StaticCheckStats};
 
 /// Modeled host↔device transfer bandwidth (PCIe 4.0 ×16), bytes/s.
 const TRANSFER_BW: f64 = 16e9;
@@ -209,6 +209,20 @@ impl MoldEvaluator {
         }
     }
 
+    /// Snapshot of the device's native-codegen counters, when the device
+    /// runs a JIT rung (`None` for every other engine). Converted from
+    /// the runtime's counter type into the serializable mirror the
+    /// tuning/service layers report.
+    pub fn jit_stats(&self) -> Option<JitStats> {
+        self.device.jit_stats().map(|s| JitStats {
+            functions_jitted: s.functions_jitted,
+            nests_compiled: s.nests_compiled,
+            bytes_emitted: s.bytes_emitted,
+            fallbacks: s.fallbacks,
+            fallback_reasons: s.fallback_reasons,
+        })
+    }
+
     /// Memo key: hash of (kernel, problem size, configuration, and the
     /// device's compile-pipeline fingerprint). Including the fingerprint
     /// means a pipeline change can never replay a stale cached build.
@@ -335,6 +349,10 @@ impl Evaluator for MoldEvaluator {
     fn pipeline_fingerprint(&self) -> Option<String> {
         self.device.fingerprint()
     }
+
+    fn jit_stats(&self) -> Option<JitStats> {
+        MoldEvaluator::jit_stats(self)
+    }
 }
 
 impl Problem for MoldEvaluator {
@@ -365,6 +383,10 @@ impl Problem for MoldEvaluator {
 
     fn pipeline_fingerprint(&self) -> Option<String> {
         self.device.fingerprint()
+    }
+
+    fn jit_stats(&self) -> Option<JitStats> {
+        MoldEvaluator::jit_stats(self)
     }
 }
 
@@ -414,6 +436,29 @@ mod tests {
         let r = Evaluator::evaluate(&ev, &cfg);
         assert!(r.is_ok(), "error: {:?}", r.error);
         assert!(r.runtime_s.expect("ok") > 0.0);
+    }
+
+    #[test]
+    fn jit_device_stats_surface_through_evaluator() {
+        let mold = mold_for(KernelName::Gemm, ProblemSize::Mini);
+        let ev = MoldEvaluator::real(mold, CpuDevice::jit());
+        let cfg = Evaluator::space(&ev).default_configuration();
+        let r = Evaluator::evaluate(&ev, &cfg);
+        assert!(r.is_ok(), "error: {:?}", r.error);
+        let stats = Evaluator::jit_stats(&ev).expect("jit device surfaces stats");
+        assert_eq!(stats.attempts(), 1, "one compile attempt for one config");
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        assert_eq!(
+            stats.functions_jitted, 1,
+            "gemm must jit on x86-64: {:?}",
+            stats.fallback_reasons
+        );
+        // Non-JIT devices surface nothing.
+        let plain = MoldEvaluator::real(
+            mold_for(KernelName::Gemm, ProblemSize::Mini),
+            CpuDevice::new(),
+        );
+        assert!(Evaluator::jit_stats(&plain).is_none());
     }
 
     #[test]

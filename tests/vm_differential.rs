@@ -1,11 +1,14 @@
 //! Differential testing: the compiled VMs against the interpreter oracle.
 //!
 //! Every PolyBench kernel, under randomly sampled configurations, must
-//! produce bit-identical outputs on three engines — the reference
-//! interpreter, the scalar bytecode VM, and the pass-pipeline-optimized
-//! VM (strided/vectorized loops, fused multiply-add, microkernels) — and
-//! must fail identically (same `ExecError`) on malformed argument lists
-//! (arity, shape, dtype).
+//! produce bit-identical outputs on four engines — the reference
+//! interpreter, the scalar bytecode VM, the pass-pipeline-optimized VM
+//! (strided/vectorized loops, fused multiply-add, microkernels), and the
+//! native JIT (x86-64 machine code emitted from the optimized bytecode) —
+//! and must fail identically (same `ExecError`) on malformed argument
+//! lists (arity, shape, dtype). On targets without native codegen the
+//! JIT backend declines every function and the fourth engine degenerates
+//! to the optimized VM, which keeps this suite green off x86-64.
 
 use polybench::molds::mold_for;
 use polybench::{KernelName, ProblemSize};
@@ -13,7 +16,7 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use tvm_runtime::interp::ExecError;
-use tvm_runtime::{compile, compile_optimized, interp, vm, NDArray};
+use tvm_runtime::{compile, compile_optimized, default_backend, interp, vm, NDArray};
 use tvm_te::DType;
 
 const KERNELS: [KernelName; 7] = [
@@ -26,13 +29,14 @@ const KERNELS: [KernelName; 7] = [
     KernelName::Trmm,
 ];
 
-/// Run `func` on all three engines from identical argument snapshots;
+/// Run `func` on all four engines from identical argument snapshots;
 /// the results (including any error) and every output array must match
 /// bit for bit.
 fn assert_engines_agree(func: &tvm_tir::PrimFunc, args: &[NDArray], context: &str) {
     let mut via_interp = args.to_vec();
     let mut via_vm = args.to_vec();
     let mut via_opt = args.to_vec();
+    let mut via_jit = args.to_vec();
     let r_interp = interp::execute(func, &mut via_interp);
     let cf = compile(func)
         .unwrap_or_else(|e| panic!("{context}: PolyBench kernels must compile, got {e}"));
@@ -40,6 +44,10 @@ fn assert_engines_agree(func: &tvm_tir::PrimFunc, args: &[NDArray], context: &st
     let cf_opt = compile_optimized(func)
         .unwrap_or_else(|e| panic!("{context}: optimized pipeline must compile, got {e}"));
     let r_opt = vm::execute(&cf_opt, &mut via_opt);
+    // The JIT rung mirrors the device's fallback contract: when the
+    // backend declines, the optimized bytecode runs unchanged.
+    let cf_jit = default_backend().jit_compile(&cf_opt).unwrap_or(cf_opt);
+    let r_jit = vm::execute(&cf_jit, &mut via_jit);
     assert_eq!(
         r_interp, r_vm,
         "{context}: scalar VM result/error class diverged"
@@ -48,11 +56,18 @@ fn assert_engines_agree(func: &tvm_tir::PrimFunc, args: &[NDArray], context: &st
         r_interp, r_opt,
         "{context}: optimized VM result/error class diverged"
     );
+    assert_eq!(
+        r_interp, r_jit,
+        "{context}: JIT result/error class diverged"
+    );
     for (i, (a, b)) in via_interp.iter().zip(&via_vm).enumerate() {
         assert_eq!(a, b, "{context}: arg {i} diverged on the scalar VM");
     }
     for (i, (a, b)) in via_interp.iter().zip(&via_opt).enumerate() {
         assert_eq!(a, b, "{context}: arg {i} diverged on the optimized VM");
+    }
+    for (i, (a, b)) in via_interp.iter().zip(&via_jit).enumerate() {
+        assert_eq!(a, b, "{context}: arg {i} diverged on the JIT");
     }
 }
 
@@ -104,7 +119,7 @@ fn error_classification_matches_on_malformed_args() {
 
 #[test]
 fn optimizer_transforms_polybench_hot_loops() {
-    // The three-engine differential above is only meaningful if the
+    // The four-engine differential above is only meaningful if the
     // optimized pipeline actually rewrites these kernels: the matrix
     // kernels' contiguous mul-add inner loops must be promoted to
     // strided loops or recognized as microkernels.
@@ -124,6 +139,29 @@ fn optimizer_transforms_polybench_hot_loops() {
         any_microkernel,
         "no matrix kernel dispatched to the mul-add microkernel"
     );
+}
+
+#[test]
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+fn jit_actually_compiles_polybench_hot_loops() {
+    // Non-vacuity for the fourth engine: on x86-64 the matrix kernels
+    // must reach real machine code (compiled-nest counter > 0), not
+    // silently fall back to the optimized VM.
+    let backend = default_backend();
+    for kernel in [KernelName::Gemm, KernelName::Mm3, KernelName::Mm2] {
+        let mold = mold_for(kernel, ProblemSize::Mini);
+        let func = mold.instantiate(&mold.space().default_configuration());
+        let cf = compile_optimized(&func).expect("optimized compile");
+        let jitted = backend
+            .jit_compile(&cf)
+            .unwrap_or_else(|e| panic!("{}: must jit on x86-64, got {e}", mold.name()));
+        assert!(
+            jitted.jit_nest_count() > 0,
+            "{}: JIT emitted no native loop nest",
+            mold.name()
+        );
+        assert!(jitted.jit_code_bytes() > 0);
+    }
 }
 
 #[test]
