@@ -10,7 +10,7 @@
 //! history), so a killed-and-resumed run follows the identical remaining
 //! trajectory as an uninterrupted one.
 
-use crate::measure::{CacheStats, Evaluator, JitStats, MeasureResult, StaticCheckStats};
+use crate::measure::{CacheStats, Evaluator, JitStats, MeasureResult, ParStats, StaticCheckStats};
 use crate::tuner::Tuner;
 use configspace::Configuration;
 use rayon::prelude::*;
@@ -83,6 +83,10 @@ pub struct TuningResult {
     /// it runs a JIT rung (functions jitted, bytes emitted, fallbacks
     /// with reasons).
     pub jit: Option<JitStats>,
+    /// Multicore-dispatch counters of the evaluator's device, when it
+    /// runs parallel loops on a worker pool (loops proven race-free,
+    /// dispatches, sequential fallbacks with reasons).
+    pub par: Option<ParStats>,
 }
 
 impl TuningResult {
@@ -291,6 +295,7 @@ fn tune_inner(
         cache: evaluator.cache_stats(),
         static_checks: evaluator.static_check_stats(),
         jit: evaluator.jit_stats(),
+        par: evaluator.par_stats(),
     })
 }
 
@@ -382,6 +387,7 @@ pub fn tune_parallel<E: Evaluator + Sync>(
         cache: evaluator.cache_stats(),
         static_checks: evaluator.static_check_stats(),
         jit: evaluator.jit_stats(),
+        par: evaluator.par_stats(),
     }
 }
 

@@ -251,6 +251,10 @@ impl<E: Evaluator + Send + Sync + 'static> Evaluator for HarnessedEvaluator<E> {
     fn jit_stats(&self) -> Option<ytopt_bo::problem::JitStats> {
         Evaluator::jit_stats(&*self.inner)
     }
+
+    fn par_stats(&self) -> Option<ytopt_bo::problem::ParStats> {
+        Evaluator::par_stats(&*self.inner)
+    }
 }
 
 impl<E: Problem + Send + Sync + 'static> Problem for HarnessedEvaluator<E> {
@@ -281,6 +285,10 @@ impl<E: Problem + Send + Sync + 'static> Problem for HarnessedEvaluator<E> {
 
     fn jit_stats(&self) -> Option<ytopt_bo::problem::JitStats> {
         Problem::jit_stats(&*self.inner)
+    }
+
+    fn par_stats(&self) -> Option<ytopt_bo::problem::ParStats> {
+        Problem::par_stats(&*self.inner)
     }
 }
 
@@ -543,6 +551,10 @@ impl<E: Evaluator> Evaluator for FaultInjector<E> {
     fn jit_stats(&self) -> Option<ytopt_bo::problem::JitStats> {
         Evaluator::jit_stats(&self.inner)
     }
+
+    fn par_stats(&self) -> Option<ytopt_bo::problem::ParStats> {
+        Evaluator::par_stats(&self.inner)
+    }
 }
 
 impl<E: Problem> Problem for FaultInjector<E> {
@@ -579,6 +591,10 @@ impl<E: Problem> Problem for FaultInjector<E> {
 
     fn jit_stats(&self) -> Option<ytopt_bo::problem::JitStats> {
         Problem::jit_stats(&self.inner)
+    }
+
+    fn par_stats(&self) -> Option<ytopt_bo::problem::ParStats> {
+        Problem::par_stats(&self.inner)
     }
 }
 

@@ -9,7 +9,7 @@
 use configspace::{ConfigSpace, Configuration};
 pub use ytopt_bo::fault::MeasureError;
 use ytopt_bo::problem::Evaluation;
-pub use ytopt_bo::problem::{CacheStats, JitStats, StaticCheckStats};
+pub use ytopt_bo::problem::{CacheStats, JitStats, ParStats, StaticCheckStats};
 
 /// Outcome of measuring one configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,6 +110,14 @@ pub trait Evaluator {
     /// runs a JIT rung (`None` otherwise). Snapshotted into
     /// [`crate::driver::TuningResult::jit`] at the end of a run.
     fn jit_stats(&self) -> Option<JitStats> {
+        None
+    }
+
+    /// Multicore-dispatch counters of this evaluator's device, if it
+    /// runs `Parallel` loops on a worker pool (`None` otherwise).
+    /// Snapshotted into [`crate::driver::TuningResult::par`] at the end
+    /// of a run.
+    fn par_stats(&self) -> Option<ParStats> {
         None
     }
 }

@@ -220,6 +220,13 @@ fn main() {
     );
     check_accounting(&dev, runs);
 
+    let native = cfg!(all(target_arch = "x86_64", target_os = "linux"));
+    if !native {
+        println!(
+            "note: no native JIT backend on this target — the jit ns/el and jit-x columns \
+             re-measure the optimized VM (every compile attempt declines)"
+        );
+    }
     let mut rows = Vec::new();
     println!("kernel  elements     opt ns/el     jit ns/el  nests  jit-x");
     for k in [KernelName::Gemm, KernelName::Mm3, KernelName::Mm2] {
@@ -243,6 +250,7 @@ fn main() {
 
     let json = serde_json::json!({
         "jit_engine": jit_fingerprint(),
+        "native_backend": native,
         "size": size.to_string(),
         "differential_runs": runs,
         "kernels": rows.iter().map(|r| serde_json::json!({

@@ -1,0 +1,324 @@
+//! Worker-pool scaling bench: parallel dispatch vs sequential execution.
+//!
+//! Three invariants back the CI smoke step:
+//!
+//! 1. **No divergence** — every PolyBench kernel, under its default and
+//!    randomly sampled configurations, must produce bit-identical
+//!    outputs on the optimized device at 1, 2, 4 and 7 threads and on
+//!    the reference interpreter. Any mismatch exits nonzero.
+//! 2. **No lost fallback accounting** — every runtime entry into a
+//!    `Parallel` loop must land in exactly one counter bucket
+//!    (`dispatches` or `fallbacks`, with per-reason counts summing to
+//!    the fallback total). Kernels whose schedules carry parallel
+//!    annotations (gemm, 3mm, 2mm, syrk) must show at least one entry
+//!    per device run; kernels without them (lu, cholesky, trmm) must
+//!    show none at all.
+//! 3. **Pool reuse** — after the first dispatch warms the pool,
+//!    `threads_spawned` must not move again: the steady state performs
+//!    zero thread spawns per trial.
+//!
+//! Full mode times every kernel's baseline configuration at 1/2/4/8
+//! threads (min-of-reps ns/element) and writes
+//! `results/BENCH_parallel.json`, including `host_cores` — scaling
+//! numbers are only meaningful when the host has that many cores.
+//!
+//! Usage: `bench_parallel [--smoke] [--size mini|small|medium|large]`
+
+use polybench::molds::mold_for;
+use polybench::{KernelName, ProblemSize};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use tvm_runtime::{compile_optimized, engine_fingerprint, interp, pool, vm, CpuDevice, Device, NDArray};
+
+const KERNELS: [KernelName; 7] = [
+    KernelName::Mm3,
+    KernelName::Lu,
+    KernelName::Cholesky,
+    KernelName::Gemm,
+    KernelName::Mm2,
+    KernelName::Syrk,
+    KernelName::Trmm,
+];
+
+/// Kernels whose schedules annotate an outer tile loop `Parallel`.
+fn has_parallel_annotation(kernel: KernelName) -> bool {
+    matches!(
+        kernel,
+        KernelName::Gemm | KernelName::Mm3 | KernelName::Mm2 | KernelName::Syrk
+    )
+}
+
+fn kernel_label(kernel: KernelName) -> &'static str {
+    match kernel {
+        KernelName::Gemm => "gemm",
+        KernelName::Mm3 => "3mm",
+        KernelName::Mm2 => "2mm",
+        KernelName::Lu => "lu",
+        KernelName::Cholesky => "cholesky",
+        KernelName::Syrk => "syrk",
+        KernelName::Trmm => "trmm",
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_parallel: {msg}");
+    std::process::exit(1);
+}
+
+/// Divergence + accounting phase for one kernel: run its default and
+/// sampled configurations on the optimized device at every thread
+/// count in `threads`, against the interpreter oracle from identical
+/// inputs. Returns the number of device runs.
+fn differential(
+    kernel: KernelName,
+    size: ProblemSize,
+    configs_per_kernel: usize,
+    threads: &[usize],
+    dev: &CpuDevice,
+) -> u64 {
+    let mold = mold_for(kernel, size);
+    let mut rng = SmallRng::seed_from_u64(777);
+    let mut configs = vec![mold.space().default_configuration()];
+    for _ in 1..configs_per_kernel.max(1) {
+        configs.push(mold.space().sample(&mut rng));
+    }
+    let mut runs = 0u64;
+    for config in &configs {
+        let func = mold.instantiate(config);
+        let args = mold.init_args();
+        let mut oracle: Vec<NDArray> = args.clone();
+        interp::execute(&func, &mut oracle).unwrap_or_else(|e| {
+            die(&format!(
+                "{} / {config}: interpreter oracle failed: {e:?}",
+                mold.name()
+            ))
+        });
+        for &t in threads {
+            pool::set_num_threads(t);
+            let mut via_dev: Vec<NDArray> = args.clone();
+            dev.run(&func, &mut via_dev).unwrap_or_else(|e| {
+                die(&format!(
+                    "{} / {config} @ {t} threads: device failed: {e}",
+                    mold.name()
+                ))
+            });
+            runs += 1;
+            for (i, (a, b)) in oracle.iter().zip(&via_dev).enumerate() {
+                if a != b {
+                    die(&format!(
+                        "DIVERGENCE: {} / {config} @ {t} threads: arg {i} differs \
+                         from the interpreter",
+                        mold.name()
+                    ));
+                }
+            }
+        }
+    }
+    runs
+}
+
+/// The accounting invariant for one kernel's device: parallel-loop
+/// entries partition into dispatches + fallbacks, reasons cover every
+/// fallback, and the census matches the kernel's schedule.
+fn check_accounting(kernel: KernelName, dev: &CpuDevice, runs: u64) {
+    let stats = dev
+        .par_stats()
+        .unwrap_or_else(|| die("optimized device reports no ParStats"));
+    let reason_sum: u64 = stats.fallback_reasons.iter().map(|(_, n)| n).sum();
+    if reason_sum != stats.fallbacks {
+        die(&format!(
+            "{}: lost fallback accounting: {} fallbacks but reasons sum to {reason_sum}: {:?}",
+            kernel_label(kernel),
+            stats.fallbacks,
+            stats.fallback_reasons
+        ));
+    }
+    let entries = stats.dispatches + stats.fallbacks;
+    if has_parallel_annotation(kernel) {
+        if stats.loops_proven + stats.loops_unproven < runs {
+            die(&format!(
+                "{}: {} runs prepared only {} parallel loops — census lost",
+                kernel_label(kernel),
+                runs,
+                stats.loops_proven + stats.loops_unproven
+            ));
+        }
+        if entries < runs {
+            die(&format!(
+                "{}: {} runs but only {entries} parallel-loop entries counted \
+                 ({} dispatches + {} fallbacks)",
+                kernel_label(kernel),
+                runs,
+                stats.dispatches,
+                stats.fallbacks
+            ));
+        }
+    } else if stats.loops_proven + stats.loops_unproven + entries != 0 {
+        die(&format!(
+            "{}: carries no parallel annotation but counted {:?}",
+            kernel_label(kernel),
+            stats
+        ));
+    }
+}
+
+struct ThreadPoint {
+    threads: usize,
+    best_s: f64,
+}
+
+struct KernelScaling {
+    kernel: &'static str,
+    elements: usize,
+    points: Vec<ThreadPoint>,
+}
+
+/// Time one kernel's baseline configuration at each thread count
+/// (min-of-reps; same compiled function, same inputs).
+fn time_kernel(kernel: KernelName, size: ProblemSize, reps: usize, threads: &[usize]) -> KernelScaling {
+    let mold = mold_for(kernel, size);
+    let config = mold.baseline_configuration();
+    let func = mold.instantiate(&config);
+    let args = mold.init_args();
+    let elements: usize = func
+        .params
+        .iter()
+        .map(|b| b.shape.iter().product::<usize>())
+        .sum();
+    let cf = compile_optimized(&func).expect("optimized pipeline must compile");
+    let mut points = Vec::new();
+    for &t in threads {
+        pool::set_num_threads(t);
+        let mut best_s = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let mut a = args.clone();
+            let t0 = Instant::now();
+            vm::execute(&cf, &mut a).expect("optimized vm run");
+            best_s = best_s.min(t0.elapsed().as_secs_f64());
+        }
+        points.push(ThreadPoint { threads: t, best_s });
+    }
+    KernelScaling {
+        kernel: kernel_label(kernel),
+        elements,
+        points,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let size = args
+        .iter()
+        .position(|a| a == "--size")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| ProblemSize::parse(s))
+        .unwrap_or(ProblemSize::Mini);
+    let configs_per_kernel = if smoke { 2 } else { 4 };
+    let reps = if smoke { 3 } else { 9 };
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!("engine fingerprint: {}", engine_fingerprint());
+    println!("host cores: {host_cores}");
+
+    // Phase 1+2: divergence and accounting, one device per kernel so
+    // the counters attribute cleanly. 7 threads exercises ragged chunk
+    // boundaries on typical tile counts.
+    let sweep = [1usize, 2, 4, 7];
+    let mut total_runs = 0u64;
+    for kernel in KERNELS {
+        let dev = CpuDevice::new();
+        let runs = differential(kernel, size, configs_per_kernel, &sweep, &dev);
+        check_accounting(kernel, &dev, runs);
+        total_runs += runs;
+    }
+    println!(
+        "differential: {total_runs} device runs bit-identical to the interpreter \
+         across {:?} threads",
+        sweep
+    );
+
+    // Phase 3: pool reuse. The sweep above warmed the pool; a fresh
+    // batch of dispatching trials must spawn nothing.
+    pool::set_num_threads(4);
+    let warm = {
+        let mold = mold_for(KernelName::Gemm, size);
+        let func = mold.instantiate(&mold.space().default_configuration());
+        let dev = CpuDevice::new();
+        let mut a = mold.init_args();
+        dev.run(&func, &mut a).expect("warm-up run");
+        pool::threads_spawned()
+    };
+    {
+        let mold = mold_for(KernelName::Gemm, size);
+        let func = mold.instantiate(&mold.space().default_configuration());
+        let dev = CpuDevice::new();
+        for _ in 0..10 {
+            let mut a = mold.init_args();
+            dev.run(&func, &mut a).expect("steady-state run");
+        }
+    }
+    let spawned = pool::threads_spawned();
+    if spawned != warm {
+        die(&format!(
+            "pool reuse violated: {warm} threads after warm-up, {spawned} after \
+             10 steady-state trials"
+        ));
+    }
+    println!("pool reuse: {spawned} threads spawned total, zero per steady-state trial");
+
+    if smoke {
+        println!("smoke mode: all invariants hold");
+        return;
+    }
+
+    // Timing phase: scaling per kernel at 1/2/4/8 threads. On a host
+    // with fewer cores the high-thread points measure chunking overhead,
+    // not speedup — `host_cores` rides in the JSON so readers can tell.
+    let scale_threads = [1usize, 2, 4, 8];
+    let mut rows = Vec::new();
+    println!("kernel  elements   threads        ns/el  speedup-vs-1");
+    for kernel in KERNELS {
+        let row = time_kernel(kernel, size, reps, &scale_threads);
+        let base = row.points[0].best_s;
+        for p in &row.points {
+            println!(
+                "{:<7} {:>8}  {:>7}  {:>12.1}  {:>11.2}x",
+                row.kernel,
+                row.elements,
+                p.threads,
+                p.best_s * 1e9 / row.elements as f64,
+                base / p.best_s
+            );
+        }
+        rows.push(row);
+    }
+
+    let json = serde_json::json!({
+        "engine": engine_fingerprint(),
+        "size": size.to_string(),
+        "host_cores": host_cores,
+        "differential_runs": total_runs,
+        "kernels": rows.iter().map(|r| {
+            let base = r.points[0].best_s;
+            serde_json::json!({
+                "kernel": r.kernel,
+                "elements": r.elements,
+                "threads": r.points.iter().map(|p| serde_json::json!({
+                    "threads": p.threads,
+                    "best_s": p.best_s,
+                    "ns_per_element": p.best_s * 1e9 / r.elements as f64,
+                    "speedup_vs_1": base / p.best_s,
+                })).collect::<Vec<_>>(),
+            })
+        }).collect::<Vec<_>>(),
+    });
+    std::fs::create_dir_all("results").expect("mkdir results");
+    std::fs::write(
+        "results/BENCH_parallel.json",
+        serde_json::to_string_pretty(&json).expect("serialize"),
+    )
+    .expect("write results/BENCH_parallel.json");
+    println!("wrote results/BENCH_parallel.json");
+}

@@ -226,6 +226,13 @@ fn main() {
         engine_fingerprint(),
         jit_fingerprint()
     );
+    let native = cfg!(all(target_arch = "x86_64", target_os = "linux"));
+    if !native {
+        println!(
+            "note: no native JIT backend on this target — the jit ns/el and jit-x columns \
+             re-measure the optimized VM (every compile attempt declines)"
+        );
+    }
     let kernels = [KernelName::Gemm, KernelName::Mm3, KernelName::Mm2];
     let mut rows = Vec::new();
     println!(
@@ -268,6 +275,7 @@ fn main() {
     let json = serde_json::json!({
         "engine": engine_fingerprint(),
         "jit_engine": jit_fingerprint(),
+        "native_backend": native,
         "size": size.to_string(),
         "kernels": rows.iter().map(|r| serde_json::json!({
             "kernel": r.kernel,
@@ -288,7 +296,7 @@ fn main() {
             "speedup": r.speedup(),
             "jit_speedup": r.jit_speedup(),
         })).collect::<Vec<_>>(),
-        "end_to_end": {
+        "end_to_end": serde_json::json!({
             "kernel": "gemm",
             "size": "mini",
             "max_evals": max_evals,
@@ -297,7 +305,7 @@ fn main() {
             "throughput_x": opt_tps / scalar_tps,
             "cache_hits": hits,
             "cache_misses": misses,
-        },
+        }),
     });
     std::fs::create_dir_all("results").expect("mkdir results");
     std::fs::write(

@@ -11,7 +11,7 @@
 use crate::database::{DbRecord, PerformanceDatabase};
 use crate::fault::{panic_message, MeasureError};
 use crate::journal::{divergence_error, pipeline_mismatch_error, TrialJournal, TrialRecord};
-use crate::problem::{CacheStats, Evaluation, JitStats, Problem, StaticCheckStats};
+use crate::problem::{CacheStats, Evaluation, JitStats, ParStats, Problem, StaticCheckStats};
 use crate::search::{BayesianOptimizer, SearchConfig};
 use configspace::Configuration;
 use rayon::prelude::*;
@@ -77,6 +77,9 @@ pub struct BoResult {
     /// Native-codegen compile counters of the problem's measurement
     /// device, when it runs a JIT rung.
     pub jit: Option<JitStats>,
+    /// Multicore-dispatch counters of the problem's measurement device,
+    /// when it runs parallel loops on a worker pool.
+    pub par: Option<ParStats>,
 }
 
 impl BoResult {
@@ -269,6 +272,7 @@ fn run_inner(
         cache: problem.cache_stats(),
         static_checks: problem.static_check_stats(),
         jit: problem.jit_stats(),
+        par: problem.par_stats(),
     })
 }
 
@@ -357,6 +361,7 @@ pub fn run_parallel<P: Problem + Sync>(problem: &P, opts: BoOptions, batch: usiz
         cache: problem.cache_stats(),
         static_checks: problem.static_check_stats(),
         jit: problem.jit_stats(),
+        par: problem.par_stats(),
     }
 }
 

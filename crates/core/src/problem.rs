@@ -151,6 +151,63 @@ impl JitStats {
     }
 }
 
+/// Multicore-dispatch counters of an evaluator-side parallel execution
+/// layer. Mirrors the runtime's worker-pool accounting in a
+/// serializable form: how many parallel loops carried a race-freedom
+/// proof, how often proven loops actually dispatched on the pool, and
+/// why the remainder ran sequentially.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParStats {
+    /// Parallel loops carrying a race-freedom proof across all prepared
+    /// functions.
+    pub loops_proven: u64,
+    /// Parallel loops without a proof (always run sequentially).
+    pub loops_unproven: u64,
+    /// Worker-pool dispatches of proven loops at execution time.
+    pub dispatches: u64,
+    /// Sequential executions a parallel loop fell back to.
+    pub fallbacks: u64,
+    /// Fallback reasons with occurrence counts, sorted by reason.
+    pub fallback_reasons: Vec<(String, u64)>,
+    /// Thread budget the pool is configured for.
+    pub pool_threads: u64,
+    /// Threads the process-wide pool has ever spawned (monotonic; pool
+    /// reuse means steady-state trials do not move it).
+    pub threads_spawned: u64,
+}
+
+impl ParStats {
+    /// Fraction of runtime parallel-loop entries that dispatched on the
+    /// pool (0 when no parallel loop ever executed).
+    pub fn dispatch_rate(&self) -> f64 {
+        let entries = self.dispatches + self.fallbacks;
+        if entries == 0 {
+            0.0
+        } else {
+            self.dispatches as f64 / entries as f64
+        }
+    }
+
+    /// Fold `other` into `self` (counter-wise sums; reasons merged by
+    /// name and kept sorted; pool facts are process-global, so take the
+    /// max).
+    pub fn merge(&mut self, other: &ParStats) {
+        self.loops_proven += other.loops_proven;
+        self.loops_unproven += other.loops_unproven;
+        self.dispatches += other.dispatches;
+        self.fallbacks += other.fallbacks;
+        for (reason, n) in &other.fallback_reasons {
+            match self.fallback_reasons.iter_mut().find(|(r, _)| r == reason) {
+                Some((_, count)) => *count += n,
+                None => self.fallback_reasons.push((reason.clone(), *n)),
+            }
+        }
+        self.fallback_reasons.sort();
+        self.pool_threads = self.pool_threads.max(other.pool_threads);
+        self.threads_spawned = self.threads_spawned.max(other.threads_spawned);
+    }
+}
+
 /// A tuning problem: the parameter space plus the user-defined evaluation
 /// interface (the paper's "code mold + interface" pair).
 pub trait Problem {
@@ -192,6 +249,13 @@ pub trait Problem {
     /// device, if it runs a JIT rung (`None` otherwise). Snapshotted
     /// alongside [`Problem::cache_stats`] at the end of a run.
     fn jit_stats(&self) -> Option<JitStats> {
+        None
+    }
+
+    /// Multicore-dispatch counters of this problem's measurement device,
+    /// if it runs parallel loops on a worker pool (`None` otherwise).
+    /// Snapshotted alongside [`Problem::jit_stats`] at the end of a run.
+    fn par_stats(&self) -> Option<ParStats> {
         None
     }
 }

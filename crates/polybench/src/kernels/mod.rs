@@ -18,5 +18,9 @@ pub(crate) fn tile_matmul_stage(s: &mut Schedule, t: &Tensor, k: &IterVar, ty: i
     let (y, x) = (t.axis(0), t.axis(1));
     let (yo, yi) = s.split(t, &y, ty);
     let (xo, xi) = s.split(t, &x, tx);
-    s.reorder(t, &[yo, xo, k.clone(), yi, xi]);
+    s.reorder(t, &[yo.clone(), xo, k.clone(), yi, xi]);
+    // Distinct yo tiles write disjoint output rows, so the outer tile
+    // loop is parallel; the dependence analyzer re-proves race freedom
+    // per configuration before the VM dispatches it to the worker pool.
+    s.parallel(t, &yo);
 }

@@ -18,7 +18,7 @@ use configspace::{ConfigSpace, Configuration};
 use tvm_runtime::NDArray;
 use tvm_te::ops::cmp;
 use tvm_te::{placeholder, DType, PrimExpr};
-use tvm_tir::builder::{seq, ser, store, when, FuncBuilder};
+use tvm_tir::builder::{par, seq, ser, store, when, FuncBuilder};
 use tvm_tir::PrimFunc;
 
 /// Element type (`DATA_TYPE double`).
@@ -46,7 +46,10 @@ pub fn build_syrk(m: usize, n: usize, ty: i64, tx: i64) -> PrimFunc {
     let tiles_y = n_i.div_euclid(ty) + i64::from(n_i % ty != 0);
     let tiles_x = n_i.div_euclid(tx) + i64::from(n_i % tx != 0);
 
-    let body = ser("io", tiles_y, |io| {
+    // Row tiles write disjoint C rows (i = io·ty + ii never leaves its
+    // tile), so the outer tile loop is parallel; the dependence analyzer
+    // re-proves this per configuration before any pool dispatch.
+    let body = par("io", tiles_y, |io| {
         let (a, c, cb) = (a.clone(), c.clone(), cb.clone());
         ser("jo", tiles_x, move |jo| {
             let (a, c, cb) = (a.clone(), c.clone(), cb.clone());

@@ -15,7 +15,7 @@
 //! sealed read+execute before any pointer escapes).
 //!
 //! Fingerprints: a JIT-mode device reports
-//! [`jit_fingerprint`] = `vm/v2+tir-opt/v1+jit/v1`, distinct from the
+//! [`jit_fingerprint`] = `vm/v2+tir-opt/v1+par/v1+jit/v1`, distinct from the
 //! optimized VM's [`crate::optimize::engine_fingerprint`] so the
 //! service's engine ladder can attribute trial records to the exact
 //! engine that produced them.

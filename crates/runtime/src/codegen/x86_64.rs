@@ -37,7 +37,7 @@
 
 use super::exec_mem::ExecBuf;
 use super::{CodegenBackend, JitProgram};
-use crate::compile::{Block, CompileError, CompiledFunc, Instr, Item, Reg, SlotAccess};
+use crate::compile::{Block, CompileError, CompiledFunc, Instr, Item, LoopKind, Reg, SlotAccess};
 use std::sync::Arc;
 use tvm_te::{BinOp, DType, Intrinsic};
 
@@ -628,7 +628,19 @@ fn rewrite_block(
         .iter()
         .map(|item| match item {
             Item::Loop { .. } | Item::StridedLoop { .. } | Item::MulAddLoop { .. } => {
-                match check_item(item, dts) {
+                // A nest holding a proven-parallel loop stays in
+                // bytecode: jitting it whole would run the loop
+                // sequentially inside the nest and silently lose pool
+                // dispatch. Recursing below still compiles the serial
+                // nests *inside* the parallel body — jitted entries are
+                // sealed-RX and take their register files as arguments,
+                // so worker-thread chunk VMs call them reentrantly.
+                let verdict = if contains_proven_parallel(item) {
+                    Err("parallel loop kept in bytecode for pool dispatch".to_string())
+                } else {
+                    check_item(item, dts)
+                };
+                match verdict {
                     Ok(()) => {
                         let entry = asm.here();
                         let mut nc = NestCompiler { asm, dts, opts };
@@ -673,6 +685,29 @@ fn rewrite_block(
         })
         .collect();
     Block { items }
+}
+
+/// Does this item contain (or is it) a `Parallel` loop the analyzer
+/// proved race-free with enough iterations to split? Such loops must
+/// remain bytecode `Item::Loop`s so the VM can dispatch them to the
+/// worker pool. `StridedLoop`/`MulAddLoop` never qualify: the block
+/// optimizer refuses to convert dispatchable parallel loops.
+fn contains_proven_parallel(item: &Item) -> bool {
+    match item {
+        Item::Loop {
+            extent, body, kind, ..
+        } => {
+            (matches!(kind, LoopKind::Parallel { proven: true }) && *extent >= 2)
+                || body.items.iter().any(contains_proven_parallel)
+        }
+        Item::If { then, else_, .. } => {
+            then.items.iter().any(contains_proven_parallel)
+                || else_
+                    .as_ref()
+                    .is_some_and(|e| e.items.iter().any(contains_proven_parallel))
+        }
+        _ => false,
+    }
 }
 
 /// Offset of register `r` inside its (8-byte-element) register file.

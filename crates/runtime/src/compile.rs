@@ -134,9 +134,20 @@ pub(crate) enum Instr {
 pub(crate) enum LoopKind {
     /// Ordinary sequential loop.
     Serial,
-    /// Schedule-declared parallel loop (executed sequentially by this VM,
-    /// but the optimizer must not reorder observable effects across it).
-    Parallel,
+    /// Schedule-declared parallel loop. When `proven` is set the
+    /// analyzer's race-freedom proof
+    /// ([`tvm_tir::analyze::deps::race_free_parallel_vars`]) covers this
+    /// loop, and the VM may chunk its iteration range across the
+    /// persistent worker pool ([`crate::pool`]) — results stay
+    /// bit-identical to sequential order because no element is touched
+    /// by two distinct iterations with a write involved. Unproven
+    /// parallel loops execute sequentially (with a counted fallback
+    /// reason), and the optimizer must not reorder observable effects
+    /// across either form.
+    Parallel {
+        /// Race-freedom proof carried from the analyzer.
+        proven: bool,
+    },
     /// Schedule-declared vectorized loop: the optimizer may use chunked
     /// slice kernels for stride-1 bodies.
     Vectorized,
@@ -272,6 +283,11 @@ pub struct CompiledFunc {
     /// codegen backend compiled any loop nests (`None` on the plain
     /// interpreter/VM paths).
     pub(crate) jit: Option<std::sync::Arc<crate::codegen::JitProgram>>,
+    /// Parallel-execution counters shared with the owning device
+    /// ([`crate::pool::ParCounters`]); the VM records dispatches and
+    /// sequential fallbacks here at execution time. `None` on paths
+    /// that never parallelize (plain `compile`, the scalar rung).
+    pub(crate) par: Option<std::sync::Arc<crate::pool::ParCounters>>,
 }
 
 impl CompiledFunc {
@@ -401,6 +417,42 @@ impl CompiledFunc {
     pub fn jit_code_bytes(&self) -> usize {
         self.jit.as_ref().map_or(0, |p| p.code_bytes())
     }
+
+    /// `(proven, unproven)` schedule-parallel loop counts. Proven loops
+    /// carry the analyzer's race-freedom certificate and are eligible
+    /// for worker-pool dispatch; unproven ones always run sequentially.
+    /// Loops the optimizer rewrote to strided/microkernel form are
+    /// included (they execute sequentially regardless of proof).
+    pub fn parallel_loop_counts(&self) -> (usize, usize) {
+        fn count(b: &Block, acc: &mut (usize, usize)) {
+            for it in &b.items {
+                match it {
+                    Item::Code(_) | Item::MulAddLoop { .. } | Item::JitCall { .. } => {}
+                    Item::Loop { body, kind, .. } => {
+                        tally(kind, acc);
+                        count(body, acc);
+                    }
+                    Item::If { then, else_, .. } => {
+                        count(then, acc);
+                        if let Some(e) = else_ {
+                            count(e, acc);
+                        }
+                    }
+                    Item::StridedLoop { kind, .. } => tally(kind, acc),
+                }
+            }
+        }
+        fn tally(kind: &LoopKind, acc: &mut (usize, usize)) {
+            match kind {
+                LoopKind::Parallel { proven: true } => acc.0 += 1,
+                LoopKind::Parallel { proven: false } => acc.1 += 1,
+                _ => {}
+            }
+        }
+        let mut acc = (0, 0);
+        count(&self.body, &mut acc);
+        acc
+    }
 }
 
 /// Register class, mirroring the interpreter's dynamic `Value` class.
@@ -446,6 +498,9 @@ struct Compiler {
     fconsts: HashMap<u64, Reg>,
     /// Loop variable id -> register.
     env: HashMap<u64, Reg>,
+    /// Loop-variable ids the analyzer proved race-free (parallel loops
+    /// only; empty on the plain `compile` path).
+    par_proven: std::collections::HashSet<u64>,
     /// Buffer id / TE op id -> storage slot.
     buf_slot: HashMap<u64, u16>,
     op_slot: HashMap<u64, u16>,
@@ -896,7 +951,9 @@ impl Compiler {
                     extent: *extent,
                     body: Block { items: blk.items },
                     kind: match kind {
-                        tvm_tir::ForKind::Parallel => LoopKind::Parallel,
+                        tvm_tir::ForKind::Parallel => LoopKind::Parallel {
+                            proven: self.par_proven.contains(&var.id),
+                        },
                         tvm_tir::ForKind::Vectorized => LoopKind::Vectorized,
                         _ => LoopKind::Serial,
                     },
@@ -1065,7 +1122,24 @@ fn interval_of(
 
 /// Compile `func` to a register program, or explain why it must run on the
 /// interpreter instead.
+///
+/// Every schedule-parallel loop is marked *unproven* (it executes
+/// sequentially): this entry backs the scalar rung, whose `vm/v2`
+/// fingerprint promises sequential semantics. The optimized pipeline
+/// threads race-freedom proofs through [`compile_with_par_proofs`].
 pub fn compile(func: &PrimFunc) -> Result<CompiledFunc, CompileError> {
+    compile_with_par_proofs(func, &std::collections::HashSet::new())
+}
+
+/// [`compile`], with the analyzer's race-freedom proof set
+/// ([`tvm_tir::analyze::deps::race_free_parallel_vars`]) threaded into
+/// the loop metadata: a `ForKind::Parallel` loop whose variable id is in
+/// `par_proven` compiles to `LoopKind::Parallel { proven: true }` and
+/// becomes eligible for worker-pool dispatch.
+pub(crate) fn compile_with_par_proofs(
+    func: &PrimFunc,
+    par_proven: &std::collections::HashSet<u64>,
+) -> Result<CompiledFunc, CompileError> {
     let n_slots = func.params.len() + func.allocs.len();
     if n_slots > u16::MAX as usize {
         return reject("too many buffers");
@@ -1092,6 +1166,7 @@ pub fn compile(func: &PrimFunc) -> Result<CompiledFunc, CompileError> {
         iconsts: HashMap::new(),
         fconsts: HashMap::new(),
         env: HashMap::new(),
+        par_proven: par_proven.clone(),
         buf_slot,
         op_slot,
         slot_names,
@@ -1124,6 +1199,7 @@ pub fn compile(func: &PrimFunc) -> Result<CompiledFunc, CompileError> {
         n_fregs: c.fdef.len(),
         body: Block { items: root.items },
         jit: None,
+        par: None,
     })
 }
 

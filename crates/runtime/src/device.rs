@@ -4,6 +4,7 @@ use crate::codegen::{default_backend, CodegenBackend, JitCounters, JitStats};
 use crate::compile::{compile, CompiledFunc};
 use crate::interp::ExecError;
 use crate::ndarray::NDArray;
+use crate::pool::{ParCounters, ParStats};
 use crate::vm;
 use std::sync::Arc;
 use std::time::Instant;
@@ -115,6 +116,14 @@ pub trait Device: Send + Sync {
     fn jit_stats(&self) -> Option<JitStats> {
         None
     }
+
+    /// Multicore-dispatch statistics (proven/unproven parallel loops,
+    /// pool dispatches, per-reason sequential fallbacks), or `None` when
+    /// this device never runs loops on the worker pool. Counters are
+    /// shared across clones like [`Device::jit_stats`].
+    fn par_stats(&self) -> Option<ParStats> {
+        None
+    }
 }
 
 /// Execution engine of a [`CpuDevice`].
@@ -144,10 +153,20 @@ struct JitState {
 /// Host CPU device executing kernels through the optimized compiled VM
 /// (with interpreter fallback for functions the compiler rejects), and
 /// optionally through native JIT-compiled code ([`CpuDevice::jit`]).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CpuDevice {
     mode: CpuMode,
     jit: Option<Arc<JitState>>,
+    /// Multicore-dispatch counters, shared across clones; `Some` on the
+    /// rungs that execute `Parallel` loops on the worker pool
+    /// (Optimized and Jit).
+    par: Option<Arc<ParCounters>>,
+}
+
+impl Default for CpuDevice {
+    fn default() -> CpuDevice {
+        CpuDevice::new()
+    }
 }
 
 impl CpuDevice {
@@ -156,6 +175,7 @@ impl CpuDevice {
         CpuDevice {
             mode: CpuMode::Optimized,
             jit: None,
+            par: Some(Arc::new(ParCounters::new())),
         }
     }
 
@@ -165,15 +185,19 @@ impl CpuDevice {
         CpuDevice {
             mode: CpuMode::Interp,
             jit: None,
+            par: None,
         }
     }
 
     /// CPU device pinned to the scalar (unoptimized) VM — the baseline
     /// the `bench_passes` binary compares the optimized engine against.
+    /// Runs everything sequentially: `compile` marks every parallel loop
+    /// unproven, so the scalar rung never consults the pool.
     pub fn scalar_vm() -> CpuDevice {
         CpuDevice {
             mode: CpuMode::Scalar,
             jit: None,
+            par: None,
         }
     }
 
@@ -194,7 +218,20 @@ impl CpuDevice {
                 backend,
                 counters: JitCounters::default(),
             })),
+            par: Some(Arc::new(ParCounters::new())),
         }
+    }
+
+    /// Wire the device's shared parallel counters into a compiled
+    /// function and record its static census (how many parallel loops
+    /// the analyzer proved race-free vs. left sequential).
+    fn attach_par(&self, mut cf: CompiledFunc) -> CompiledFunc {
+        if let Some(counters) = &self.par {
+            let (proven, unproven) = cf.parallel_loop_counts();
+            counters.record_prepared(proven as u64, unproven as u64);
+            cf.par = Some(Arc::clone(counters));
+        }
+        cf
     }
 
     /// Optimize + JIT-compile with fallback accounting. `None` only when
@@ -210,11 +247,11 @@ impl CpuDevice {
                     jitted.jit_nest_count() as u64,
                     jitted.jit_code_bytes() as u64,
                 );
-                Some(Arc::new(jitted))
+                Some(Arc::new(self.attach_par(jitted)))
             }
             Err(e) => {
                 state.counters.record_fallback(&e.0);
-                Some(Arc::new(cf))
+                Some(Arc::new(self.attach_par(cf)))
             }
         }
     }
@@ -233,7 +270,10 @@ impl Device for CpuDevice {
                 Ok(cf) => vm::execute(&cf, args)?,
                 Err(_) => crate::interp::execute(func, args)?,
             },
-            CpuMode::Optimized => vm::run(func, args)?,
+            CpuMode::Optimized => match crate::optimize::compile_optimized(func) {
+                Ok(cf) => vm::execute(&self.attach_par(cf), args)?,
+                Err(_) => crate::interp::execute(func, args)?,
+            },
             CpuMode::Jit => match self.jit_prepare(func) {
                 Some(cf) => vm::execute(&cf, args)?,
                 None => crate::interp::execute(func, args)?,
@@ -246,7 +286,9 @@ impl Device for CpuDevice {
         match self.mode {
             CpuMode::Interp => None,
             CpuMode::Scalar => compile(func).ok().map(Arc::new),
-            CpuMode::Optimized => crate::optimize::compile_optimized(func).ok().map(Arc::new),
+            CpuMode::Optimized => crate::optimize::compile_optimized(func)
+                .ok()
+                .map(|cf| Arc::new(self.attach_par(cf))),
             CpuMode::Jit => self.jit_prepare(func),
         }
     }
@@ -275,6 +317,10 @@ impl Device for CpuDevice {
 
     fn jit_stats(&self) -> Option<JitStats> {
         self.jit.as_ref().map(|s| s.counters.snapshot())
+    }
+
+    fn par_stats(&self) -> Option<ParStats> {
+        self.par.as_ref().map(|c| c.snapshot())
     }
 }
 
@@ -401,6 +447,40 @@ mod tests {
             "every fallback carries a reason: {:?}",
             stats.fallback_reasons
         );
+    }
+
+    #[test]
+    fn par_stats_flow_through_the_device() {
+        let _guard = crate::pool::test_threads_lock();
+        crate::pool::set_num_threads(4);
+        let n = 12;
+        let a = placeholder([n, n], DType::F32, "A");
+        let c = compute([n, n], "C", |i| a.at(&[i[0].clone(), i[1].clone()]) * 2i64);
+        let mut s = Schedule::create(&[c.clone()]);
+        let y = c.axis(0);
+        s.parallel(&c, &y);
+        let f = lower(&s, &[a, c], "par_dbl");
+        let dev = CpuDevice::new();
+        let mut args = [
+            NDArray::random(&[n, n], DType::F32, 3, -1.0, 1.0),
+            NDArray::zeros(&[n, n], DType::F32),
+        ];
+        dev.run(&f, &mut args).expect("run");
+        let stats = dev.par_stats().expect("optimized rung tracks par stats");
+        assert_eq!(stats.loops_proven, 1, "{stats:?}");
+        assert_eq!(stats.loops_unproven, 0, "{stats:?}");
+        assert_eq!(stats.dispatches, 1, "{stats:?}");
+        assert_eq!(stats.pool_threads, 4);
+        // Bit-identical to the interpreter under dispatch.
+        let mut expect = [args[0].clone(), NDArray::zeros(&[n, n], DType::F32)];
+        CpuDevice::interpreter().run(&f, &mut expect).expect("interp");
+        assert_eq!(args[1], expect[1]);
+        // Rungs that never dispatch expose no stats.
+        assert!(CpuDevice::interpreter().par_stats().is_none());
+        assert!(CpuDevice::scalar_vm().par_stats().is_none());
+        // The parallel layer is part of the replay boundary.
+        let fp = dev.fingerprint().expect("fingerprint");
+        assert!(fp.ends_with("+par/v1"), "{fp}");
     }
 
     #[test]

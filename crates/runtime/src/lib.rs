@@ -39,6 +39,7 @@ pub mod interp;
 pub mod module;
 pub mod ndarray;
 pub mod optimize;
+pub mod pool;
 pub mod vm;
 
 pub use codegen::{
@@ -50,3 +51,4 @@ pub use device::{CpuDevice, Device, DeviceError};
 pub use module::Module;
 pub use ndarray::{NDArray, TensorData};
 pub use optimize::{compile_optimized, engine_fingerprint};
+pub use pool::{ParCounters, ParStats, PAR_VERSION};

@@ -37,7 +37,8 @@
 //! unobservable.
 
 use crate::compile::{
-    compile, Block, CompileError, CompiledFunc, Instr, Item, LoopKind, Reg, SlotAccess,
+    compile_with_par_proofs, Block, CompileError, CompiledFunc, Instr, Item, LoopKind, Reg,
+    SlotAccess,
 };
 use std::collections::{HashMap, HashSet};
 use tvm_te::BinOp;
@@ -48,27 +49,38 @@ use tvm_tir::PrimFunc;
 pub(crate) const ENGINE_VERSION: &str = "vm/v2";
 
 /// Fingerprint of the full optimization pipeline an execution engine
-/// applies between TIR and measurement: the bytecode engine version
-/// plus the TIR pass-pipeline version. Memo caches and measurement
-/// journals embed this string so results produced by one pipeline are
-/// never silently replayed under another.
+/// applies between TIR and measurement: the bytecode engine version,
+/// the TIR pass-pipeline version, and the parallel-dispatch protocol
+/// version. Memo caches and measurement journals embed this string so
+/// results produced by one pipeline are never silently replayed under
+/// another.
 pub fn engine_fingerprint() -> String {
-    format!("{ENGINE_VERSION}+{}", tvm_tir::PIPELINE_VERSION)
+    format!(
+        "{ENGINE_VERSION}+{}+{}",
+        tvm_tir::PIPELINE_VERSION,
+        crate::pool::PAR_VERSION
+    )
 }
 
 /// Compile with the full optimization pipeline: TIR passes (falling
 /// back to the unoptimized function if a pass or its verification
-/// fails), bytecode compilation, then the block optimizer.
+/// fails), bytecode compilation, then the block optimizer. Parallel
+/// loops the dependence analyzer proves race-free are marked
+/// dispatchable; the proof runs on whichever function actually
+/// compiles, so pass-pipeline rewrites can't invalidate it silently.
 pub fn compile_optimized(func: &PrimFunc) -> Result<CompiledFunc, CompileError> {
+    use tvm_tir::analyze::deps::race_free_parallel_vars;
     if let Ok(opt) = tvm_tir::optimize(func) {
-        if let Ok(cf) = compile(&opt) {
+        let proofs = race_free_parallel_vars(&opt);
+        if let Ok(cf) = compile_with_par_proofs(&opt, &proofs) {
             return Ok(optimize_compiled(&cf));
         }
     }
     // The optimized IR failed to compile (e.g. a rewrite surfaced a
     // short-circuit shape the compiler rejects): keep the scalar
     // engine's exact behaviour on the original function.
-    compile(func).map(|cf| optimize_compiled(&cf))
+    let proofs = race_free_parallel_vars(func);
+    compile_with_par_proofs(func, &proofs).map(|cf| optimize_compiled(&cf))
 }
 
 /// Apply the bytecode-level transforms to an already-compiled function.
@@ -378,6 +390,13 @@ fn try_strided(
     if extent < 1 {
         return None;
     }
+    // A proven-parallel loop with work to split stays a plain `Loop` so
+    // the VM can dispatch its chunks to the worker pool; `StridedLoop`
+    // carries mutable register state across iterations and is only ever
+    // run sequentially.
+    if matches!(kind, LoopKind::Parallel { proven: true }) && extent >= 2 {
+        return None;
+    }
     let code = match body.items.as_slice() {
         [Item::Code(c)] => c,
         _ => return None,
@@ -520,6 +539,7 @@ fn try_muladd(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compile::compile;
     use crate::ndarray::NDArray;
     use crate::{interp, vm};
     use tvm_te::{compute, placeholder, reduce_axis, sum, DType, Schedule};

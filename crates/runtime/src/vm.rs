@@ -7,9 +7,10 @@
 //! message matches the interpreter's, which the differential tests in the
 //! workspace enforce across all PolyBench kernels.
 
-use crate::compile::{Block, CompiledFunc, Instr, Item, SlotAccess};
+use crate::compile::{Block, CompiledFunc, Instr, Item, LoopKind, Reg, SlotAccess};
 use crate::interp::ExecError;
 use crate::ndarray::NDArray;
+use crate::pool;
 use tvm_te::{BinOp, CmpOp, DType, Intrinsic};
 use tvm_tir::PrimFunc;
 
@@ -29,8 +30,16 @@ impl<'a> Vm<'a> {
                     min,
                     extent,
                     body,
-                    ..
+                    kind,
                 } => {
+                    if let LoopKind::Parallel { proven } = kind {
+                        if let Some(plan) =
+                            pool::begin_parallel(*proven, *extent, self.cf.par.as_deref())
+                        {
+                            self.exec_parallel(*var, *min, *extent, body, plan.n_chunks, storage)?;
+                            continue;
+                        }
+                    }
                     for it in *min..(min + extent) {
                         self.iregs[*var as usize] = it;
                         self.exec_block(body, storage)?;
@@ -105,6 +114,82 @@ impl<'a> Vm<'a> {
             }
         }
         Ok(())
+    }
+
+    /// Run a proven-race-free `Parallel` loop by splitting its iteration
+    /// range into contiguous chunks executed on the persistent worker pool.
+    ///
+    /// Bit-exactness argument:
+    /// - The analyzer proved no iteration reads or writes an element another
+    ///   iteration writes, and every access proven is affine in the loop
+    ///   variables, so each chunk's loads, stores and error checks are
+    ///   independent of whether other chunks have run.
+    /// - Each chunk executes on a *clone* of the caller's register files.
+    ///   That is sound because the compiler is single-assignment apart from
+    ///   loop variables and stride bumps, both of which are defined and
+    ///   consumed strictly inside their loop: no register written inside the
+    ///   loop body is ever read after the loop, so discarding the clones
+    ///   cannot lose state the sequential program would have kept.
+    /// - Error classification is preserved by returning the error of the
+    ///   *lowest-indexed* failing chunk: chunks are contiguous ascending
+    ///   ranges run sequentially within themselves, so that error is exactly
+    ///   the first one sequential execution would hit. Later chunks may have
+    ///   stored into the shared buffers before the error surfaces, but
+    ///   `execute` only copies storage back to the caller on success, so
+    ///   those writes are unobservable — same as sequential never reaching
+    ///   them.
+    fn exec_parallel(
+        &mut self,
+        var: Reg,
+        min: i64,
+        extent: i64,
+        body: &Block,
+        n_chunks: usize,
+        storage: &mut [NDArray],
+    ) -> Result<(), ExecError> {
+        /// Raw view of the storage slice shared across worker threads.
+        ///
+        /// Safety: the race-freedom proof guarantees chunks touch disjoint
+        /// elements (or read only elements no chunk writes), and the caller
+        /// blocks in `run_chunks` until every chunk finished, so the
+        /// pointer outlives all accesses.
+        struct SharedStorage(*mut NDArray, usize);
+        unsafe impl Sync for SharedStorage {}
+
+        let shared = SharedStorage(storage.as_mut_ptr(), storage.len());
+        // Borrow the wrapper (not its raw-pointer field): edition-2021
+        // closures capture disjoint fields, and a bare `*mut NDArray`
+        // capture would not be `Sync`.
+        let shared = &shared;
+        // First error per ascending chunk index wins (see doc comment).
+        let first_err: parking_lot::Mutex<Option<(usize, ExecError)>> =
+            parking_lot::Mutex::new(None);
+        let iregs = &self.iregs;
+        let fregs = &self.fregs;
+        let cf = self.cf;
+        pool::run_chunks(n_chunks, &|c| {
+            let (lo, hi) = pool::chunk_range(min, extent, c, n_chunks);
+            let mut vm = Vm {
+                iregs: iregs.clone(),
+                fregs: fregs.clone(),
+                cf,
+            };
+            let st = unsafe { std::slice::from_raw_parts_mut(shared.0, shared.1) };
+            for it in lo..hi {
+                vm.iregs[var as usize] = it;
+                if let Err(e) = vm.exec_block(body, st) {
+                    let mut g = first_err.lock();
+                    if g.as_ref().is_none_or(|(pc, _)| c < *pc) {
+                        *g = Some((c, e));
+                    }
+                    break;
+                }
+            }
+        });
+        match first_err.into_inner() {
+            Some((_, e)) => Err(e),
+            None => Ok(()),
+        }
     }
 
     fn exec_code(&mut self, code: &[Instr], storage: &mut [NDArray]) -> Result<(), ExecError> {
@@ -806,5 +891,100 @@ mod tests {
             err,
             ExecError::BadExpr("Reduce must be lowered before execution".into())
         );
+    }
+
+    /// Tiled matmul whose outer row-tile loop carries a `Parallel`
+    /// annotation (the shape the polybench molds emit).
+    fn parallel_matmul_func(n: usize, tile: i64) -> PrimFunc {
+        let a = placeholder([n, n], DType::F32, "A");
+        let b = placeholder([n, n], DType::F32, "B");
+        let k = reduce_axis(0, n as i64, "k");
+        let c = compute([n, n], "C", |i| {
+            sum(
+                a.at(&[i[0].clone(), k.var_expr()]) * b.at(&[k.var_expr(), i[1].clone()]),
+                &[k.clone()],
+            )
+        });
+        let mut s = Schedule::create(&[c.clone()]);
+        let (y, x) = (c.axis(0), c.axis(1));
+        let (yo, yi) = s.split(&c, &y, tile);
+        let (xo, xi) = s.split(&c, &x, tile);
+        s.reorder(&c, &[yo.clone(), xo, k.clone(), yi, xi]);
+        s.parallel(&c, &yo);
+        lower(&s, &[a, b, c], "pmm")
+    }
+
+    #[test]
+    fn proven_parallel_matmul_is_dispatched_and_bit_identical() {
+        let _guard = crate::pool::test_threads_lock();
+        let f = parallel_matmul_func(16, 4);
+        let counters = std::sync::Arc::new(crate::pool::ParCounters::new());
+        let mut cf = crate::optimize::compile_optimized(&f).expect("compile_optimized");
+        assert_eq!(
+            cf.parallel_loop_counts(),
+            (1, 0),
+            "divisible row tiling must prove race-free"
+        );
+        cf.par = Some(std::sync::Arc::clone(&counters));
+        for threads in [1usize, 2, 4, 7] {
+            crate::pool::set_num_threads(threads);
+            let args = vec![
+                NDArray::random(&[16, 16], DType::F32, 31, -1.0, 1.0),
+                NDArray::random(&[16, 16], DType::F32, 32, -1.0, 1.0),
+                NDArray::zeros(&[16, 16], DType::F32),
+            ];
+            let mut seq = args.clone();
+            let mut par = args;
+            let r1 = interp::execute(&f, &mut seq);
+            let r2 = execute(&cf, &mut par);
+            assert_eq!(r1, r2);
+            for (x, y) in seq.iter().zip(par.iter()) {
+                assert_eq!(x, y, "{threads} threads must be bit-identical");
+            }
+        }
+        let stats = counters.snapshot();
+        assert_eq!(stats.dispatches, 3, "threads 2/4/7 dispatch: {stats:?}");
+        assert!(
+            stats
+                .fallback_reasons
+                .iter()
+                .any(|(r, n)| r == "single-thread" && *n == 1),
+            "the 1-thread run must fall back with a reason: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_error_classification_matches_interp() {
+        use tvm_tir::builder::{par, store, FuncBuilder};
+        let _guard = crate::pool::test_threads_lock();
+        crate::pool::set_num_threads(4);
+        let a = placeholder([8], DType::F32, "A");
+        let b = placeholder([8], DType::F32, "B");
+        let mut fb = FuncBuilder::new("oob_par");
+        let _ab = fb.param(&a);
+        let bb = fb.param(&b);
+        // Race-free (every iteration writes a distinct element) but every
+        // write lands out of bounds: the loop dispatches in parallel and
+        // must still report the exact error sequential execution hits
+        // first (iteration 0, in chunk 0).
+        let body = par("i", 8, move |i| {
+            store(&bb, &[i.clone() + 100i64], a.at(&[i]))
+        });
+        let f = fb.build(body);
+        let cf = crate::optimize::compile_optimized(&f).expect("compile_optimized");
+        assert_eq!(cf.parallel_loop_counts(), (1, 0), "OOB is not a race");
+        let args = vec![
+            NDArray::random(&[8], DType::F32, 33, -1.0, 1.0),
+            NDArray::zeros(&[8], DType::F32),
+        ];
+        let mut seq = args.clone();
+        let mut par_args = args;
+        let r1 = interp::execute(&f, &mut seq);
+        let r2 = execute(&cf, &mut par_args);
+        assert!(r1.is_err(), "the kernel must fail");
+        assert_eq!(r1, r2, "parallel error classification must match");
+        for (x, y) in seq.iter().zip(par_args.iter()) {
+            assert_eq!(x, y, "failed runs must leave arguments untouched");
+        }
     }
 }

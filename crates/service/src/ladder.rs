@@ -31,7 +31,7 @@ use polybench::molds::mold_for;
 use std::sync::Arc;
 use tvm_autotune::{MemoCache, MoldEvaluator};
 use tvm_runtime::CpuDevice;
-use ytopt_bo::problem::{CacheStats, JitStats, StaticCheckStats};
+use ytopt_bo::problem::{CacheStats, JitStats, ParStats, StaticCheckStats};
 
 /// One engine level: a display name plus the (harnessed) evaluator.
 pub struct Rung {
@@ -118,6 +118,21 @@ impl EngineLadder {
     /// still part of the session's story.
     pub fn jit_stats(&self) -> Option<JitStats> {
         self.rungs.iter().find_map(|r| r.evaluator.jit_stats())
+    }
+
+    /// Multicore-dispatch counters merged over every rung that runs
+    /// parallel loops on the worker pool (`None` when no rung does).
+    /// Unlike [`Self::jit_stats`] this merges instead of taking the
+    /// first hit: both the JIT rung and the optimized-VM rung dispatch
+    /// to the pool, and after a demotion both have a story to tell.
+    pub fn par_stats(&self) -> Option<ParStats> {
+        let mut merged: Option<ParStats> = None;
+        for r in &self.rungs {
+            if let Some(s) = r.evaluator.par_stats() {
+                merged.get_or_insert_with(ParStats::default).merge(&s);
+            }
+        }
+        merged
     }
 
     /// Feed one trial's outcome (live or replayed) into the demotion

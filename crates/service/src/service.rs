@@ -44,7 +44,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use tvm_autotune::MemoCache;
 use ytopt_bo::journal::{RotationPolicy, TrialJournal};
-use ytopt_bo::problem::{CacheStats, JitStats};
+use ytopt_bo::problem::{CacheStats, JitStats, ParStats};
 
 /// Sentinel id that makes a worker panic *outside* the job runner's
 /// panic guard — a test hook proving the supervisor respawns workers.
@@ -159,6 +159,10 @@ pub struct ServiceStatus {
     /// session report (JIT rungs only; all-zero when no real-engine job
     /// has finished).
     pub jit: JitStats,
+    /// Aggregate multicore-dispatch counters over every terminal session
+    /// report (parallel-capable rungs only; all-zero when no real-engine
+    /// job has finished).
+    pub par: ParStats,
     /// Per-kernel breaker states.
     pub breakers: Vec<BreakerStatus>,
     /// Workers respawned by the supervisor after a crash.
@@ -402,14 +406,14 @@ impl TuningService {
         let jobs = self.inner.jobs.lock();
         let count = |s: JobState| jobs.values().filter(|e| e.state == s).count();
         let mut jit = JitStats::default();
+        let mut par = ParStats::default();
         for entry in jobs.values() {
-            if let Some(s) = entry
-                .outcome
-                .as_ref()
-                .and_then(|o| o.report.as_ref())
-                .and_then(|r| r.jit.as_ref())
-            {
+            let report = entry.outcome.as_ref().and_then(|o| o.report.as_ref());
+            if let Some(s) = report.and_then(|r| r.jit.as_ref()) {
                 jit.merge(s);
+            }
+            if let Some(s) = report.and_then(|r| r.par.as_ref()) {
+                par.merge(s);
             }
         }
         ServiceStatus {
@@ -424,6 +428,7 @@ impl TuningService {
             queue_high_water: self.inner.queue.high_water(),
             cache: self.inner.cache.stats(),
             jit,
+            par,
             breakers: self.inner.breakers.snapshot(),
             worker_restarts: self.inner.worker_restarts.load(Ordering::Relaxed),
             workers: self.inner.cfg.workers.max(1),
@@ -485,7 +490,7 @@ fn job_id_from_path(path: &Path) -> Option<u64> {
 /// Write `value` as JSON with crash-safe visibility: temp file, fsync,
 /// atomic rename. A crash at any point leaves either no file or the
 /// complete file — never a torn one under the final name.
-fn write_json_durable<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+fn write_json_durable<T: Serialize + 'static>(path: &Path, value: &T) -> std::io::Result<()> {
     let tmp = path.with_extension("json.tmp");
     {
         let mut f = std::fs::File::create(&tmp)?;

@@ -21,7 +21,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime};
 use ytopt_bo::fault::MeasureError;
 use ytopt_bo::journal::{divergence_error, TrialJournal, TrialRecord};
-use ytopt_bo::problem::{CacheStats, JitStats};
+use ytopt_bo::problem::{CacheStats, JitStats, ParStats};
 
 /// Milliseconds since the UNIX epoch (deadline arithmetic survives
 /// process restarts, unlike `Instant`).
@@ -137,6 +137,10 @@ pub struct SessionReport {
     /// (`None` for ladders without one). Survives demotion: the compile
     /// work done before stepping down is still reported.
     pub jit: Option<JitStats>,
+    /// Multicore-dispatch counters merged over the ladder's
+    /// parallel-capable rungs at session end (`None` when no rung runs
+    /// loops on the worker pool).
+    pub par: Option<ParStats>,
 }
 
 impl SessionReport {
@@ -335,6 +339,7 @@ pub fn run_session(
         final_engine: ladder.rung_name().to_string(),
         cache: ladder.cache_stats(),
         jit: ladder.jit_stats(),
+        par: ladder.par_stats(),
         trials,
     })
 }

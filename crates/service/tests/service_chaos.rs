@@ -323,14 +323,14 @@ fn jit_rung_demotion_is_replay_identical() {
         assert!(
             replay[..3]
                 .iter()
-                .all(|r| r.pipeline.as_deref() == Some("vm/v2+tir-opt/v1+jit/v1")),
+                .all(|r| r.pipeline.as_deref() == Some("vm/v2+tir-opt/v1+par/v1+jit/v1")),
             "pre-demotion records carry the JIT fingerprint: {:?}",
             replay.iter().map(|r| r.pipeline.clone()).collect::<Vec<_>>()
         );
         assert!(
             replay[3..]
                 .iter()
-                .all(|r| r.pipeline.as_deref() == Some("vm/v2+tir-opt/v1")),
+                .all(|r| r.pipeline.as_deref() == Some("vm/v2+tir-opt/v1+par/v1")),
             "post-demotion records carry the optimized-VM fingerprint"
         );
 
@@ -362,6 +362,144 @@ fn jit_rung_demotion_is_replay_identical() {
         let replay_engines: Vec<&str> = replayed.trials.iter().map(|t| t.engine.as_str()).collect();
         assert_eq!(replay_engines, engines, "rung attribution survives replay");
 
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}
+
+#[test]
+fn parallel_sessions_recover_replay_identical_with_par_fingerprint() {
+    with_watchdog(Duration::from_secs(240), || {
+        let dir = std::env::temp_dir()
+            .join("tvm-service-chaos")
+            .join("par-recovery");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+
+        // Real-engine sessions on kernels whose outer tile loops carry
+        // `Parallel` annotations, with the worker pool budget raised so
+        // proven configurations actually dispatch inside the service's
+        // worker threads (the budget is process-global; results are
+        // bit-identical at any thread count, so this cannot perturb the
+        // other chaos tests).
+        tvm_runtime::pool::set_num_threads(4);
+
+        const JOBS: usize = 8;
+        let spec_for = |i: usize| -> JobSpec {
+            let kernels = ["gemm", "3mm", "syrk", "2mm"];
+            let mut spec =
+                JobSpec::new(format!("par-tenant-{i}"), kernels[i % kernels.len()], "mini");
+            spec.tuner = TunerKind::Random;
+            spec.seed = 100 + i as u64;
+            spec.max_evals = 6;
+            spec.batch = 1;
+            spec.engine = EngineKind::Real;
+            spec
+        };
+        let specs: Vec<JobSpec> = (0..JOBS).map(spec_for).collect();
+        let ref_dir = dir.join("reference");
+        std::fs::create_dir_all(&ref_dir).expect("mkdir ref");
+        let expected: Vec<Identity> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| reference_identity(s, &ref_dir, i))
+            .collect();
+
+        // Single-file journals so the post-mortem stamp check below can
+        // read each tape directly (rotation-boundary kills are covered
+        // by the acceptance test above).
+        let cfg = || ServiceConfig {
+            workers: 2,
+            rotation: None,
+            ..chaos_cfg()
+        };
+        let svc_dir = dir.join("svc");
+        let (svc, _) = TuningService::open(&svc_dir, cfg()).expect("open service");
+        let mut ids: HashMap<usize, u64> = HashMap::new();
+        for (i, spec) in specs.iter().enumerate() {
+            ids.insert(i, svc.submit(spec.clone()).expect("admission"));
+        }
+        // Kill as soon as a couple of sessions finished: with 2 workers
+        // and 8 jobs, the rest are provably mid-flight or queued.
+        loop {
+            let s = svc.status();
+            if s.completed >= 2 || (s.queued == 0 && s.running == 0) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        svc.kill();
+        drop(svc);
+
+        let (svc, recovery) = TuningService::open(&svc_dir, cfg()).expect("reopen");
+        assert!(
+            recovery.adopted >= 1,
+            "the kill landed after every session finished; nothing was interrupted"
+        );
+        assert_eq!(
+            recovery.adopted + recovery.already_done,
+            JOBS,
+            "no session lost, none duplicated"
+        );
+
+        let (mut par_loops, mut par_entries) = (0u64, 0u64);
+        for (i, id) in &ids {
+            let outcome = svc
+                .wait(*id, Duration::from_secs(120))
+                .unwrap_or_else(|| panic!("session {i} (job {id}) never terminated"));
+            assert_eq!(
+                outcome.state,
+                JobState::Completed,
+                "session {i} ended {:?}: {:?}",
+                outcome.state,
+                outcome.message
+            );
+            assert_eq!(
+                outcome_identity(&outcome),
+                expected[*i],
+                "session {i} diverged from its uninterrupted reference"
+            );
+            // Accounting invariant: every trial that entered a kernel's
+            // parallel loop either dispatched on the pool or counted a
+            // sequential fallback — recovery must not lose the counters.
+            let par = outcome
+                .report
+                .as_ref()
+                .and_then(|r| r.par.clone())
+                .expect("parallel-capable rungs report ParStats");
+            par_loops += par.loops_proven + par.loops_unproven;
+            par_entries += par.dispatches + par.fallbacks;
+
+            // Every journal record is stamped with a `par/v1` engine
+            // fingerprint: replay after the kill re-attributed each trial
+            // to a pool-capable rung, never to a pre-pool pipeline.
+            let path = svc_dir.join("journals").join(format!("{id}.jsonl"));
+            let (_journal, records) = TrialJournal::open_resume(&path).expect("journal reopens");
+            assert_eq!(records.len(), specs[*i].max_evals, "session {i} tape length");
+            assert!(
+                records
+                    .iter()
+                    .all(|r| r.pipeline.as_deref().is_some_and(|p| p.contains("+par/v1"))),
+                "session {i} journal carries a non-par/v1 stamp: {:?}",
+                records.iter().map(|r| r.pipeline.clone()).collect::<Vec<_>>()
+            );
+        }
+        assert!(
+            par_loops >= 1,
+            "no session ever prepared a parallel loop — the sweep is vacuous"
+        );
+        assert!(
+            par_entries >= 1,
+            "no session ever entered a parallel loop at execution time"
+        );
+        // The status endpoint aggregates the recovered sessions' counters.
+        let status = svc.status();
+        assert!(
+            status.par.loops_proven + status.par.loops_unproven >= 1,
+            "service status lost the ParStats aggregate: {:?}",
+            status.par
+        );
+        svc.shutdown();
+        tvm_runtime::pool::set_num_threads(1);
         let _ = std::fs::remove_dir_all(&dir);
     });
 }

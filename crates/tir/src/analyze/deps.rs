@@ -212,6 +212,96 @@ fn analyze_loop(
     }
 }
 
+/// Variable ids of `ForKind::Parallel` loops whose dependence analysis
+/// comes back completely clean.
+///
+/// "Clean" means [`analyze_loop`] run over the loop in isolation emits
+/// no diagnostic at all — neither a certified race nor an unresolved
+/// `TIR-RACE-MAYBE`. Because the pairwise sweep covers every
+/// write-write and read-write pair (including an access against its own
+/// images in other iterations), an empty report proves that no element
+/// is touched by two distinct iterations with a write involved: each
+/// output element has a single writing iteration and no iteration reads
+/// another's writes. Executing such a loop's iterations concurrently is
+/// therefore bit-identical to sequential order.
+///
+/// Two conservative exclusions keep the proof sound:
+/// - guard conditions are not modelled by the access collector, so a
+///   body that reads a buffer inside an `if` condition is never proven;
+/// - the per-loop analysis runs with a fresh dedup set, so a diagnostic
+///   already reported for one loop cannot mask the same finding on
+///   another loop that reuses the variable name.
+///
+/// Loops with extent < 2 have no pair of distinct iterations and are
+/// trivially race-free.
+pub fn race_free_parallel_vars(func: &PrimFunc) -> HashSet<u64> {
+    let mut proven = HashSet::new();
+    prove(&func.body, &mut Vec::new(), &mut proven);
+    proven
+}
+
+fn prove(stmt: &Stmt, outer: &mut Vec<LoopCtx>, proven: &mut HashSet<u64>) {
+    match stmt {
+        Stmt::For {
+            var,
+            min,
+            extent,
+            kind,
+            body,
+        } => {
+            if *kind == ForKind::Parallel {
+                if *extent < 2 {
+                    proven.insert(var.id);
+                } else if !reads_buffer_in_guard(body) {
+                    let mut diags = Vec::new();
+                    let mut seen = HashSet::new();
+                    analyze_loop(var, *min, *extent, *kind, body, outer, &mut diags, &mut seen);
+                    if diags.is_empty() {
+                        proven.insert(var.id);
+                    }
+                }
+            }
+            outer.push(LoopCtx {
+                id: var.id,
+                min: *min,
+                extent: *extent,
+            });
+            prove(body, outer, proven);
+            outer.pop();
+        }
+        Stmt::IfThenElse { then, else_, .. } => {
+            prove(then, outer, proven);
+            if let Some(e) = else_ {
+                prove(e, outer, proven);
+            }
+        }
+        Stmt::Seq(items) => {
+            for s in items {
+                prove(s, outer, proven);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Does any `if` condition under `stmt` read a buffer element? Such
+/// reads are invisible to [`collect_accesses`], so they defeat the
+/// race-freedom proof (but not the warn/deny sweep, which is allowed to
+/// under-report).
+fn reads_buffer_in_guard(stmt: &Stmt) -> bool {
+    let mut found = false;
+    stmt.walk(&mut |s| {
+        if let Stmt::IfThenElse { cond, .. } = s {
+            tvm_te::visitor::walk(cond, &mut |node| {
+                if matches!(node, PrimExpr::TensorRead(..)) {
+                    found = true;
+                }
+            });
+        }
+    });
+    found
+}
+
 /// Does any nonzero iteration distance land the two footprints on a
 /// common element?
 fn conflicts(f1: &Footprint, f2: &Footprint, extent: i64) -> bool {
@@ -579,6 +669,112 @@ mod tests {
         assert!(diags
             .iter()
             .all(|d| d.severity == Severity::Warn && d.code == codes::RACE_MAYBE));
+    }
+
+    #[test]
+    fn race_freedom_proof_accepts_disjoint_rows() {
+        // parallel i: for j: C[i][j] = 0 — each row owned by one iteration.
+        let (i, j) = (Var::index("i"), Var::index("j"));
+        let c = Buffer::new("C", [8usize, 8], DType::F32);
+        let store = Stmt::BufferStore {
+            buffer: c.clone(),
+            indices: vec![i.expr(), j.expr()],
+            value: float(0.0),
+        };
+        let body = for_(
+            &i,
+            8,
+            ForKind::Parallel,
+            for_(&j, 8, ForKind::Serial, store),
+        );
+        let proven = race_free_parallel_vars(&func(body, vec![c]));
+        assert!(proven.contains(&i.id));
+    }
+
+    #[test]
+    fn race_freedom_proof_rejects_reduction_and_maybe() {
+        // parallel k: C[0] = C[0] + A[k] — certified race, never proven.
+        let k = Var::index("k");
+        let c = Buffer::new("C", [1usize], DType::F32);
+        let a = tvm_te::placeholder([8], DType::F32, "A");
+        let c_t = tvm_te::placeholder([1], DType::F32, "C");
+        let store = Stmt::BufferStore {
+            buffer: c.clone(),
+            indices: vec![tvm_te::ops::int(0)],
+            value: c_t.at(&[tvm_te::ops::int(0)]) + a.at(&[k.expr()]),
+        };
+        let body = for_(&k, 8, ForKind::Parallel, store);
+        let proven = race_free_parallel_vars(&func(body, vec![c]));
+        assert!(!proven.contains(&k.id));
+    }
+
+    #[test]
+    fn race_freedom_proof_is_per_loop_not_deduped() {
+        // Two sibling parallel loops over same-named vars: the first
+        // races, the second is clean. The warn/deny sweep dedups by
+        // (code, buffer, var-name); the proof must still separate them.
+        let i1 = Var::index("i");
+        let i2 = Var::index("i");
+        let b = Buffer::new("B", [8usize], DType::F32);
+        let racy = Stmt::BufferStore {
+            buffer: b.clone(),
+            indices: vec![tvm_te::ops::int(0)],
+            value: float(0.0),
+        };
+        let clean = Stmt::BufferStore {
+            buffer: b.clone(),
+            indices: vec![i2.expr()],
+            value: float(0.0),
+        };
+        let body = Stmt::Seq(vec![
+            for_(&i1, 8, ForKind::Parallel, racy),
+            for_(&i2, 8, ForKind::Parallel, clean),
+        ]);
+        let proven = race_free_parallel_vars(&func(body, vec![b]));
+        assert!(!proven.contains(&i1.id));
+        assert!(proven.contains(&i2.id));
+    }
+
+    #[test]
+    fn race_freedom_proof_refuses_buffer_reads_in_guards() {
+        // parallel i: if A[i] < 0 { C[i] = 0 } — the guard read is not
+        // collected as an access, so the proof must decline.
+        let i = Var::index("i");
+        let c = Buffer::new("C", [8usize], DType::F32);
+        let a = tvm_te::placeholder([8], DType::F32, "A");
+        let store = Stmt::BufferStore {
+            buffer: c.clone(),
+            indices: vec![i.expr()],
+            value: float(0.0),
+        };
+        let body = for_(
+            &i,
+            8,
+            ForKind::Parallel,
+            Stmt::IfThenElse {
+                cond: tvm_te::ops::cmp::lt(a.at(&[i.expr()]), float(0.0)),
+                then: Box::new(store),
+                else_: None,
+            },
+        );
+        let proven = race_free_parallel_vars(&func(body, vec![c]));
+        assert!(!proven.contains(&i.id));
+    }
+
+    #[test]
+    fn trivial_extent_parallel_loop_is_proven() {
+        // parallel i in 0..1: C[0] += 1 — no pair of iterations exists.
+        let i = Var::index("i");
+        let c = Buffer::new("C", [1usize], DType::F32);
+        let c_t = tvm_te::placeholder([1], DType::F32, "C");
+        let store = Stmt::BufferStore {
+            buffer: c.clone(),
+            indices: vec![tvm_te::ops::int(0)],
+            value: c_t.at(&[tvm_te::ops::int(0)]) + float(1.0),
+        };
+        let body = for_(&i, 1, ForKind::Parallel, store);
+        let proven = race_free_parallel_vars(&func(body, vec![c]));
+        assert!(proven.contains(&i.id));
     }
 
     #[test]

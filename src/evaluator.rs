@@ -12,7 +12,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use tvm_runtime::{CompiledFunc, Device, NDArray};
 use tvm_tir::PrimFunc;
-use ytopt_bo::problem::{CacheStats, Evaluation, JitStats, Problem, StaticCheckStats};
+use ytopt_bo::problem::{CacheStats, Evaluation, JitStats, ParStats, Problem, StaticCheckStats};
 
 /// Modeled host↔device transfer bandwidth (PCIe 4.0 ×16), bytes/s.
 const TRANSFER_BW: f64 = 16e9;
@@ -223,6 +223,23 @@ impl MoldEvaluator {
         })
     }
 
+    /// Snapshot of the device's multicore-dispatch counters, when the
+    /// device runs `Parallel` loops on a worker pool (`None` for the
+    /// interpreter and scalar-VM engines). Converted from the runtime's
+    /// counter type into the serializable mirror the tuning/service
+    /// layers report.
+    pub fn par_stats(&self) -> Option<ParStats> {
+        self.device.par_stats().map(|s| ParStats {
+            loops_proven: s.loops_proven,
+            loops_unproven: s.loops_unproven,
+            dispatches: s.dispatches,
+            fallbacks: s.fallbacks,
+            fallback_reasons: s.fallback_reasons,
+            pool_threads: s.pool_threads,
+            threads_spawned: s.threads_spawned,
+        })
+    }
+
     /// Memo key: hash of (kernel, problem size, configuration, and the
     /// device's compile-pipeline fingerprint). Including the fingerprint
     /// means a pipeline change can never replay a stale cached build.
@@ -353,6 +370,10 @@ impl Evaluator for MoldEvaluator {
     fn jit_stats(&self) -> Option<JitStats> {
         MoldEvaluator::jit_stats(self)
     }
+
+    fn par_stats(&self) -> Option<ParStats> {
+        MoldEvaluator::par_stats(self)
+    }
 }
 
 impl Problem for MoldEvaluator {
@@ -387,6 +408,10 @@ impl Problem for MoldEvaluator {
 
     fn jit_stats(&self) -> Option<JitStats> {
         MoldEvaluator::jit_stats(self)
+    }
+
+    fn par_stats(&self) -> Option<ParStats> {
+        MoldEvaluator::par_stats(self)
     }
 }
 

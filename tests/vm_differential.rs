@@ -16,7 +16,7 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use tvm_runtime::interp::ExecError;
-use tvm_runtime::{compile, compile_optimized, default_backend, interp, vm, NDArray};
+use tvm_runtime::{compile, compile_optimized, default_backend, interp, vm, Device, NDArray};
 use tvm_te::DType;
 
 const KERNELS: [KernelName; 7] = [
@@ -162,6 +162,82 @@ fn jit_actually_compiles_polybench_hot_loops() {
         );
         assert!(jitted.jit_code_bytes() > 0);
     }
+}
+
+/// Tests that mutate the process-global worker-pool thread budget
+/// serialize on this lock so they cannot race each other's counter
+/// assertions (bit-identity itself holds at any thread count).
+fn thread_budget_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[test]
+fn engines_agree_at_every_thread_count() {
+    // The pool's static chunking must be invisible at every thread
+    // budget: 1 (pure sequential), 2 and 4 (even splits), and 7 (ragged
+    // chunk boundaries on typical tile counts). Outputs and error
+    // classification both ride through `assert_engines_agree`.
+    let _guard = thread_budget_lock();
+    let mut rng = SmallRng::seed_from_u64(0x7a11e1);
+    for threads in [1usize, 2, 4, 7] {
+        tvm_runtime::pool::set_num_threads(threads);
+        for kernel in KERNELS {
+            let mold = mold_for(kernel, ProblemSize::Mini);
+            let config = mold.space().sample(&mut rng);
+            let func = mold.instantiate(&config);
+            let args = mold.init_args();
+            assert_engines_agree(
+                &func,
+                &args,
+                &format!("{} / {config} @ {threads} threads", mold.name()),
+            );
+        }
+        // Malformed arguments must classify identically when the engine
+        // is willing to dispatch, too.
+        let mold = mold_for(KernelName::Gemm, ProblemSize::Mini);
+        let func = mold.instantiate(&mold.space().default_configuration());
+        let good = mold.init_args();
+        assert_engines_agree(
+            &func,
+            &good[..good.len() - 1],
+            &format!("gemm arity @ {threads} threads"),
+        );
+    }
+    tvm_runtime::pool::set_num_threads(1);
+}
+
+#[test]
+fn thread_sweep_is_not_vacuous() {
+    // The sweep above is only meaningful if the pool actually dispatches
+    // on this suite's kernels: run gemm on the optimized device at 4
+    // threads and demand a proven loop, a real dispatch, and zero thread
+    // spawns on a repeat run (pool reuse).
+    let _guard = thread_budget_lock();
+    tvm_runtime::pool::set_num_threads(4);
+    let device = tvm_runtime::CpuDevice::new();
+    let mold = mold_for(KernelName::Gemm, ProblemSize::Mini);
+    let func = mold.instantiate(&mold.space().default_configuration());
+    let mut args = mold.init_args();
+    device.run(&func, &mut args).expect("gemm runs");
+    let stats = device.par_stats().expect("optimized device keeps counters");
+    assert!(
+        stats.loops_proven >= 1,
+        "gemm's outer tile loop must prove race-free: {stats:?}"
+    );
+    assert!(
+        stats.dispatches >= 1,
+        "gemm must dispatch on the pool at 4 threads: {stats:?}"
+    );
+    let spawned = tvm_runtime::pool::threads_spawned();
+    let mut args2 = mold.init_args();
+    device.run(&func, &mut args2).expect("gemm runs again");
+    assert_eq!(
+        tvm_runtime::pool::threads_spawned(),
+        spawned,
+        "steady-state trials must not spawn threads"
+    );
+    tvm_runtime::pool::set_num_threads(1);
 }
 
 #[test]
