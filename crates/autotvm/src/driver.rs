@@ -10,7 +10,9 @@
 //! history), so a killed-and-resumed run follows the identical remaining
 //! trajectory as an uninterrupted one.
 
-use crate::measure::{CacheStats, Evaluator, JitStats, MeasureResult, ParStats, StaticCheckStats};
+use crate::measure::{
+    CacheStats, Evaluator, JitStats, MeasureResult, ParStats, PruneStats, StaticCheckStats,
+};
 use crate::tuner::Tuner;
 use configspace::Configuration;
 use rayon::prelude::*;
@@ -87,6 +89,10 @@ pub struct TuningResult {
     /// runs parallel loops on a worker pool (loops proven race-free,
     /// dispatches, sequential fallbacks with reasons).
     pub par: Option<ParStats>,
+    /// Batch static-pruning counters of the evaluator's analyzer
+    /// pipeline, when it filters candidate batches before measurement
+    /// (admitted / denied by stage, with per-code counts).
+    pub prune: Option<PruneStats>,
 }
 
 impl TuningResult {
@@ -217,8 +223,14 @@ fn tune_inner(
         }
 
         let mut any_live = false;
+        // Static batch filter, run lazily at the first *live* trial of
+        // the round (replayed trials carry journaled verdicts and must
+        // not re-analyze anything). Denied configs become zero-cost
+        // `static_reject` trials without compiling or measuring.
+        let mut pruned: Option<(usize, Vec<Option<String>>)> = None;
+        let mut prune_checked = false;
         let mut results: Vec<(Configuration, MeasureResult)> = Vec::with_capacity(batch.len());
-        for config in batch {
+        for (i, config) in batch.iter().enumerate() {
             let (res, live) = match replay.next() {
                 Some(rec) => {
                     if rec.config.key() != config.key() {
@@ -246,7 +258,25 @@ fn tune_inner(
                         false,
                     )
                 }
-                None => (evaluator.evaluate(&config), true),
+                None => {
+                    if !prune_checked {
+                        prune_checked = true;
+                        let t0 = Instant::now();
+                        pruned = evaluator.prune_batch(&batch[i..]).map(|mask| (i, mask));
+                        // Static filtering is real work the process did.
+                        elapsed += t0.elapsed().as_secs_f64();
+                    }
+                    let verdict = pruned
+                        .as_ref()
+                        .and_then(|(off, mask)| mask.get(i - off).cloned().flatten());
+                    match verdict {
+                        Some(msg) => (
+                            MeasureResult::fail(MeasureError::StaticReject(msg), 0.0),
+                            true,
+                        ),
+                        None => (evaluator.evaluate(config), true),
+                    }
+                }
             };
             if live {
                 any_live = true;
@@ -274,7 +304,7 @@ fn tune_inner(
                 }
             }
             trials.push(trial);
-            results.push((config, res));
+            results.push((config.clone(), res));
         }
 
         let t1 = Instant::now();
@@ -296,6 +326,7 @@ fn tune_inner(
         static_checks: evaluator.static_check_stats(),
         jit: evaluator.jit_stats(),
         par: evaluator.par_stats(),
+        prune: evaluator.prune_stats(),
     })
 }
 
@@ -336,11 +367,22 @@ pub fn tune_parallel<E: Evaluator + Sync>(
             break;
         }
 
-        // Measure the whole batch concurrently; each worker catches its
-        // own panic so one crashed measurement cannot kill the batch.
+        // Static batch filter before any worker dispatch: denied configs
+        // become zero-cost `static_reject` trials and never occupy a
+        // measurement slot.
+        let t0 = Instant::now();
+        let mask = evaluator.prune_batch(&batch);
+        elapsed += t0.elapsed().as_secs_f64();
+
+        // Measure the admitted configs concurrently; each worker catches
+        // its own panic so one crashed measurement cannot kill the batch.
         let results: Vec<MeasureResult> = batch
             .par_iter()
-            .map(|cfg| {
+            .enumerate()
+            .map(|(i, cfg)| {
+                if let Some(msg) = mask.as_ref().and_then(|m| m.get(i).cloned().flatten()) {
+                    return MeasureResult::fail(MeasureError::StaticReject(msg), 0.0);
+                }
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| evaluator.evaluate(cfg)))
                     .unwrap_or_else(|payload| {
                         MeasureResult::fail(
@@ -388,6 +430,7 @@ pub fn tune_parallel<E: Evaluator + Sync>(
         static_checks: evaluator.static_check_stats(),
         jit: evaluator.jit_stats(),
         par: evaluator.par_stats(),
+        prune: evaluator.prune_stats(),
     }
 }
 

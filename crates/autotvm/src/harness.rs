@@ -255,6 +255,14 @@ impl<E: Evaluator + Send + Sync + 'static> Evaluator for HarnessedEvaluator<E> {
     fn par_stats(&self) -> Option<ytopt_bo::problem::ParStats> {
         Evaluator::par_stats(&*self.inner)
     }
+
+    fn prune_batch(&self, batch: &[Configuration]) -> Option<Vec<Option<String>>> {
+        Evaluator::prune_batch(&*self.inner, batch)
+    }
+
+    fn prune_stats(&self) -> Option<ytopt_bo::problem::PruneStats> {
+        Evaluator::prune_stats(&*self.inner)
+    }
 }
 
 impl<E: Problem + Send + Sync + 'static> Problem for HarnessedEvaluator<E> {
@@ -289,6 +297,14 @@ impl<E: Problem + Send + Sync + 'static> Problem for HarnessedEvaluator<E> {
 
     fn par_stats(&self) -> Option<ytopt_bo::problem::ParStats> {
         Problem::par_stats(&*self.inner)
+    }
+
+    fn prune_batch(&self, batch: &[Configuration]) -> Option<Vec<Option<String>>> {
+        Problem::prune_batch(&*self.inner, batch)
+    }
+
+    fn prune_stats(&self) -> Option<ytopt_bo::problem::PruneStats> {
+        Problem::prune_stats(&*self.inner)
     }
 }
 
@@ -555,6 +571,16 @@ impl<E: Evaluator> Evaluator for FaultInjector<E> {
     fn par_stats(&self) -> Option<ytopt_bo::problem::ParStats> {
         Evaluator::par_stats(&self.inner)
     }
+
+    fn prune_batch(&self, batch: &[Configuration]) -> Option<Vec<Option<String>>> {
+        // The injector's faults are drawn at evaluation time, so the
+        // pre-filter mask is exactly the inner analyzer's verdicts.
+        Evaluator::prune_batch(&self.inner, batch)
+    }
+
+    fn prune_stats(&self) -> Option<ytopt_bo::problem::PruneStats> {
+        Evaluator::prune_stats(&self.inner)
+    }
 }
 
 impl<E: Problem> Problem for FaultInjector<E> {
@@ -595,6 +621,14 @@ impl<E: Problem> Problem for FaultInjector<E> {
 
     fn par_stats(&self) -> Option<ytopt_bo::problem::ParStats> {
         Problem::par_stats(&self.inner)
+    }
+
+    fn prune_batch(&self, batch: &[Configuration]) -> Option<Vec<Option<String>>> {
+        Problem::prune_batch(&self.inner, batch)
+    }
+
+    fn prune_stats(&self) -> Option<ytopt_bo::problem::PruneStats> {
+        Problem::prune_stats(&self.inner)
     }
 }
 

@@ -9,7 +9,7 @@
 use configspace::{ConfigSpace, Configuration};
 pub use ytopt_bo::fault::MeasureError;
 use ytopt_bo::problem::Evaluation;
-pub use ytopt_bo::problem::{CacheStats, JitStats, ParStats, StaticCheckStats};
+pub use ytopt_bo::problem::{CacheStats, JitStats, ParStats, PruneStats, StaticCheckStats};
 
 /// Outcome of measuring one configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -118,6 +118,24 @@ pub trait Evaluator {
     /// Snapshotted into [`crate::driver::TuningResult::par`] at the end
     /// of a run.
     fn par_stats(&self) -> Option<ParStats> {
+        None
+    }
+
+    /// Statically filter a batch of candidates before measurement, if
+    /// this evaluator runs an analyzer pipeline (`None` otherwise). The
+    /// mask has one slot per candidate: `None` admits it to measurement,
+    /// `Some(message)` is the `static_reject` error the tuner records
+    /// without compiling or measuring — byte-identical to the message
+    /// `evaluate` would have produced, so journaled trial streams do not
+    /// depend on whether a batch was pre-filtered.
+    fn prune_batch(&self, _batch: &[Configuration]) -> Option<Vec<Option<String>>> {
+        None
+    }
+
+    /// Batch static-pruning counters of this evaluator's analyzer
+    /// pipeline, if it has one (`None` otherwise). Snapshotted into
+    /// [`crate::driver::TuningResult::prune`] at the end of a run.
+    fn prune_stats(&self) -> Option<PruneStats> {
         None
     }
 }

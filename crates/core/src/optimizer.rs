@@ -11,7 +11,9 @@
 use crate::database::{DbRecord, PerformanceDatabase};
 use crate::fault::{panic_message, MeasureError};
 use crate::journal::{divergence_error, pipeline_mismatch_error, TrialJournal, TrialRecord};
-use crate::problem::{CacheStats, Evaluation, JitStats, ParStats, Problem, StaticCheckStats};
+use crate::problem::{
+    CacheStats, Evaluation, JitStats, ParStats, Problem, PruneStats, StaticCheckStats,
+};
 use crate::search::{BayesianOptimizer, SearchConfig};
 use configspace::Configuration;
 use rayon::prelude::*;
@@ -80,6 +82,10 @@ pub struct BoResult {
     /// Multicore-dispatch counters of the problem's measurement device,
     /// when it runs parallel loops on a worker pool.
     pub par: Option<ParStats>,
+    /// Batch static-pruning counters of the problem's analyzer pipeline,
+    /// when it filters candidates before evaluation (admitted / denied
+    /// by stage, with per-code counts).
+    pub prune: Option<PruneStats>,
 }
 
 impl BoResult {
@@ -227,7 +233,22 @@ fn run_inner(
                     false,
                 )
             }
-            None => (problem.evaluate(&config), true),
+            None => {
+                // Static filter before evaluation: a denied config is
+                // recorded as a zero-cost `static_reject` trial without
+                // ever being compiled or measured. Replayed trials above
+                // carry their journaled verdicts and skip the analysis.
+                let t0 = Instant::now();
+                let verdict = problem
+                    .prune_batch(std::slice::from_ref(&config))
+                    .and_then(|mask| mask.into_iter().next().flatten());
+                elapsed += t0.elapsed().as_secs_f64();
+                let eval = match verdict {
+                    Some(msg) => Evaluation::fail(MeasureError::StaticReject(msg), 0.0),
+                    None => problem.evaluate(&config),
+                };
+                (eval, true)
+            }
         };
         if live {
             elapsed += eval.process_s;
@@ -273,6 +294,7 @@ fn run_inner(
         static_checks: problem.static_check_stats(),
         jit: problem.jit_stats(),
         par: problem.par_stats(),
+        prune: problem.prune_stats(),
     })
 }
 
@@ -314,11 +336,22 @@ pub fn run_parallel<P: Problem + Sync>(problem: &P, opts: BoOptions, batch: usiz
             break;
         }
 
-        // Evaluate the whole batch concurrently. Each worker catches its
-        // own panic so one crashed evaluation cannot kill the batch.
+        // Static batch filter before any worker dispatch: denied configs
+        // become zero-cost `static_reject` trials and never occupy an
+        // evaluation slot.
+        let t0 = Instant::now();
+        let mask = problem.prune_batch(&configs);
+        elapsed += t0.elapsed().as_secs_f64();
+
+        // Evaluate the admitted configs concurrently. Each worker catches
+        // its own panic so one crashed evaluation cannot kill the batch.
         let evals: Vec<Evaluation> = configs
             .par_iter()
-            .map(|cfg| {
+            .enumerate()
+            .map(|(i, cfg)| {
+                if let Some(msg) = mask.as_ref().and_then(|m| m.get(i).cloned().flatten()) {
+                    return Evaluation::fail(MeasureError::StaticReject(msg), 0.0);
+                }
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| problem.evaluate(cfg)))
                     .unwrap_or_else(|payload| {
                         Evaluation::fail(
@@ -362,6 +395,7 @@ pub fn run_parallel<P: Problem + Sync>(problem: &P, opts: BoOptions, batch: usiz
         static_checks: problem.static_check_stats(),
         jit: problem.jit_stats(),
         par: problem.par_stats(),
+        prune: problem.prune_stats(),
     }
 }
 

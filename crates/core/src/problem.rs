@@ -208,6 +208,55 @@ impl ParStats {
     }
 }
 
+/// Batch static-pruning counters of an evaluator-side analyzer pipeline:
+/// how many candidate configurations were admitted to compilation and
+/// measurement, how many were cut by the pre-lowering legality prelint
+/// (never instantiated), how many by the full analyzer, and under which
+/// stable diagnostic codes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PruneStats {
+    /// Candidates admitted to compile/measure.
+    pub admitted: u64,
+    /// Candidates denied by the schedule legality prelint.
+    pub prelint_denied: u64,
+    /// Candidates denied by the analyzer on the instantiated function.
+    pub analyzer_denied: u64,
+    /// Denial counts per stable diagnostic code, sorted by code.
+    pub denied_by_code: Vec<(String, u64)>,
+}
+
+impl PruneStats {
+    /// Total candidates examined.
+    pub fn total(&self) -> u64 {
+        self.admitted + self.prelint_denied + self.analyzer_denied
+    }
+
+    /// Fraction of candidates denied statically (0 when nothing was
+    /// examined).
+    pub fn deny_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.prelint_denied + self.analyzer_denied) as f64 / self.total() as f64
+        }
+    }
+
+    /// Fold `other` into `self` (counter-wise sums; per-code counts
+    /// merged by code and kept sorted).
+    pub fn merge(&mut self, other: &PruneStats) {
+        self.admitted += other.admitted;
+        self.prelint_denied += other.prelint_denied;
+        self.analyzer_denied += other.analyzer_denied;
+        for (code, n) in &other.denied_by_code {
+            match self.denied_by_code.iter_mut().find(|(c, _)| c == code) {
+                Some((_, count)) => *count += n,
+                None => self.denied_by_code.push((code.clone(), *n)),
+            }
+        }
+        self.denied_by_code.sort();
+    }
+}
+
 /// A tuning problem: the parameter space plus the user-defined evaluation
 /// interface (the paper's "code mold + interface" pair).
 pub trait Problem {
@@ -256,6 +305,25 @@ pub trait Problem {
     /// if it runs parallel loops on a worker pool (`None` otherwise).
     /// Snapshotted alongside [`Problem::jit_stats`] at the end of a run.
     fn par_stats(&self) -> Option<ParStats> {
+        None
+    }
+
+    /// Statically filter a batch of candidates before evaluation, if
+    /// this problem runs an analyzer pipeline (`None` otherwise). The
+    /// mask has one slot per candidate: `None` admits it to evaluation,
+    /// `Some(message)` is the `static_reject` error the optimizer
+    /// records without evaluating — byte-identical to the message
+    /// `evaluate` would have produced, so journaled trial streams do not
+    /// depend on whether a batch was pre-filtered.
+    fn prune_batch(&self, _batch: &[Configuration]) -> Option<Vec<Option<String>>> {
+        None
+    }
+
+    /// Batch static-pruning counters of this problem's analyzer
+    /// pipeline, if it filters candidate batches before measurement
+    /// (`None` for problems without a pruner). Snapshotted into
+    /// [`crate::optimizer::BoResult::prune`] at the end of a run.
+    fn prune_stats(&self) -> Option<PruneStats> {
         None
     }
 }
@@ -378,6 +446,38 @@ mod tests {
         };
         assert_eq!(s.total(), 4);
         assert!((s.reject_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prune_stats_rates_and_merge() {
+        let s = PruneStats::default();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.deny_rate(), 0.0);
+        let mut a = PruneStats {
+            admitted: 6,
+            prelint_denied: 1,
+            analyzer_denied: 1,
+            denied_by_code: vec![("TIR-RACE-WW".into(), 1), ("TIR-TRIP-ZERO".into(), 1)],
+        };
+        assert_eq!(a.total(), 8);
+        assert!((a.deny_rate() - 0.25).abs() < 1e-12);
+        let b = PruneStats {
+            admitted: 2,
+            prelint_denied: 2,
+            analyzer_denied: 0,
+            denied_by_code: vec![("TIR-TRIP-ZERO".into(), 1), ("TIR-VEC-OVER".into(), 1)],
+        };
+        a.merge(&b);
+        assert_eq!(a.admitted, 8);
+        assert_eq!(a.prelint_denied, 3);
+        assert_eq!(
+            a.denied_by_code,
+            vec![
+                ("TIR-RACE-WW".to_string(), 1),
+                ("TIR-TRIP-ZERO".to_string(), 2),
+                ("TIR-VEC-OVER".to_string(), 1)
+            ]
+        );
     }
 
     #[test]

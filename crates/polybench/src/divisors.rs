@@ -1,5 +1,11 @@
-//! Divisor enumeration — the paper builds every ordinal tuning space from
-//! "the common factors of each matrix rank".
+//! Tile-size candidate enumeration.
+//!
+//! The paper builds every ordinal tuning space from "the common factors
+//! of each matrix rank" — [`divisors`] reproduces that list exactly. The
+//! aggressive space mode widens it with [`aggressive_tiles`]: non-divisor
+//! factors (guarded tail iterations), powers of two past the extent, the
+//! degenerate `tile == extent` / `tile > extent` edges, and the illegal
+//! factor `0` that the schedule prelint must reject before instantiation.
 
 /// All positive divisors of `n`, ascending.
 pub fn divisors(n: u64) -> Vec<i64> {
@@ -19,6 +25,28 @@ pub fn divisors(n: u64) -> Vec<i64> {
     large.reverse();
     small.extend(large);
     small
+}
+
+/// Aggressive tile candidates for a loop of extent `n`, ascending and
+/// deduplicated: the divisors of `n` (so the paper space embeds as a
+/// strict subset), every power of two up to `2n` (mostly non-divisors —
+/// guarded tail tiles), the edges `n - 1`, `n`, and `2n`, and the
+/// illegal factor `0` (denied by the `TIR-TRIP-ZERO` prelint).
+pub fn aggressive_tiles(n: u64) -> Vec<i64> {
+    assert!(n > 0, "tiles of a zero-extent loop are undefined");
+    let mut v = divisors(n);
+    v.push(0);
+    let mut p = 1i64;
+    while p as u64 <= 2 * n {
+        v.push(p);
+        p *= 2;
+    }
+    v.push(n as i64 - 1);
+    v.push(n as i64);
+    v.push(2 * n as i64);
+    v.sort_unstable();
+    v.dedup();
+    v
 }
 
 #[cfg(test)]
@@ -61,6 +89,35 @@ mod tests {
             for d in divisors(n) {
                 assert_eq!(n % d as u64, 0);
             }
+        }
+    }
+
+    #[test]
+    fn aggressive_tiles_contain_all_divisors() {
+        for n in [1u64, 20, 25, 40, 2000] {
+            let agg = aggressive_tiles(n);
+            for d in divisors(n) {
+                assert!(agg.contains(&d), "divisor {d} of {n} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn aggressive_tiles_include_edges_and_zero() {
+        let agg = aggressive_tiles(20);
+        assert_eq!(
+            agg,
+            vec![0, 1, 2, 4, 5, 8, 10, 16, 19, 20, 32, 40],
+            "divisors + 0 + powers of two <= 40 + {{19, 20, 40}}"
+        );
+        assert!(aggressive_tiles(40).contains(&80));
+    }
+
+    #[test]
+    fn aggressive_tiles_sorted_dedup() {
+        for n in [1u64, 16, 30, 40] {
+            let agg = aggressive_tiles(n);
+            assert!(agg.windows(2).all(|w| w[0] < w[1]), "{agg:?}");
         }
     }
 }

@@ -21,11 +21,12 @@
 
 use crate::datasets::{factorization_n, ProblemSize};
 use crate::molds::CodeMold;
-use crate::spaces::space_for;
+use crate::spaces::{space_for_mode, SpaceMode};
 use configspace::{ConfigSpace, Configuration};
 use tvm_runtime::NDArray;
 use tvm_te::ops::{cmp, sqrt};
 use tvm_te::{placeholder, DType, PrimExpr};
+use tvm_tir::analyze::Diagnostic;
 use tvm_tir::builder::{if_else, seq, ser, store, when, FuncBuilder};
 use tvm_tir::PrimFunc;
 
@@ -116,17 +117,26 @@ pub fn build_cholesky(n: usize, ty: i64, tx: i64) -> PrimFunc {
 /// The Cholesky code mold.
 pub struct CholeskyMold {
     size: ProblemSize,
+    mode: SpaceMode,
     n: usize,
     space: ConfigSpace,
 }
 
 impl CholeskyMold {
-    /// Mold for a problem-size class.
+    /// Paper-space mold for a problem-size class.
     pub fn new(size: ProblemSize) -> CholeskyMold {
+        CholeskyMold::with_mode(size, SpaceMode::Paper)
+    }
+
+    /// Mold for a problem-size class under a space mode. Aggressive mode
+    /// widens the tile lists (non-divisor tails are already guarded by
+    /// the builder); tile factor 0 is denied by the prelint.
+    pub fn with_mode(size: ProblemSize, mode: SpaceMode) -> CholeskyMold {
         CholeskyMold {
             size,
+            mode,
             n: factorization_n(size),
-            space: space_for(crate::datasets::KernelName::Cholesky, size),
+            space: space_for_mode(crate::datasets::KernelName::Cholesky, size, mode),
         }
     }
 
@@ -145,8 +155,16 @@ impl CodeMold for CholeskyMold {
         self.size
     }
 
+    fn mode(&self) -> SpaceMode {
+        self.mode
+    }
+
     fn space(&self) -> &ConfigSpace {
         &self.space
+    }
+
+    fn prelint(&self, config: &Configuration) -> Vec<Diagnostic> {
+        super::tile_prelint(config.int("P0"), config.int("P1"))
     }
 
     fn instantiate(&self, config: &Configuration) -> PrimFunc {

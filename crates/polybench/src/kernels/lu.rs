@@ -24,11 +24,12 @@
 
 use crate::datasets::{factorization_n, ProblemSize};
 use crate::molds::CodeMold;
-use crate::spaces::space_for;
+use crate::spaces::{space_for_mode, SpaceMode};
 use configspace::{ConfigSpace, Configuration};
 use tvm_runtime::NDArray;
 use tvm_te::ops::cmp;
 use tvm_te::{placeholder, DType, PrimExpr};
+use tvm_tir::analyze::Diagnostic;
 use tvm_tir::builder::{if_else, seq, ser, store, when, FuncBuilder};
 use tvm_tir::PrimFunc;
 
@@ -113,17 +114,26 @@ pub fn build_lu(n: usize, ty: i64, tx: i64) -> PrimFunc {
 /// The LU code mold.
 pub struct LuMold {
     size: ProblemSize,
+    mode: SpaceMode,
     n: usize,
     space: ConfigSpace,
 }
 
 impl LuMold {
-    /// Mold for a problem-size class.
+    /// Paper-space mold for a problem-size class.
     pub fn new(size: ProblemSize) -> LuMold {
+        LuMold::with_mode(size, SpaceMode::Paper)
+    }
+
+    /// Mold for a problem-size class under a space mode. Aggressive mode
+    /// widens the tile lists (non-divisor tails are already guarded by
+    /// the builder); tile factor 0 is denied by the prelint.
+    pub fn with_mode(size: ProblemSize, mode: SpaceMode) -> LuMold {
         LuMold {
             size,
+            mode,
             n: factorization_n(size),
-            space: space_for(crate::datasets::KernelName::Lu, size),
+            space: space_for_mode(crate::datasets::KernelName::Lu, size, mode),
         }
     }
 
@@ -142,8 +152,16 @@ impl CodeMold for LuMold {
         self.size
     }
 
+    fn mode(&self) -> SpaceMode {
+        self.mode
+    }
+
     fn space(&self) -> &ConfigSpace {
         &self.space
+    }
+
+    fn prelint(&self, config: &Configuration) -> Vec<Diagnostic> {
+        super::tile_prelint(config.int("P0"), config.int("P1"))
     }
 
     fn instantiate(&self, config: &Configuration) -> PrimFunc {

@@ -3,12 +3,15 @@
 
 use crate::datasets::{mm2_dims, ProblemSize};
 use crate::molds::CodeMold;
-use crate::spaces::space_for;
+use crate::spaces::{space_for_mode, SpaceMode};
 use configspace::{ConfigSpace, Configuration};
 use tvm_runtime::NDArray;
 use tvm_te::{compute, placeholder, reduce_axis, sum, DType, PrimExpr, Schedule};
+use tvm_tir::analyze::{prelint::Prelint, Diagnostic};
 use tvm_tir::lower::lower;
 use tvm_tir::PrimFunc;
+
+use super::MatmulKnobs;
 
 /// Element type (`DATA_TYPE double`).
 pub const DTYPE: DType = DType::F64;
@@ -17,9 +20,16 @@ pub const ALPHA: f64 = 1.5;
 /// PolyBench's `beta`.
 pub const BETA: f64 = 1.2;
 
-/// Build 2mm with tiles `(t0, t1)` on stage `E = A·B` and `(t2, t3)` on
-/// stage `F = E·C`.
-pub fn build_2mm(ni: usize, nj: usize, nk: usize, nl: usize, tiles: [i64; 4]) -> PrimFunc {
+/// Build 2mm with tiles `(t0, t1)` on stage `E = A·B`, `(t2, t3)` on
+/// stage `F = E·C`, and scheduling knobs `kn` on stage `F`.
+pub(crate) fn build_2mm_knobbed(
+    ni: usize,
+    nj: usize,
+    nk: usize,
+    nl: usize,
+    tiles: [i64; 4],
+    kn: &MatmulKnobs,
+) -> PrimFunc {
     let a = placeholder([ni, nk], DTYPE, "A");
     let b = placeholder([nk, nj], DTYPE, "B");
     let c = placeholder([nj, nl], DTYPE, "C");
@@ -46,24 +56,37 @@ pub fn build_2mm(ni: usize, nj: usize, nk: usize, nl: usize, tiles: [i64; 4]) ->
     let et = s.stages[0].tensor.clone();
     let ft = s.stages[1].tensor.clone();
     super::tile_matmul_stage(&mut s, &et, &k, tiles[0], tiles[1]);
-    super::tile_matmul_stage(&mut s, &ft, &j, tiles[2], tiles[3]);
+    super::tile_matmul_stage_aggressive(&mut s, &ft, &j, tiles[2], tiles[3], kn);
     lower(&s, &[a, b, c, d, out], "mm2")
+}
+
+/// Build 2mm with tiles `(t0, t1)` on stage `E = A·B` and `(t2, t3)` on
+/// stage `F = E·C` (the paper schedule — neutral knobs).
+pub fn build_2mm(ni: usize, nj: usize, nk: usize, nl: usize, tiles: [i64; 4]) -> PrimFunc {
+    build_2mm_knobbed(ni, nj, nk, nl, tiles, &MatmulKnobs::neutral())
 }
 
 /// The 2mm code mold.
 pub struct Mm2Mold {
     size: ProblemSize,
+    mode: SpaceMode,
     dims: (usize, usize, usize, usize),
     space: ConfigSpace,
 }
 
 impl Mm2Mold {
-    /// Mold for a problem-size class.
+    /// Paper-space mold for a problem-size class.
     pub fn new(size: ProblemSize) -> Mm2Mold {
+        Mm2Mold::with_mode(size, SpaceMode::Paper)
+    }
+
+    /// Mold for a problem-size class under a space mode.
+    pub fn with_mode(size: ProblemSize, mode: SpaceMode) -> Mm2Mold {
         Mm2Mold {
             size,
+            mode,
             dims: mm2_dims(size),
-            space: space_for(crate::datasets::KernelName::Mm2, size),
+            space: space_for_mode(crate::datasets::KernelName::Mm2, size, mode),
         }
     }
 }
@@ -77,8 +100,21 @@ impl CodeMold for Mm2Mold {
         self.size
     }
 
+    fn mode(&self) -> SpaceMode {
+        self.mode
+    }
+
     fn space(&self) -> &ConfigSpace {
         &self.space
+    }
+
+    fn prelint(&self, config: &Configuration) -> Vec<Diagnostic> {
+        let mut p = Prelint::new();
+        let kn = MatmulKnobs::from_config(config);
+        // Stage E is always scheduled with the plain (knob-free) pattern.
+        p.split("y", config.int("P0")).split("x", config.int("P1"));
+        super::matmul_stage_prelint(&mut p, config.int("P2"), config.int("P3"), &kn);
+        p.finish()
     }
 
     fn instantiate(&self, config: &Configuration) -> PrimFunc {
@@ -87,8 +123,14 @@ impl CodeMold for Mm2Mold {
             "configuration {config} is not in the 2mm space"
         );
         let (ni, nj, nk, nl) = self.dims;
-        let t = config.ints();
-        build_2mm(ni, nj, nk, nl, [t[0], t[1], t[2], t[3]])
+        let tiles = [
+            config.int("P0"),
+            config.int("P1"),
+            config.int("P2"),
+            config.int("P3"),
+        ];
+        let kn = MatmulKnobs::from_config(config);
+        build_2mm_knobbed(ni, nj, nk, nl, tiles, &kn)
     }
 
     fn init_args(&self) -> Vec<NDArray> {
@@ -139,5 +181,54 @@ mod tests {
     fn four_tile_parameters() {
         let mold = Mm2Mold::new(ProblemSize::Mini);
         assert_eq!(mold.space().len(), 4);
+    }
+
+    /// Run an aggressive tile pick (neutral knobs) against the reference.
+    fn check_aggressive_tiles(tiles: [i64; 4]) {
+        check_aggressive_tiles_at(ProblemSize::Mini, tiles);
+    }
+
+    fn check_aggressive_tiles_at(size: ProblemSize, tiles: [i64; 4]) {
+        let mold = Mm2Mold::with_mode(size, SpaceMode::Aggressive);
+        let mut names: Vec<String> = (0..4).map(|i| format!("P{i}")).collect();
+        names.extend(crate::spaces::KNOB_NAMES.iter().map(|s| s.to_string()));
+        let mut vals: Vec<configspace::ParamValue> = tiles
+            .iter()
+            .map(|&v| configspace::ParamValue::Int(v))
+            .collect();
+        vals.extend(std::iter::repeat_n(configspace::ParamValue::Int(0), 5));
+        let cfg = Configuration::new(names, vals);
+        assert!(mold.space().validate(&cfg), "{tiles:?} invalid");
+        assert!(mold.prelint(&cfg).is_empty(), "{tiles:?} prelint-denied");
+        let f = mold.instantiate(&cfg);
+        let mut args = mold.init_args();
+        execute(&f, &mut args).expect("run");
+        let expect = mold.reference_args()[4].clone().expect("out");
+        assert!(
+            args[4].allclose(&expect, 1e-9, 1e-9),
+            "{tiles:?}: max diff {}",
+            args[4].max_abs_diff(&expect)
+        );
+    }
+
+    #[test]
+    fn nondivisor_tiles_match_reference() {
+        // Mini dims (16, 18, 22, 24): 15 ∤ 16, 4 ∤ 18, 16 ∤ 24.
+        check_aggressive_tiles([15, 4, 8, 16]);
+    }
+
+    #[test]
+    fn degenerate_tiles_match_reference() {
+        // tile == extent on P0, tile > extent on P2.
+        check_aggressive_tiles([16, 9, 32, 12]);
+    }
+
+    #[test]
+    fn small_size_aggressive_tiles_match_reference() {
+        // Small dims (40, 50, 70, 80): every pick is a non-divisor of
+        // its loop extent — guarded tails on all four split axes.
+        check_aggressive_tiles_at(ProblemSize::Small, [16, 16, 32, 32]);
+        // tile == extent (P0), tile > extent (P1, P2), extent − 1 (P3).
+        check_aggressive_tiles_at(ProblemSize::Small, [40, 64, 80, 79]);
     }
 }

@@ -13,11 +13,12 @@
 
 use crate::datasets::{syrk_dims, ProblemSize};
 use crate::molds::CodeMold;
-use crate::spaces::space_for;
+use crate::spaces::{space_for_mode, SpaceMode};
 use configspace::{ConfigSpace, Configuration};
 use tvm_runtime::NDArray;
 use tvm_te::ops::cmp;
 use tvm_te::{placeholder, DType, PrimExpr};
+use tvm_tir::analyze::Diagnostic;
 use tvm_tir::builder::{par, seq, ser, store, when, FuncBuilder};
 use tvm_tir::PrimFunc;
 
@@ -32,8 +33,25 @@ fn imm(v: f64) -> PrimExpr {
     PrimExpr::FloatImm(v, DTYPE)
 }
 
-/// Build tiled syrk for `C: n×n`, `A: n×m` with tiles `(ty, tx)`.
-pub fn build_syrk(m: usize, n: usize, ty: i64, tx: i64) -> PrimFunc {
+/// A loop that is parallel or serial depending on the `PAR` knob.
+fn knob_loop(
+    parallel: bool,
+    name: &str,
+    extent: i64,
+    f: impl FnOnce(PrimExpr) -> tvm_tir::Stmt,
+) -> tvm_tir::Stmt {
+    if parallel {
+        par(name, extent, f)
+    } else {
+        ser(name, extent, f)
+    }
+}
+
+/// Build tiled syrk with a parallelization choice: `par_mode` 0 runs the
+/// outer row-tile loop parallel (race-free — the paper schedule), 1 runs
+/// everything serial, and 2 parallelizes the `k` reduction instead — a
+/// write-write race on `C[i,j]` that the dependence analyzer must deny.
+pub(crate) fn build_syrk_par(m: usize, n: usize, ty: i64, tx: i64, par_mode: i64) -> PrimFunc {
     assert!(ty >= 1 && tx >= 1);
     let n_i = n as i64;
     let a = placeholder([n, m], DTYPE, "A");
@@ -47,9 +65,10 @@ pub fn build_syrk(m: usize, n: usize, ty: i64, tx: i64) -> PrimFunc {
     let tiles_x = n_i.div_euclid(tx) + i64::from(n_i % tx != 0);
 
     // Row tiles write disjoint C rows (i = io·ty + ii never leaves its
-    // tile), so the outer tile loop is parallel; the dependence analyzer
-    // re-proves this per configuration before any pool dispatch.
-    let body = par("io", tiles_y, |io| {
+    // tile), so the outer tile loop is parallel under par_mode 0; the
+    // dependence analyzer re-proves this per configuration before any
+    // pool dispatch.
+    let body = knob_loop(par_mode == 0, "io", tiles_y, |io| {
         let (a, c, cb) = (a.clone(), c.clone(), cb.clone());
         ser("jo", tiles_x, move |jo| {
             let (a, c, cb) = (a.clone(), c.clone(), cb.clone());
@@ -74,7 +93,7 @@ pub fn build_syrk(m: usize, n: usize, ty: i64, tx: i64) -> PrimFunc {
                     );
                     let (ic, jc) = (i, j);
                     let (a1, c1, cb1) = (a.clone(), c.clone(), cb.clone());
-                    let update = ser("k", m as i64, move |k| {
+                    let update = knob_loop(par_mode == 2, "k", m as i64, move |k| {
                         store(
                             &cb1,
                             &[ic.clone(), jc.clone()],
@@ -92,20 +111,35 @@ pub fn build_syrk(m: usize, n: usize, ty: i64, tx: i64) -> PrimFunc {
     fb.build(body)
 }
 
+/// Build tiled syrk for `C: n×n`, `A: n×m` with tiles `(ty, tx)` and the
+/// paper's parallel outer row-tile loop.
+pub fn build_syrk(m: usize, n: usize, ty: i64, tx: i64) -> PrimFunc {
+    build_syrk_par(m, n, ty, tx, 0)
+}
+
 /// The syrk code mold.
 pub struct SyrkMold {
     size: ProblemSize,
+    mode: SpaceMode,
     dims: (usize, usize),
     space: ConfigSpace,
 }
 
 impl SyrkMold {
-    /// Mold for a problem-size class.
+    /// Paper-space mold for a problem-size class.
     pub fn new(size: ProblemSize) -> SyrkMold {
+        SyrkMold::with_mode(size, SpaceMode::Paper)
+    }
+
+    /// Mold for a problem-size class under a space mode. Aggressive mode
+    /// widens the tile lists and adds the `PAR` knob, whose value 2
+    /// parallelizes the `k` reduction — a race the analyzer denies.
+    pub fn with_mode(size: ProblemSize, mode: SpaceMode) -> SyrkMold {
         SyrkMold {
             size,
+            mode,
             dims: syrk_dims(size),
-            space: space_for(crate::datasets::KernelName::Syrk, size),
+            space: space_for_mode(crate::datasets::KernelName::Syrk, size, mode),
         }
     }
 }
@@ -119,8 +153,16 @@ impl CodeMold for SyrkMold {
         self.size
     }
 
+    fn mode(&self) -> SpaceMode {
+        self.mode
+    }
+
     fn space(&self) -> &ConfigSpace {
         &self.space
+    }
+
+    fn prelint(&self, config: &Configuration) -> Vec<Diagnostic> {
+        super::tile_prelint(config.int("P0"), config.int("P1"))
     }
 
     fn instantiate(&self, config: &Configuration) -> PrimFunc {
@@ -129,7 +171,8 @@ impl CodeMold for SyrkMold {
             "configuration {config} is not in the syrk space"
         );
         let (m, n) = self.dims;
-        build_syrk(m, n, config.int("P0"), config.int("P1"))
+        let par_mode = config.get("PAR").and_then(|v| v.as_int()).unwrap_or(0);
+        build_syrk_par(m, n, config.int("P0"), config.int("P1"), par_mode)
     }
 
     fn init_args(&self) -> Vec<NDArray> {
@@ -182,6 +225,46 @@ mod tests {
     #[test]
     fn nondivisible_tiles_match_reference() {
         check(7, 11);
+    }
+
+    fn check_par(ty: i64, tx: i64, par_mode: i64) {
+        let mold = SyrkMold::new(ProblemSize::Mini);
+        let (m, n) = mold.dims;
+        let f = build_syrk_par(m, n, ty, tx, par_mode);
+        let mut args = mold.init_args();
+        execute(&f, &mut args).expect("run");
+        let expect = mold.reference_args()[1].clone().expect("C");
+        assert!(
+            args[1].allclose(&expect, 1e-9, 1e-9),
+            "tiles ({ty},{tx}) par {par_mode}: max diff {}",
+            args[1].max_abs_diff(&expect)
+        );
+    }
+
+    #[test]
+    fn degenerate_aggressive_tiles_match_reference() {
+        // tile == extent, tile > extent (n = 20 at mini).
+        check_par(20, 30, 0);
+        check_par(40, 19, 1);
+    }
+
+    #[test]
+    fn parallel_reduction_is_denied_by_analyzer() {
+        let mold = SyrkMold::with_mode(ProblemSize::Mini, SpaceMode::Aggressive);
+        let (m, n) = mold.dims;
+        let f = build_syrk_par(m, n, 5, 5, 2);
+        let report = tvm_tir::analyze::check(&f);
+        let denial = report
+            .denials()
+            .find(|d| d.code.starts_with("TIR-RACE"))
+            .expect("parallel k-reduction must trip the race analysis");
+        assert!(
+            tvm_tir::analyze::oracle::confirm_race(&f, denial),
+            "race must be confirmed by the concrete oracle"
+        );
+        // The mold-level prelint alone does not catch races — that is the
+        // analyzer's job — but the widened space must contain the knob.
+        assert!(mold.space().get("PAR").is_some());
     }
 
     #[test]

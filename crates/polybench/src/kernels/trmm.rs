@@ -14,11 +14,12 @@
 
 use crate::datasets::{trmm_dims, ProblemSize};
 use crate::molds::CodeMold;
-use crate::spaces::space_for;
+use crate::spaces::{space_for_mode, SpaceMode};
 use configspace::{ConfigSpace, Configuration};
 use tvm_runtime::NDArray;
 use tvm_te::ops::cmp;
 use tvm_te::{placeholder, DType, PrimExpr};
+use tvm_tir::analyze::Diagnostic;
 use tvm_tir::builder::{seq, ser, store, when, FuncBuilder};
 use tvm_tir::PrimFunc;
 
@@ -88,17 +89,26 @@ pub fn build_trmm(m: usize, n: usize, ty: i64, tx: i64) -> PrimFunc {
 /// The trmm code mold.
 pub struct TrmmMold {
     size: ProblemSize,
+    mode: SpaceMode,
     dims: (usize, usize),
     space: ConfigSpace,
 }
 
 impl TrmmMold {
-    /// Mold for a problem-size class.
+    /// Paper-space mold for a problem-size class.
     pub fn new(size: ProblemSize) -> TrmmMold {
+        TrmmMold::with_mode(size, SpaceMode::Paper)
+    }
+
+    /// Mold for a problem-size class under a space mode. Aggressive mode
+    /// widens the tile lists (non-divisor tails are already guarded by
+    /// the builder); tile factor 0 is denied by the prelint.
+    pub fn with_mode(size: ProblemSize, mode: SpaceMode) -> TrmmMold {
         TrmmMold {
             size,
+            mode,
             dims: trmm_dims(size),
-            space: space_for(crate::datasets::KernelName::Trmm, size),
+            space: space_for_mode(crate::datasets::KernelName::Trmm, size, mode),
         }
     }
 }
@@ -112,8 +122,16 @@ impl CodeMold for TrmmMold {
         self.size
     }
 
+    fn mode(&self) -> SpaceMode {
+        self.mode
+    }
+
     fn space(&self) -> &ConfigSpace {
         &self.space
+    }
+
+    fn prelint(&self, config: &Configuration) -> Vec<Diagnostic> {
+        super::tile_prelint(config.int("P0"), config.int("P1"))
     }
 
     fn instantiate(&self, config: &Configuration) -> PrimFunc {

@@ -40,4 +40,5 @@ pub mod spaces;
 pub mod verify;
 
 pub use datasets::{KernelName, ProblemSize};
-pub use molds::{mold_for, CodeMold};
+pub use molds::{mold_for, mold_for_mode, CodeMold};
+pub use spaces::{embed_config, space_for, space_for_mode, SpaceMode};

@@ -5,8 +5,10 @@
 //! — step 2 of the proposed framework's iterative phase.
 
 use crate::datasets::{KernelName, ProblemSize};
+use crate::spaces::SpaceMode;
 use configspace::{ConfigSpace, Configuration};
 use tvm_runtime::NDArray;
+use tvm_tir::analyze::Diagnostic;
 use tvm_tir::PrimFunc;
 
 /// A tunable kernel: a parameter space plus an instantiation function.
@@ -17,13 +19,34 @@ pub trait CodeMold: Send + Sync {
     /// Problem-size class this mold was built for.
     fn size(&self) -> ProblemSize;
 
+    /// Which schedule-space region this mold spans.
+    fn mode(&self) -> SpaceMode {
+        SpaceMode::Paper
+    }
+
     /// The tuning space (the paper's `cs` object).
     fn space(&self) -> &ConfigSpace;
+
+    /// Pre-lowering legality check on the *declared* schedule facts of
+    /// `config` — split factors, fuse adjacency, vectorize widths — run
+    /// before [`CodeMold::instantiate`] so that configurations which
+    /// would panic during scheduling (zero tiles, non-adjacent fuses)
+    /// are denied first. An empty result means "may instantiate"; any
+    /// returned diagnostic is a `Deny` with a stable `TIR-*` code.
+    ///
+    /// Paper-mode spaces contain no illegal schedule, so the default is
+    /// unconditionally clean.
+    fn prelint(&self, config: &Configuration) -> Vec<Diagnostic> {
+        let _ = config;
+        Vec::new()
+    }
 
     /// Fill the mold's holes with `config` and lower to TIR.
     ///
     /// # Panics
-    /// If `config` does not belong to [`CodeMold::space`].
+    /// If `config` does not belong to [`CodeMold::space`], or if it
+    /// declares an illegal schedule that [`CodeMold::prelint`] would
+    /// have denied (callers must prelint first).
     fn instantiate(&self, config: &Configuration) -> PrimFunc;
 
     /// Allocate and initialize the argument arrays (inputs followed by
@@ -37,7 +60,9 @@ pub trait CodeMold: Send + Sync {
     fn reference_args(&self) -> Vec<Option<NDArray>>;
 
     /// The untuned baseline of the paper's §4 listings (`tile = 8`
-    /// everywhere, clamped into the space).
+    /// everywhere, clamped into the space). Aggressive scheduling knobs
+    /// stay at their neutral first value, and the illegal tile factor 0
+    /// is never selected, so the baseline always instantiates.
     fn baseline_configuration(&self) -> Configuration {
         let space = self.space();
         let names: Vec<String> = space
@@ -49,12 +74,19 @@ pub trait CodeMold: Send + Sync {
             .params()
             .iter()
             .map(|p| {
-                // Closest value to 8 in the ordinal sequence.
+                if crate::spaces::KNOB_NAMES.contains(&p.name()) {
+                    return p.value_at(0);
+                }
+                // Closest value to 8 in the ordinal sequence (skipping
+                // the aggressive space's illegal factor 0).
                 let card = p.cardinality().expect("mold spaces are discrete");
                 let mut best = p.value_at(0);
                 let mut bd = f64::INFINITY;
                 for i in 0..card as usize {
                     let v = p.value_at(i);
+                    if v.as_int() == Some(0) {
+                        continue;
+                    }
                     let d = (v.as_int().unwrap_or(0) - 8).abs() as f64;
                     if d < bd {
                         bd = d;
@@ -68,17 +100,24 @@ pub trait CodeMold: Send + Sync {
     }
 }
 
-/// Construct the mold for a kernel at a problem size.
-pub fn mold_for(kernel: KernelName, size: ProblemSize) -> Box<dyn CodeMold> {
+/// Construct the mold for a kernel at a problem size under a space mode.
+pub fn mold_for_mode(kernel: KernelName, size: ProblemSize, mode: SpaceMode) -> Box<dyn CodeMold> {
     match kernel {
-        KernelName::Mm3 => Box::new(crate::kernels::mm3::Mm3Mold::new(size)),
-        KernelName::Lu => Box::new(crate::kernels::lu::LuMold::new(size)),
-        KernelName::Cholesky => Box::new(crate::kernels::cholesky::CholeskyMold::new(size)),
-        KernelName::Gemm => Box::new(crate::kernels::gemm::GemmMold::new(size)),
-        KernelName::Mm2 => Box::new(crate::kernels::mm2::Mm2Mold::new(size)),
-        KernelName::Syrk => Box::new(crate::kernels::syrk::SyrkMold::new(size)),
-        KernelName::Trmm => Box::new(crate::kernels::trmm::TrmmMold::new(size)),
+        KernelName::Mm3 => Box::new(crate::kernels::mm3::Mm3Mold::with_mode(size, mode)),
+        KernelName::Lu => Box::new(crate::kernels::lu::LuMold::with_mode(size, mode)),
+        KernelName::Cholesky => Box::new(crate::kernels::cholesky::CholeskyMold::with_mode(
+            size, mode,
+        )),
+        KernelName::Gemm => Box::new(crate::kernels::gemm::GemmMold::with_mode(size, mode)),
+        KernelName::Mm2 => Box::new(crate::kernels::mm2::Mm2Mold::with_mode(size, mode)),
+        KernelName::Syrk => Box::new(crate::kernels::syrk::SyrkMold::with_mode(size, mode)),
+        KernelName::Trmm => Box::new(crate::kernels::trmm::TrmmMold::with_mode(size, mode)),
     }
+}
+
+/// Construct the paper-space mold for a kernel at a problem size.
+pub fn mold_for(kernel: KernelName, size: ProblemSize) -> Box<dyn CodeMold> {
+    mold_for_mode(kernel, size, SpaceMode::Paper)
 }
 
 #[cfg(test)]
@@ -104,5 +143,42 @@ mod tests {
         );
         assert_eq!(mold_for(KernelName::Gemm, ProblemSize::Mini).name(), "gemm");
         assert_eq!(mold_for(KernelName::Mm2, ProblemSize::Mini).name(), "2mm");
+    }
+
+    #[test]
+    fn aggressive_baseline_is_legal_and_neutral() {
+        for kernel in [
+            KernelName::Gemm,
+            KernelName::Mm2,
+            KernelName::Mm3,
+            KernelName::Lu,
+            KernelName::Cholesky,
+            KernelName::Syrk,
+            KernelName::Trmm,
+        ] {
+            let mold = mold_for_mode(kernel, ProblemSize::Mini, SpaceMode::Aggressive);
+            assert_eq!(mold.mode(), SpaceMode::Aggressive);
+            let base = mold.baseline_configuration();
+            assert!(mold.space().validate(&base), "{kernel}");
+            assert!(
+                mold.prelint(&base).is_empty(),
+                "{kernel}: baseline must pass the prelint"
+            );
+            for knob in crate::spaces::KNOB_NAMES {
+                if let Some(v) = base.get(knob) {
+                    assert_eq!(v.as_int(), Some(0), "{kernel}: {knob} must stay neutral");
+                }
+            }
+            for p in mold.space().params() {
+                if crate::spaces::KNOB_NAMES.contains(&p.name()) {
+                    continue;
+                }
+                assert_ne!(
+                    base.int(p.name()),
+                    0,
+                    "{kernel}: baseline must never pick tile 0"
+                );
+            }
+        }
     }
 }

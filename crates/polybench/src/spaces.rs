@@ -1,15 +1,93 @@
-//! The paper's tuning spaces, derived exactly as §4 describes: each split
-//! factor is an ordinal hyperparameter over "the common factors of each
-//! matrix rank". [`space_for`] reproduces Table 1's cardinalities.
+//! Tuning-space construction for the PolyBench molds.
+//!
+//! Two modes exist. [`SpaceMode::Paper`] reproduces the paper's §4 spaces
+//! exactly: each split factor is an ordinal hyperparameter over "the
+//! common factors of each matrix rank", and [`space_for`] reproduces
+//! Table 1's cardinalities. [`SpaceMode::Aggressive`] grows the frontier:
+//! non-divisor tile sizes (guarded tail iterations), the degenerate
+//! `tile == extent` / `tile > extent` edges, the illegal factor 0, and —
+//! for the TE matmul kernels — loop-order, fuse, vectorize, parallel and
+//! unroll knobs that are *not* all legal or race-free. The static
+//! analyzer (prelint + bounds/race checks) is the gatekeeper that prunes
+//! the wild region before anything compiles or runs.
 
 use crate::datasets::{
     factorization_n, gemm_dims, mm2_dims, mm3_dims, syrk_dims, trmm_dims, KernelName, ProblemSize,
 };
-use crate::divisors::divisors;
-use configspace::{ConfigSpace, Hyperparameter};
+use crate::divisors::{aggressive_tiles, divisors};
+use configspace::{ConfigSpace, Configuration, Hyperparameter};
 
-/// Tuning space for a kernel at a problem size.
+/// Which region of schedule space a kernel's `ConfigSpace` spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SpaceMode {
+    /// The paper's divisor-only spaces (Table 1 cardinalities); every
+    /// configuration instantiates and is race-free by construction.
+    #[default]
+    Paper,
+    /// Divisors plus non-divisor/overshooting/zero tiles and scheduling
+    /// knobs; a sizable fraction of configurations is statically denied.
+    Aggressive,
+}
+
+impl SpaceMode {
+    /// Parse from the lowercase names used on bench CLIs.
+    pub fn parse(s: &str) -> Option<SpaceMode> {
+        match s {
+            "paper" => Some(SpaceMode::Paper),
+            "aggressive" => Some(SpaceMode::Aggressive),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SpaceMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SpaceMode::Paper => "paper",
+            SpaceMode::Aggressive => "aggressive",
+        })
+    }
+}
+
+/// Names of the aggressive scheduling knobs (beyond tile factors). The
+/// first value of each knob reproduces the paper-mode schedule, so any
+/// paper configuration embeds into the aggressive space via
+/// [`embed_config`].
+pub const KNOB_NAMES: [&str; 5] = ["ORDER", "FUSE", "VEC", "PAR", "UNROLL"];
+
+/// Tile-factor value list for one axis under a mode.
+fn tiles(n: usize, mode: SpaceMode) -> Vec<i64> {
+    match mode {
+        SpaceMode::Paper => divisors(n as u64),
+        SpaceMode::Aggressive => aggressive_tiles(n as u64),
+    }
+}
+
+/// The scheduling knobs added to the TE matmul kernels in aggressive
+/// mode. Neutral (paper-equivalent) value first in every list:
+/// * `ORDER`: loop order — 0 `yo,xo,k,yi,xi` (paper), 1 `xo,yo,k,xi,yi`,
+///   2 `yo,xo,yi,xi,k` (reduction innermost).
+/// * `FUSE`: 0 none, 1 fuse the two outermost tile loops (always
+///   adjacent), 2 fuse `y.outer` with the reduction axis — only adjacent
+///   under `ORDER == 1`, otherwise denied by `TIR-FUSE-ILLEGAL`.
+/// * `VEC`: vector lanes on the innermost column axis; 0 disables.
+///   Lanes exceeding the column tile are denied by `TIR-VEC-OVER`.
+/// * `PAR`: 0 parallel outermost (paper), 1 serial, 2 parallel the
+///   reduction axis — a write-write race the analyzer denies.
+/// * `UNROLL`: 0 none, 1 unroll the inner row loop.
+fn matmul_knobs() -> Vec<Hyperparameter> {
+    vec![
+        Hyperparameter::ordinal_ints("ORDER", &[0, 1, 2]),
+        Hyperparameter::ordinal_ints("FUSE", &[0, 1, 2]),
+        Hyperparameter::ordinal_ints("VEC", &[0, 2, 4, 8, 64]),
+        Hyperparameter::ordinal_ints("PAR", &[0, 1, 2]),
+        Hyperparameter::ordinal_ints("UNROLL", &[0, 1]),
+    ]
+}
+
+/// Tuning space for a kernel at a problem size under a [`SpaceMode`].
 ///
+/// Paper mode:
 /// * `3mm`: six ordinals `P0..P5`. Following the paper's ConfigSpace
 ///   listing, `P0`/`P3` range over the divisors of `M`, `P1`/`P5` over the
 ///   divisors of `N`, and `P2`/`P4` over the divisors of `P`
@@ -18,54 +96,90 @@ use configspace::{ConfigSpace, Hyperparameter};
 /// * `lu`, `cholesky`: two ordinals (`tile_y`, `tile_x`) over the divisors
 ///   of `N` (large: 20² = 400; extralarge: 24² = 576 — Table 1).
 /// * `gemm` / `2mm` (extensions): the analogous divisor spaces.
-pub fn space_for(kernel: KernelName, size: ProblemSize) -> ConfigSpace {
+///
+/// Aggressive mode keeps the same tile parameters over
+/// [`aggressive_tiles`] value lists (a strict superset of the divisors)
+/// and, for the TE matmul kernels (`gemm`, `2mm`, `3mm`), adds the
+/// [`matmul_knobs`]; `syrk` gains the `PAR` knob (its reduction loop can
+/// be — unsoundly — parallelized).
+pub fn space_for_mode(kernel: KernelName, size: ProblemSize, mode: SpaceMode) -> ConfigSpace {
     let mut cs = ConfigSpace::new();
     match kernel {
         KernelName::Mm3 => {
             let d = mm3_dims(size);
-            let (dm, dn, dp) = (
-                divisors(d.m as u64),
-                divisors(d.n as u64),
-                divisors(d.p as u64),
-            );
+            let (dm, dn, dp) = (tiles(d.m, mode), tiles(d.n, mode), tiles(d.p, mode));
             cs.add(Hyperparameter::ordinal_ints("P0", &dm));
             cs.add(Hyperparameter::ordinal_ints("P1", &dn));
             cs.add(Hyperparameter::ordinal_ints("P2", &dp));
             cs.add(Hyperparameter::ordinal_ints("P3", &dm));
             cs.add(Hyperparameter::ordinal_ints("P4", &dp));
             cs.add(Hyperparameter::ordinal_ints("P5", &dn));
+            if mode == SpaceMode::Aggressive {
+                cs.add_all(matmul_knobs());
+            }
         }
         KernelName::Lu | KernelName::Cholesky => {
             let n = factorization_n(size);
-            let dn = divisors(n as u64);
+            let dn = tiles(n, mode);
             cs.add(Hyperparameter::ordinal_ints("P0", &dn));
             cs.add(Hyperparameter::ordinal_ints("P1", &dn));
         }
         KernelName::Gemm => {
             let (ni, nj, _) = gemm_dims(size);
-            cs.add(Hyperparameter::ordinal_ints("P0", &divisors(ni as u64)));
-            cs.add(Hyperparameter::ordinal_ints("P1", &divisors(nj as u64)));
+            cs.add(Hyperparameter::ordinal_ints("P0", &tiles(ni, mode)));
+            cs.add(Hyperparameter::ordinal_ints("P1", &tiles(nj, mode)));
+            if mode == SpaceMode::Aggressive {
+                cs.add_all(matmul_knobs());
+            }
         }
         KernelName::Syrk => {
             let (_, n) = syrk_dims(size);
-            let dn = divisors(n as u64);
+            let dn = tiles(n, mode);
             cs.add(Hyperparameter::ordinal_ints("P0", &dn));
             cs.add(Hyperparameter::ordinal_ints("P1", &dn));
+            if mode == SpaceMode::Aggressive {
+                cs.add(Hyperparameter::ordinal_ints("PAR", &[0, 1, 2]));
+            }
         }
         KernelName::Trmm => {
             let (m, n) = trmm_dims(size);
-            cs.add(Hyperparameter::ordinal_ints("P0", &divisors(m as u64)));
-            cs.add(Hyperparameter::ordinal_ints("P1", &divisors(n as u64)));
+            cs.add(Hyperparameter::ordinal_ints("P0", &tiles(m, mode)));
+            cs.add(Hyperparameter::ordinal_ints("P1", &tiles(n, mode)));
         }
         KernelName::Mm2 => {
             let (ni, nj, _, nl) = mm2_dims(size);
-            cs.add(Hyperparameter::ordinal_ints("P0", &divisors(ni as u64)));
-            cs.add(Hyperparameter::ordinal_ints("P1", &divisors(nj as u64)));
-            cs.add(Hyperparameter::ordinal_ints("P2", &divisors(ni as u64)));
-            cs.add(Hyperparameter::ordinal_ints("P3", &divisors(nl as u64)));
+            cs.add(Hyperparameter::ordinal_ints("P0", &tiles(ni, mode)));
+            cs.add(Hyperparameter::ordinal_ints("P1", &tiles(nj, mode)));
+            cs.add(Hyperparameter::ordinal_ints("P2", &tiles(ni, mode)));
+            cs.add(Hyperparameter::ordinal_ints("P3", &tiles(nl, mode)));
+            if mode == SpaceMode::Aggressive {
+                cs.add_all(matmul_knobs());
+            }
         }
     }
     cs
+}
+
+/// The paper's tuning space — [`space_for_mode`] with [`SpaceMode::Paper`].
+pub fn space_for(kernel: KernelName, size: ProblemSize) -> ConfigSpace {
+    space_for_mode(kernel, size, SpaceMode::Paper)
+}
+
+/// Embed a configuration from a narrower space into `space`: parameters
+/// present in `config` keep their values, parameters `config` lacks (the
+/// aggressive knobs) take their first — neutral — value. The result
+/// instantiates to the same schedule as `config` did in its own space.
+pub fn embed_config(space: &ConfigSpace, config: &Configuration) -> Configuration {
+    let names: Vec<String> = space.params().iter().map(|p| p.name().to_string()).collect();
+    let values = space
+        .params()
+        .iter()
+        .map(|p| match config.get(p.name()) {
+            Some(v) => v.clone(),
+            None => p.value_at(0),
+        })
+        .collect();
+    Configuration::new(names, values)
 }
 
 /// The rows of the paper's Table 1: `(kernel, size, cardinality)`.
@@ -85,6 +199,16 @@ pub fn table1() -> Vec<(KernelName, ProblemSize, u128)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const ALL_KERNELS: [KernelName; 7] = [
+        KernelName::Mm3,
+        KernelName::Lu,
+        KernelName::Cholesky,
+        KernelName::Gemm,
+        KernelName::Mm2,
+        KernelName::Syrk,
+        KernelName::Trmm,
+    ];
 
     #[test]
     fn table1_cardinalities_match_paper() {
@@ -155,5 +279,78 @@ mod tests {
                 assert!(space_for(k, s).size().is_some());
             }
         }
+    }
+
+    #[test]
+    fn aggressive_space_is_strict_superset() {
+        // Every paper parameter value stays addressable in the aggressive
+        // space (same name, value present), and the aggressive space is
+        // strictly larger — for all seven kernels at both a test size and
+        // a paper size.
+        for kernel in ALL_KERNELS {
+            for size in [ProblemSize::Mini, ProblemSize::Large] {
+                let paper = space_for_mode(kernel, size, SpaceMode::Paper);
+                let agg = space_for_mode(kernel, size, SpaceMode::Aggressive);
+                for p in paper.params() {
+                    let ap = agg
+                        .get(p.name())
+                        .unwrap_or_else(|| panic!("{kernel} {size}: missing {}", p.name()));
+                    let card = p.cardinality().expect("discrete") as usize;
+                    for i in 0..card {
+                        let v = p.value_at(i);
+                        assert!(
+                            ap.index_of(&v).is_some(),
+                            "{kernel} {size}: paper value {v:?} of {} absent",
+                            p.name()
+                        );
+                    }
+                }
+                let (ps, ags) = (paper.size().unwrap(), agg.size().unwrap());
+                assert!(ags > ps, "{kernel} {size}: {ags} !> {ps}");
+            }
+        }
+    }
+
+    #[test]
+    fn aggressive_knobs_are_neutral_first() {
+        let cs = space_for_mode(KernelName::Gemm, ProblemSize::Mini, SpaceMode::Aggressive);
+        for knob in KNOB_NAMES {
+            let p = cs.get(knob).unwrap_or_else(|| panic!("missing {knob}"));
+            let first = p.value_at(0).as_int().expect("int knob");
+            assert_eq!(first, 0, "{knob} must default to the paper schedule");
+        }
+    }
+
+    #[test]
+    fn embed_config_preserves_paper_values() {
+        let paper = space_for_mode(KernelName::Gemm, ProblemSize::Mini, SpaceMode::Paper);
+        let agg = space_for_mode(KernelName::Gemm, ProblemSize::Mini, SpaceMode::Aggressive);
+        let cfg = paper.default_configuration();
+        let embedded = embed_config(&agg, &cfg);
+        assert!(agg.validate(&embedded), "embedded config must be in space");
+        assert_eq!(embedded.int("P0"), cfg.int("P0"));
+        assert_eq!(embedded.int("P1"), cfg.int("P1"));
+        for knob in KNOB_NAMES {
+            assert_eq!(embedded.int(knob), 0, "{knob} neutral");
+        }
+    }
+
+    #[test]
+    fn gemm_mini_aggressive_fits_full_grid() {
+        // The BO full-grid acquisition ranking kicks in below 2^16
+        // configurations; keep the flagship aggressive space inside it.
+        let cs = space_for_mode(KernelName::Gemm, ProblemSize::Mini, SpaceMode::Aggressive);
+        let sz = cs.size().expect("discrete");
+        assert!(sz <= 1 << 16, "gemm mini aggressive space too big: {sz}");
+        assert_eq!(sz, 12 * 11 * 3 * 3 * 5 * 3 * 2);
+    }
+
+    #[test]
+    fn space_mode_parse_roundtrip() {
+        for m in [SpaceMode::Paper, SpaceMode::Aggressive] {
+            assert_eq!(SpaceMode::parse(&m.to_string()), Some(m));
+        }
+        assert_eq!(SpaceMode::parse("wild"), None);
+        assert_eq!(SpaceMode::default(), SpaceMode::Paper);
     }
 }

@@ -18,6 +18,41 @@ pub enum EngineKind {
     Real,
 }
 
+/// Which schedule space a job tunes over.
+///
+/// Service-side mirror of `polybench::SpaceMode` so the choice rides
+/// inside persisted job specs (the mold crate stays serde-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SpaceKind {
+    /// The paper's divisor-only tile spaces: every configuration is
+    /// legal by construction.
+    #[default]
+    Paper,
+    /// The widened analyzer-pruned spaces: non-divisor tiles, illegal
+    /// fusions, over-wide vectors, racy parallel annotations — the
+    /// static analyzer holds the line before anything compiles.
+    Aggressive,
+}
+
+impl SpaceKind {
+    /// Parse a client-side space name.
+    pub fn parse(s: &str) -> Option<SpaceKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "paper" | "divisor" => Some(SpaceKind::Paper),
+            "aggressive" | "wide" => Some(SpaceKind::Aggressive),
+            _ => None,
+        }
+    }
+
+    /// The mold-side mode this kind selects.
+    pub fn mode(&self) -> polybench::SpaceMode {
+        match self {
+            SpaceKind::Paper => polybench::SpaceMode::Paper,
+            SpaceKind::Aggressive => polybench::SpaceMode::Aggressive,
+        }
+    }
+}
+
 /// Which search strategy drives a job's session.
 ///
 /// All five strategies are deterministic functions of `(seed, observed
@@ -95,6 +130,11 @@ pub struct JobSpec {
     /// Optional deterministic fault-injection plan (chaos testing).
     #[serde(default)]
     pub fault: Option<FaultPlan>,
+    /// Which schedule space to tune over (defaults to the paper's
+    /// divisor-only spaces, so specs persisted before this field existed
+    /// resume under the space they were tuned in).
+    #[serde(default)]
+    pub space: SpaceKind,
 }
 
 impl JobSpec {
@@ -112,6 +152,7 @@ impl JobSpec {
             engine: EngineKind::Simulated,
             deadline_s: None,
             fault: None,
+            space: SpaceKind::default(),
         }
     }
 
@@ -237,6 +278,28 @@ mod tests {
         let plan = back.fault.expect("plan survives");
         assert!((plan.total_failure_rate() - 0.3).abs() < 1e-9);
         assert_eq!(plan.seed, 99);
+    }
+
+    #[test]
+    fn space_kind_parses_and_defaults_for_legacy_specs() {
+        assert_eq!(SpaceKind::parse("paper"), Some(SpaceKind::Paper));
+        assert_eq!(SpaceKind::parse("Aggressive"), Some(SpaceKind::Aggressive));
+        assert_eq!(SpaceKind::parse("huge"), None);
+        assert_eq!(SpaceKind::Paper.mode(), polybench::SpaceMode::Paper);
+        assert_eq!(SpaceKind::Aggressive.mode(), polybench::SpaceMode::Aggressive);
+
+        let mut spec = JobSpec::new("t", "gemm", "mini");
+        spec.space = SpaceKind::Aggressive;
+        let json = serde_json::to_string(&spec).expect("serialize");
+        let back: JobSpec = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.space, SpaceKind::Aggressive);
+
+        // A spec persisted before the field existed resumes under the
+        // paper space it was tuned in.
+        let mut value: serde_json::Value = serde_json::from_str(&json).expect("value");
+        value.as_object_mut().expect("object").remove("space");
+        let legacy: JobSpec = serde_json::from_value(value).expect("legacy spec");
+        assert_eq!(legacy.space, SpaceKind::Paper);
     }
 
     #[test]

@@ -27,11 +27,11 @@ use autotvm::harness::{FaultInjector, HarnessOptions, HarnessedEvaluator};
 use autotvm::measure::{Evaluator, MeasureResult};
 use configspace::{ConfigSpace, Configuration};
 use gpu_sim::{GpuSpec, SimDevice};
-use polybench::molds::mold_for;
+use polybench::molds::mold_for_mode;
 use std::sync::Arc;
 use tvm_autotune::{MemoCache, MoldEvaluator};
 use tvm_runtime::CpuDevice;
-use ytopt_bo::problem::{CacheStats, JitStats, ParStats, StaticCheckStats};
+use ytopt_bo::problem::{CacheStats, JitStats, ParStats, PruneStats, StaticCheckStats};
 
 /// One engine level: a display name plus the (harnessed) evaluator.
 pub struct Rung {
@@ -135,6 +135,20 @@ impl EngineLadder {
         merged
     }
 
+    /// Static-pruning counters merged over every rung whose evaluator
+    /// runs the analyzer pipeline (`None` when none does). Merged like
+    /// [`Self::par_stats`]: after a demotion, candidates denied on the
+    /// old rung are still part of the session's story.
+    pub fn prune_stats(&self) -> Option<PruneStats> {
+        let mut merged: Option<PruneStats> = None;
+        for r in &self.rungs {
+            if let Some(s) = r.evaluator.prune_stats() {
+                merged.get_or_insert_with(PruneStats::default).merge(&s);
+            }
+        }
+        merged
+    }
+
     /// Feed one trial's outcome (live or replayed) into the demotion
     /// state machine. Returns `true` when this observation demoted the
     /// ladder. Success resets the streak; engine-failure kinds extend
@@ -191,6 +205,8 @@ pub fn build_ladder(
     demote_after: u32,
 ) -> Result<EngineLadder, String> {
     let (kernel, size) = spec.workload()?;
+    let mode = spec.space.mode();
+    let mold = || mold_for_mode(kernel, size, mode);
     let wrap = |ev: MoldEvaluator| -> Box<dyn Evaluator + Send + Sync> {
         match spec.fault {
             Some(plan) => Box::new(
@@ -203,7 +219,7 @@ pub fn build_ladder(
         EngineKind::Simulated => vec![Rung {
             name: "sim-a100".into(),
             evaluator: wrap(
-                MoldEvaluator::simulated(mold_for(kernel, size), SimDevice::new(GpuSpec::a100()))
+                MoldEvaluator::simulated(mold(), SimDevice::new(GpuSpec::a100()))
                     .with_cache(Arc::clone(cache)),
             ),
         }],
@@ -211,28 +227,26 @@ pub fn build_ladder(
             Rung {
                 name: "jit".into(),
                 evaluator: wrap(
-                    MoldEvaluator::real(mold_for(kernel, size), CpuDevice::jit())
-                        .with_cache(Arc::clone(cache)),
+                    MoldEvaluator::real(mold(), CpuDevice::jit()).with_cache(Arc::clone(cache)),
                 ),
             },
             Rung {
                 name: "optimized-vm".into(),
                 evaluator: wrap(
-                    MoldEvaluator::real(mold_for(kernel, size), CpuDevice::new())
-                        .with_cache(Arc::clone(cache)),
+                    MoldEvaluator::real(mold(), CpuDevice::new()).with_cache(Arc::clone(cache)),
                 ),
             },
             Rung {
                 name: "scalar-vm".into(),
                 evaluator: wrap(
-                    MoldEvaluator::real(mold_for(kernel, size), CpuDevice::scalar_vm())
+                    MoldEvaluator::real(mold(), CpuDevice::scalar_vm())
                         .with_cache(Arc::clone(cache)),
                 ),
             },
             Rung {
                 name: "interpreter".into(),
                 evaluator: wrap(
-                    MoldEvaluator::real(mold_for(kernel, size), CpuDevice::interpreter())
+                    MoldEvaluator::real(mold(), CpuDevice::interpreter())
                         .with_cache(Arc::clone(cache)),
                 ),
             },

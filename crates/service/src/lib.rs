@@ -37,7 +37,7 @@ pub mod service;
 pub mod session;
 
 pub use breaker::{Admission, BreakerBoard, BreakerConfig, BreakerStatus, CircuitBreaker};
-pub use job::{EngineKind, JobSpec, RejectReason, TunerKind};
+pub use job::{EngineKind, JobSpec, RejectReason, SpaceKind, TunerKind};
 pub use ladder::{build_ladder, EngineLadder, Rung};
 pub use proto::{handle_line, handle_request, Request, Response};
 pub use queue::JobQueue;

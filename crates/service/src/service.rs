@@ -44,7 +44,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use tvm_autotune::MemoCache;
 use ytopt_bo::journal::{RotationPolicy, TrialJournal};
-use ytopt_bo::problem::{CacheStats, JitStats, ParStats};
+use ytopt_bo::problem::{CacheStats, JitStats, ParStats, PruneStats};
 
 /// Sentinel id that makes a worker panic *outside* the job runner's
 /// panic guard — a test hook proving the supervisor respawns workers.
@@ -163,6 +163,12 @@ pub struct ServiceStatus {
     /// report (parallel-capable rungs only; all-zero when no real-engine
     /// job has finished).
     pub par: ParStats,
+    /// Aggregate static-pruning counters over every terminal session
+    /// report (analyzed rungs only; all-zero until an analyzed job has
+    /// finished). The per-code denial counts answer "what is the
+    /// aggressive space rejecting, and why" at the fleet level.
+    #[serde(default)]
+    pub prune: PruneStats,
     /// Per-kernel breaker states.
     pub breakers: Vec<BreakerStatus>,
     /// Workers respawned by the supervisor after a crash.
@@ -407,6 +413,7 @@ impl TuningService {
         let count = |s: JobState| jobs.values().filter(|e| e.state == s).count();
         let mut jit = JitStats::default();
         let mut par = ParStats::default();
+        let mut prune = PruneStats::default();
         for entry in jobs.values() {
             let report = entry.outcome.as_ref().and_then(|o| o.report.as_ref());
             if let Some(s) = report.and_then(|r| r.jit.as_ref()) {
@@ -414,6 +421,9 @@ impl TuningService {
             }
             if let Some(s) = report.and_then(|r| r.par.as_ref()) {
                 par.merge(s);
+            }
+            if let Some(s) = report.and_then(|r| r.prune.as_ref()) {
+                prune.merge(s);
             }
         }
         ServiceStatus {
@@ -429,6 +439,7 @@ impl TuningService {
             cache: self.inner.cache.stats(),
             jit,
             par,
+            prune,
             breakers: self.inner.breakers.snapshot(),
             worker_restarts: self.inner.worker_restarts.load(Ordering::Relaxed),
             workers: self.inner.cfg.workers.max(1),
@@ -882,6 +893,34 @@ mod tests {
         assert!(
             after.hits > before.hits,
             "second identical session must hit the shared cache ({before:?} -> {after:?})"
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn aggressive_space_job_reports_prune_counters() {
+        let dir = tmpdir("prune");
+        let (svc, _) = TuningService::open(&dir, small_cfg()).expect("open");
+        let mut spec = quick_spec("t", 11);
+        spec.kernel = "gemm".into();
+        spec.space = crate::job::SpaceKind::Aggressive;
+        let id = svc.submit(spec).expect("admit");
+        let out = svc.wait(id, Duration::from_secs(30)).expect("finish");
+        assert_eq!(out.state, JobState::Completed);
+        let prune = out
+            .report
+            .expect("report")
+            .prune
+            .expect("analyzed rungs report prune counters");
+        assert!(
+            prune.total() > 0,
+            "every live trial lands in a prune counter: {prune:?}"
+        );
+        let status = svc.status();
+        assert_eq!(
+            status.prune.total(),
+            prune.total(),
+            "status aggregates terminal reports"
         );
         svc.shutdown();
     }

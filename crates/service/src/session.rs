@@ -21,7 +21,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime};
 use ytopt_bo::fault::MeasureError;
 use ytopt_bo::journal::{divergence_error, TrialJournal, TrialRecord};
-use ytopt_bo::problem::{CacheStats, JitStats, ParStats};
+use ytopt_bo::problem::{CacheStats, JitStats, ParStats, PruneStats};
 
 /// Milliseconds since the UNIX epoch (deadline arithmetic survives
 /// process restarts, unlike `Instant`).
@@ -141,6 +141,12 @@ pub struct SessionReport {
     /// parallel-capable rungs at session end (`None` when no rung runs
     /// loops on the worker pool).
     pub par: Option<ParStats>,
+    /// Static-pruning counters merged over the ladder's analyzed rungs
+    /// at session end (`None` when no rung runs the analyzer pipeline).
+    /// Per-code denial counts tell a tenant *why* an aggressive space
+    /// kept rejecting candidates.
+    #[serde(default)]
+    pub prune: Option<PruneStats>,
 }
 
 impl SessionReport {
@@ -340,6 +346,7 @@ pub fn run_session(
         cache: ladder.cache_stats(),
         jit: ladder.jit_stats(),
         par: ladder.par_stats(),
+        prune: ladder.prune_stats(),
         trials,
     })
 }

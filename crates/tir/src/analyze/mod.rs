@@ -19,6 +19,8 @@
 pub mod bounds;
 pub mod deps;
 pub mod interval;
+pub mod oracle;
+pub mod prelint;
 
 use crate::stmt::PrimFunc;
 use std::fmt;
@@ -54,6 +56,12 @@ pub mod codes {
     pub const RACE_RW: &str = "TIR-RACE-RW";
     /// A potential race that the dependence test could not resolve.
     pub const RACE_MAYBE: &str = "TIR-RACE-MAYBE";
+    /// A split factor below 1 yields a loop with no iterations.
+    pub const TRIP_ZERO: &str = "TIR-TRIP-ZERO";
+    /// A vectorize factor exceeds the trip count of its loop.
+    pub const VEC_OVER: &str = "TIR-VEC-OVER";
+    /// A fuse of two axes that are not adjacent in the loop order.
+    pub const FUSE_ILLEGAL: &str = "TIR-FUSE-ILLEGAL";
 }
 
 /// One analyzer finding.
@@ -202,6 +210,128 @@ pub fn check(func: &PrimFunc) -> AnalysisReport {
     }
 }
 
+/// Which stage of the pruning pipeline produced a denial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneStage {
+    /// The pre-lowering schedule legality prelint (no IR built).
+    Prelint,
+    /// The full analyzer over the instantiated function.
+    Analysis,
+}
+
+/// Verdict for one candidate in a batch prune.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// Statically safe as far as the analyzer can tell.
+    Admit,
+    /// Must not be compiled or measured.
+    Deny {
+        /// Pipeline stage that produced the denial.
+        stage: PruneStage,
+        /// The `Deny` diagnostics justifying the verdict.
+        diagnostics: Vec<Diagnostic>,
+    },
+}
+
+/// Result of statically filtering a batch of candidates.
+#[derive(Debug, Clone, Default)]
+pub struct PruneReport {
+    /// One verdict per input, in order.
+    pub verdicts: Vec<Verdict>,
+    /// Candidates admitted to compilation/measurement.
+    pub admitted: u64,
+    /// Candidates denied by the prelint (never instantiated).
+    pub prelint_denied: u64,
+    /// Candidates denied by the analyzer on the instantiated function.
+    pub analyzer_denied: u64,
+    /// Denial counts per stable diagnostic code, sorted by code.
+    pub by_code: Vec<(String, u64)>,
+}
+
+impl PruneReport {
+    /// Record an admission.
+    pub fn admit(&mut self) {
+        self.admitted += 1;
+        self.verdicts.push(Verdict::Admit);
+    }
+
+    /// Record a denial, counting each distinct code once per candidate.
+    pub fn deny(&mut self, stage: PruneStage, diagnostics: Vec<Diagnostic>) {
+        match stage {
+            PruneStage::Prelint => self.prelint_denied += 1,
+            PruneStage::Analysis => self.analyzer_denied += 1,
+        }
+        let mut codes: Vec<&str> = diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .map(|d| d.code)
+            .collect();
+        codes.sort_unstable();
+        codes.dedup();
+        for code in codes {
+            match self.by_code.iter_mut().find(|(c, _)| c == code) {
+                Some((_, n)) => *n += 1,
+                None => self.by_code.push((code.to_string(), 1)),
+            }
+        }
+        self.by_code.sort();
+        self.verdicts.push(Verdict::Deny { stage, diagnostics });
+    }
+
+    /// Total candidates examined.
+    pub fn total(&self) -> u64 {
+        self.admitted + self.prelint_denied + self.analyzer_denied
+    }
+
+    /// Fraction of candidates denied (0 when the batch was empty).
+    pub fn fraction_denied(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.prelint_denied + self.analyzer_denied) as f64 / self.total() as f64
+        }
+    }
+
+    /// True when candidate `i` was admitted.
+    pub fn is_admitted(&self, i: usize) -> bool {
+        matches!(self.verdicts.get(i), Some(Verdict::Admit))
+    }
+}
+
+/// Statically filter a batch: run the cheap `prelint` first, and only
+/// when it passes call `analyze` (which typically instantiates the
+/// schedule and runs [`check`]). `analyze` returning `None` means the
+/// candidate could not be instantiated even though the prelint passed —
+/// it is denied under [`codes::UNANALYZABLE`].
+pub fn prune_with<T>(
+    items: &[T],
+    mut prelint: impl FnMut(&T) -> Vec<Diagnostic>,
+    mut analyze: impl FnMut(&T) -> Option<AnalysisReport>,
+) -> PruneReport {
+    let mut report = PruneReport::default();
+    for item in items {
+        let lint = prelint(item);
+        if lint.iter().any(|d| d.severity == Severity::Deny) {
+            report.deny(PruneStage::Prelint, lint);
+            continue;
+        }
+        match analyze(item) {
+            Some(analysis) if analysis.is_rejected() => {
+                report.deny(PruneStage::Analysis, analysis.diagnostics);
+            }
+            Some(_) => report.admit(),
+            None => report.deny(
+                PruneStage::Analysis,
+                vec![Diagnostic::deny(
+                    codes::UNANALYZABLE,
+                    "candidate failed to instantiate after a clean prelint",
+                )],
+            ),
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +362,60 @@ mod tests {
         assert!(json.contains("TIR-OOB"));
         let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid json");
         assert_eq!(parsed.get("function").and_then(|v| v.as_str()), Some("mm"));
+    }
+
+    #[test]
+    fn prune_batches_and_counts_by_code() {
+        // Items are (prelint-denies, analyzer-denies) pairs.
+        let items = [(false, false), (true, false), (false, true), (true, true)];
+        let report = prune_with(
+            &items,
+            |&(lint, _)| {
+                if lint {
+                    vec![Diagnostic::deny(codes::TRIP_ZERO, "zero tile")]
+                } else {
+                    vec![]
+                }
+            },
+            |&(_, bad)| {
+                let mut r = AnalysisReport {
+                    function: "f".into(),
+                    diagnostics: vec![],
+                };
+                if bad {
+                    r.diagnostics
+                        .push(Diagnostic::deny(codes::RACE_WW, "race"));
+                }
+                Some(r)
+            },
+        );
+        assert_eq!(report.total(), 4);
+        assert_eq!(report.admitted, 1);
+        assert_eq!(report.prelint_denied, 2); // prelint wins over analysis
+        assert_eq!(report.analyzer_denied, 1);
+        assert!((report.fraction_denied() - 0.75).abs() < 1e-12);
+        assert!(report.is_admitted(0));
+        assert!(!report.is_admitted(1));
+        assert_eq!(
+            report.by_code,
+            vec![
+                (codes::RACE_WW.to_string(), 1),
+                (codes::TRIP_ZERO.to_string(), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn prune_denies_uninstantiable_after_clean_prelint() {
+        let report = prune_with(&[()], |_| vec![], |_| None);
+        assert_eq!(report.analyzer_denied, 1);
+        assert!(matches!(
+            &report.verdicts[0],
+            Verdict::Deny {
+                stage: PruneStage::Analysis,
+                ..
+            }
+        ));
     }
 
     #[test]

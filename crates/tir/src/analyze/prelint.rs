@@ -1,0 +1,160 @@
+//! Pre-lowering schedule legality prelint.
+//!
+//! Aggressive configuration spaces deliberately include schedules that
+//! cannot even be *instantiated*: zero tile factors (a `split` by 0
+//! panics), fuses of non-adjacent axes, vectorize factors wider than the
+//! loop they apply to. Those must be rejected before `instantiate` runs,
+//! so the prelint operates on *declared schedule facts* — the mold
+//! reports each split/fuse/vectorize it would perform, and the prelint
+//! turns illegal ones into `Deny` diagnostics with stable codes
+//! (`TIR-TRIP-ZERO`, `TIR-VEC-OVER`, `TIR-FUSE-ILLEGAL`).
+//!
+//! The prelint is intentionally cheaper than instantiation: a handful of
+//! integer comparisons per config, no IR is built.
+
+use super::{codes, Diagnostic};
+
+/// Accumulates schedule facts and the diagnostics they imply.
+#[derive(Debug, Default)]
+pub struct Prelint {
+    diags: Vec<Diagnostic>,
+}
+
+impl Prelint {
+    /// Fresh prelint with no findings.
+    pub fn new() -> Prelint {
+        Prelint::default()
+    }
+
+    /// Declare a `split(axis, factor)`. A factor below 1 produces a loop
+    /// with no iterations and panics at instantiation (`TIR-TRIP-ZERO`).
+    pub fn split(&mut self, axis: &str, factor: i64) -> &mut Self {
+        if factor < 1 {
+            self.diags.push(Diagnostic {
+                loop_var: Some(axis.to_string()),
+                ..Diagnostic::deny(
+                    codes::TRIP_ZERO,
+                    format!("split of `{axis}` by factor {factor} yields an empty trip count"),
+                )
+            });
+        }
+        self
+    }
+
+    /// Declare a `vectorize` of a loop with `trip` iterations by
+    /// `factor` lanes. A factor exceeding the trip count cannot fill its
+    /// vector lanes (`TIR-VEC-OVER`); factors below 1 are `TIR-TRIP-ZERO`
+    /// (the vector loop is materialized via a split).
+    pub fn vectorize(&mut self, axis: &str, trip: i64, factor: i64) -> &mut Self {
+        if factor < 1 {
+            return self.split(axis, factor);
+        }
+        if factor > trip {
+            self.diags.push(Diagnostic {
+                loop_var: Some(axis.to_string()),
+                ..Diagnostic::deny(
+                    codes::VEC_OVER,
+                    format!(
+                        "vectorize of `{axis}` by {factor} lanes exceeds its \
+                         trip count {trip}; lanes would be masked"
+                    ),
+                )
+            });
+        }
+        self
+    }
+
+    /// Declare a `fuse(outer, inner)`. Fusing is only defined for axes
+    /// that are adjacent in the current loop order; anything else panics
+    /// at instantiation (`TIR-FUSE-ILLEGAL`).
+    pub fn fuse(&mut self, outer: &str, inner: &str, adjacent: bool) -> &mut Self {
+        if !adjacent {
+            self.diags.push(Diagnostic {
+                loop_var: Some(outer.to_string()),
+                ..Diagnostic::deny(
+                    codes::FUSE_ILLEGAL,
+                    format!("fuse of `{outer}` with `{inner}`: axes are not adjacent"),
+                )
+            });
+        }
+        self
+    }
+
+    /// True when any declared fact was illegal.
+    pub fn is_rejected(&self) -> bool {
+        !self.diags.is_empty()
+    }
+
+    /// Consume the prelint, yielding its diagnostics (all `Deny`).
+    pub fn finish(self) -> Vec<Diagnostic> {
+        self.diags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::Severity;
+
+    #[test]
+    fn legal_facts_are_clean() {
+        let mut p = Prelint::new();
+        p.split("y", 8)
+            .split("x", 5)
+            .vectorize("x.inner", 8, 4)
+            .fuse("y.outer", "x.outer", true);
+        assert!(!p.is_rejected());
+        assert!(p.finish().is_empty());
+    }
+
+    #[test]
+    fn zero_factor_split_is_denied() {
+        let mut p = Prelint::new();
+        p.split("y", 0);
+        let diags = p.finish();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::TRIP_ZERO);
+        assert_eq!(diags[0].severity, Severity::Deny);
+        assert_eq!(diags[0].loop_var.as_deref(), Some("y"));
+    }
+
+    #[test]
+    fn oversized_vectorize_is_denied() {
+        let mut p = Prelint::new();
+        p.vectorize("x.inner", 4, 8);
+        let diags = p.finish();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::VEC_OVER);
+    }
+
+    #[test]
+    fn exact_width_vectorize_is_legal() {
+        let mut p = Prelint::new();
+        p.vectorize("x.inner", 8, 8);
+        assert!(!p.is_rejected());
+    }
+
+    #[test]
+    fn zero_lane_vectorize_is_trip_zero() {
+        let mut p = Prelint::new();
+        p.vectorize("x.inner", 8, 0);
+        let diags = p.finish();
+        assert_eq!(diags[0].code, codes::TRIP_ZERO);
+    }
+
+    #[test]
+    fn non_adjacent_fuse_is_denied() {
+        let mut p = Prelint::new();
+        p.fuse("y.outer", "k", false);
+        let diags = p.finish();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::FUSE_ILLEGAL);
+    }
+
+    #[test]
+    fn findings_accumulate() {
+        let mut p = Prelint::new();
+        p.split("y", 0).split("x", -3).fuse("a", "b", false);
+        assert_eq!(p.finish().len(), 3);
+    }
+}

@@ -11,8 +11,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use tvm_runtime::{CompiledFunc, Device, NDArray};
+use tvm_tir::analyze::{Diagnostic, PruneReport, PruneStage, Severity, Verdict};
 use tvm_tir::PrimFunc;
-use ytopt_bo::problem::{CacheStats, Evaluation, JitStats, ParStats, Problem, StaticCheckStats};
+use ytopt_bo::problem::{
+    CacheStats, Evaluation, JitStats, ParStats, Problem, PruneStats, StaticCheckStats,
+};
 
 /// Modeled host↔device transfer bandwidth (PCIe 4.0 ×16), bytes/s.
 const TRANSFER_BW: f64 = 16e9;
@@ -28,15 +31,25 @@ pub enum EvalMode {
     Real,
 }
 
+/// A cached static rejection: which pipeline stage denied the config and
+/// the diagnostics justifying it, so batch pruning can replay the full
+/// verdict and the error message stays stable across replays.
+struct Rejection {
+    stage: PruneStage,
+    summary: String,
+    diagnostics: Vec<Diagnostic>,
+}
+
 /// One memoized lowering: the instantiated function, its (modeled or
 /// real) build cost, and the device's compiled artifact when it has one.
-/// Statically rejected configs cache the analyzer's verdict instead of a
-/// build: every re-proposal replays the rejection without re-analysis.
+/// Statically rejected configs cache the verdict instead of a build —
+/// prelint denials never even instantiate, so `func` is `None` there —
+/// and every re-proposal replays the rejection without re-analysis.
 struct CacheEntry {
-    func: PrimFunc,
+    func: Option<PrimFunc>,
     build_s: f64,
     prepared: Option<Arc<CompiledFunc>>,
-    reject: Option<String>,
+    reject: Option<Rejection>,
 }
 
 /// Process-wide lowering + compilation memo cache, shareable across
@@ -133,6 +146,8 @@ pub struct MoldEvaluator {
     cache: Arc<MemoCache>,
     accepted: AtomicU64,
     rejected: AtomicU64,
+    prelint_denied: AtomicU64,
+    denied_by_code: Mutex<HashMap<String, u64>>,
 }
 
 impl MoldEvaluator {
@@ -146,6 +161,8 @@ impl MoldEvaluator {
             cache: Arc::new(MemoCache::new()),
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            prelint_denied: AtomicU64::new(0),
+            denied_by_code: Mutex::new(HashMap::new()),
         }
     }
 
@@ -160,6 +177,8 @@ impl MoldEvaluator {
             cache: Arc::new(MemoCache::new()),
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            prelint_denied: AtomicU64::new(0),
+            denied_by_code: Mutex::new(HashMap::new()),
         }
     }
 
@@ -252,38 +271,166 @@ impl MoldEvaluator {
         h.finish()
     }
 
-    /// Cached lowering for `config`: instantiate + build-cost + compile
-    /// on the first request, a map lookup afterwards.
+    /// Count one denial into the lifetime pruning counters (called
+    /// exactly once per denied config, at reject-entry insertion — cache
+    /// replays never recount).
+    fn count_denial(&self, stage: PruneStage, diagnostics: &[Diagnostic]) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        if stage == PruneStage::Prelint {
+            self.prelint_denied.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut codes: Vec<&str> = diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .map(|d| d.code)
+            .collect();
+        codes.sort_unstable();
+        codes.dedup();
+        let mut by_code = self.denied_by_code.lock().expect("prune counters lock");
+        for code in codes {
+            *by_code.entry(code.to_string()).or_insert(0) += 1;
+        }
+    }
+
+    /// Run the static gate on an uncached config: the cheap pre-lowering
+    /// legality prelint first (denied configs are never instantiated),
+    /// then the full analyzer over the lowered function. Returns the
+    /// rejection to cache, or the admitted function.
+    fn static_gate(&self, config: &Configuration) -> Result<PrimFunc, CacheEntry> {
+        let lint = self.mold.prelint(config);
+        if lint.iter().any(|d| d.severity == Severity::Deny) {
+            let summary = tvm_tir::analyze::AnalysisReport {
+                function: self.mold.name().to_string(),
+                diagnostics: lint.clone(),
+            }
+            .reject_summary();
+            self.count_denial(PruneStage::Prelint, &lint);
+            return Err(CacheEntry {
+                func: None,
+                build_s: 0.0,
+                prepared: None,
+                reject: Some(Rejection {
+                    stage: PruneStage::Prelint,
+                    summary,
+                    diagnostics: lint,
+                }),
+            });
+        }
+        let func = self.mold.instantiate(config);
+        let report = tvm_tir::analyze::check(&func);
+        if report.is_rejected() {
+            let summary = report.reject_summary();
+            self.count_denial(PruneStage::Analysis, &report.diagnostics);
+            return Err(CacheEntry {
+                func: Some(func),
+                build_s: 0.0,
+                prepared: None,
+                reject: Some(Rejection {
+                    stage: PruneStage::Analysis,
+                    summary,
+                    diagnostics: report.diagnostics,
+                }),
+            });
+        }
+        Ok(func)
+    }
+
+    /// Cached lowering for `config`: prelint + instantiate + analyze +
+    /// build-cost + compile on the first request, a map lookup afterwards.
     fn lower_cached(&self, config: &Configuration) -> (Arc<CacheEntry>, bool) {
         let key = self.cache_key(config);
         if let Some(entry) = self.cache.get(key) {
             return (entry, true);
         }
-        let func = self.mold.instantiate(config);
-        // Static schedule-safety gate: a Deny verdict skips the build and
-        // compile entirely; the cached entry replays the rejection.
-        let report = tvm_tir::analyze::check(&func);
-        let entry = if report.is_rejected() {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
-            Arc::new(CacheEntry {
-                func,
-                build_s: 0.0,
-                prepared: None,
-                reject: Some(report.reject_summary()),
-            })
-        } else {
-            self.accepted.fetch_add(1, Ordering::Relaxed);
-            let build_s = self.device.build_cost(&func);
-            let prepared = self.device.prepare(&func);
-            Arc::new(CacheEntry {
-                func,
-                build_s,
-                prepared,
-                reject: None,
-            })
+        let entry = match self.static_gate(config) {
+            Err(reject) => Arc::new(reject),
+            Ok(func) => {
+                self.accepted.fetch_add(1, Ordering::Relaxed);
+                let build_s = self.device.build_cost(&func);
+                let prepared = self.device.prepare(&func);
+                Arc::new(CacheEntry {
+                    func: Some(func),
+                    build_s,
+                    prepared,
+                    reject: None,
+                })
+            }
         };
         self.cache.insert(key, Arc::clone(&entry));
         (entry, false)
+    }
+
+    /// Statically filter a batch of candidates before any compilation or
+    /// measurement: per config, the prelint runs first (denied schedules
+    /// are never instantiated), then the full analyzer. Denials are
+    /// cached so the later `evaluate` replays the verdict; admitted
+    /// candidates are *not* cached here — the evaluation's cache miss
+    /// still pays (and accounts) the lowering and build.
+    pub fn prune(&self, batch: &[Configuration]) -> PruneReport {
+        let mut report = PruneReport::default();
+        for config in batch {
+            let key = self.cache_key(config);
+            if let Some(entry) = self.cache.get(key) {
+                match &entry.reject {
+                    Some(r) => report.deny(r.stage, r.diagnostics.clone()),
+                    None => report.admit(),
+                }
+                continue;
+            }
+            match self.static_gate(config) {
+                Err(reject) => {
+                    let r = reject.reject.as_ref().expect("static_gate rejection");
+                    report.deny(r.stage, r.diagnostics.clone());
+                    self.cache.insert(key, Arc::new(reject));
+                }
+                Ok(_) => report.admit(),
+            }
+        }
+        report
+    }
+
+    /// The batch verdicts as the trait-level admission mask: `None` for
+    /// admitted candidates, `Some(message)` for denied ones — the exact
+    /// `StaticReject` message `evaluate` replays, so pre-filtered trial
+    /// streams are byte-identical to evaluated ones.
+    fn prune_mask(&self, batch: &[Configuration]) -> Vec<Option<String>> {
+        self.prune(batch)
+            .verdicts
+            .into_iter()
+            .map(|v| match v {
+                Verdict::Admit => None,
+                Verdict::Deny { diagnostics, .. } => {
+                    let summary = tvm_tir::analyze::AnalysisReport {
+                        function: self.mold.name().to_string(),
+                        diagnostics,
+                    }
+                    .reject_summary();
+                    Some(format!("statically rejected: {summary}"))
+                }
+            })
+            .collect()
+    }
+
+    /// Snapshot of the lifetime pruning counters: admitted = configs
+    /// that passed the full gate at evaluation time, denials split by
+    /// pipeline stage with per-code counts.
+    pub fn prune_stats(&self) -> PruneStats {
+        let rejected = self.rejected.load(Ordering::Relaxed);
+        let prelint_denied = self.prelint_denied.load(Ordering::Relaxed);
+        let mut denied_by_code: Vec<(String, u64)> = self
+            .denied_by_code
+            .lock()
+            .expect("prune counters lock")
+            .iter()
+            .map(|(c, n)| (c.clone(), *n))
+            .collect();
+        denied_by_code.sort();
+        PruneStats {
+            admitted: self.accepted.load(Ordering::Relaxed),
+            prelint_denied,
+            analyzer_denied: rejected - prelint_denied,
+            denied_by_code,
+        }
     }
 
     fn measure(&self, config: &Configuration) -> MeasureResult {
@@ -298,16 +445,19 @@ impl MoldEvaluator {
         // Real wall clock of this evaluation's lowering work: the full
         // instantiate + static analysis on a miss, a map lookup on a hit.
         let instantiate_s = t0.elapsed().as_secs_f64();
-        if let Some(verdict) = &entry.reject {
+        if let Some(rejection) = &entry.reject {
             // Rejected before compilation: only analysis time is charged.
             return MeasureResult::fail(
-                MeasureError::StaticReject(format!("statically rejected: {verdict}")),
+                MeasureError::StaticReject(format!("statically rejected: {}", rejection.summary)),
                 instantiate_s,
             );
         }
         // The build cost is paid once; cache hits reuse the artifact.
         let build_s = if cache_hit { 0.0 } else { entry.build_s };
-        let func = &entry.func;
+        let func = entry
+            .func
+            .as_ref()
+            .expect("admitted cache entry carries its lowered function");
         let transfer_bytes: usize = func.params.iter().map(|b| b.size_bytes()).sum();
         let transfer_s = transfer_bytes as f64 / TRANSFER_BW;
 
@@ -374,6 +524,14 @@ impl Evaluator for MoldEvaluator {
     fn par_stats(&self) -> Option<ParStats> {
         MoldEvaluator::par_stats(self)
     }
+
+    fn prune_batch(&self, batch: &[Configuration]) -> Option<Vec<Option<String>>> {
+        Some(self.prune_mask(batch))
+    }
+
+    fn prune_stats(&self) -> Option<PruneStats> {
+        Some(MoldEvaluator::prune_stats(self))
+    }
 }
 
 impl Problem for MoldEvaluator {
@@ -412,6 +570,14 @@ impl Problem for MoldEvaluator {
 
     fn par_stats(&self) -> Option<ParStats> {
         MoldEvaluator::par_stats(self)
+    }
+
+    fn prune_batch(&self, batch: &[Configuration]) -> Option<Vec<Option<String>>> {
+        Some(self.prune_mask(batch))
+    }
+
+    fn prune_stats(&self) -> Option<PruneStats> {
+        Some(MoldEvaluator::prune_stats(self))
     }
 }
 

@@ -73,7 +73,10 @@ pub mod prelude {
     };
     pub use configspace::{ConfigSpace, Configuration, Hyperparameter, ParamValue};
     pub use gpu_sim::{GpuSpec, SimDevice};
-    pub use polybench::{molds::mold_for, CodeMold, KernelName, ProblemSize};
+    pub use polybench::{
+        molds::{mold_for, mold_for_mode},
+        CodeMold, KernelName, ProblemSize, SpaceMode,
+    };
     pub use tvm_runtime::{CpuDevice, Device, Module, NDArray};
     pub use tvm_te::{compute, placeholder, reduce_axis, sum, DType, Schedule};
     pub use tvm_tir::lower::lower;

@@ -1,5 +1,9 @@
 //! Integration: tuners driving real code molds on the simulated device.
 
+use polybench::molds::mold_for_mode;
+use polybench::spaces::embed_config;
+use polybench::SpaceMode;
+use std::collections::VecDeque;
 use tvm_autotune::autotvm::{GaTuner, GridSearchTuner, RandomTuner, XgbTuner};
 use tvm_autotune::prelude::*;
 
@@ -145,6 +149,149 @@ fn bo_finds_global_optimum_of_enumerable_space() {
     assert!(
         found <= global_best * 1.12,
         "BO with half budget should get within 12% of optimum: {found} vs {global_best}"
+    );
+}
+
+/// Drains a queue of seed configurations before handing control to the
+/// wrapped strategy — how a tuner carries the embedded paper-space grid
+/// (or a previous run's trials) into the aggressive space.
+struct WarmStartTuner<T: Tuner> {
+    queue: VecDeque<Configuration>,
+    inner: T,
+}
+
+impl<T: Tuner> Tuner for WarmStartTuner<T> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn next_batch(&mut self, n: usize) -> Vec<Configuration> {
+        let mut batch = Vec::with_capacity(n);
+        while batch.len() < n {
+            match self.queue.pop_front() {
+                Some(c) => batch.push(c),
+                None => break,
+            }
+        }
+        if batch.len() < n {
+            batch.extend(self.inner.next_batch(n - batch.len()));
+        }
+        batch
+    }
+
+    fn update(&mut self, results: &[(Configuration, MeasureResult)]) {
+        self.inner.update(results);
+    }
+
+    fn has_next(&self) -> bool {
+        !self.queue.is_empty() || self.inner.has_next()
+    }
+}
+
+/// A noise-free simulated device: the runtime is then a pure function of
+/// the lowered schedule, and a neutral-knob aggressive config lowers to
+/// the *identical* schedule as its paper counterpart (same builder, same
+/// knobs), so embedded paper configs cost exactly what they cost in the
+/// paper space.
+fn quiet_device() -> SimDevice {
+    SimDevice::new(GpuSpec::swing_cpu_core()).with_noise(0.0)
+}
+
+#[test]
+fn aggressive_gemm_tuning_never_loses_to_the_paper_space() {
+    // The paper space at mini is exhaustively enumerable (18 configs),
+    // so `best_paper` is the true paper-space optimum.
+    let paper_ev = MoldEvaluator::simulated(
+        mold_for(KernelName::Gemm, ProblemSize::Mini),
+        quiet_device(),
+    );
+    let agg_ev = MoldEvaluator::simulated(
+        mold_for_mode(KernelName::Gemm, ProblemSize::Mini, SpaceMode::Aggressive),
+        quiet_device(),
+    );
+    let paper_space = paper_ev.space().clone();
+    let mut best_paper = f64::INFINITY;
+    let mut embedded = VecDeque::new();
+    for cfg in paper_space.grid() {
+        let r = Evaluator::evaluate(&paper_ev, &cfg);
+        best_paper = best_paper.min(r.runtime_s.expect("paper config runs"));
+        embedded.push_back(embed_config(agg_ev.space(), &cfg));
+    }
+    let warm = embedded.len();
+
+    let mut tuner = WarmStartTuner {
+        queue: embedded,
+        inner: YtoptTuner::new(agg_ev.space().clone(), 11),
+    };
+    let res = tune(
+        &mut tuner,
+        &agg_ev,
+        TuneOptions {
+            max_evals: 100,
+            batch: 1,
+            max_process_s: None,
+        },
+    );
+    assert!(res.len() > warm, "budget must extend past the warm start");
+    let best_aggr = res.best().expect("found").runtime_s.expect("ok");
+    assert!(
+        best_aggr <= best_paper,
+        "aggressive superset must not lose to the paper space: {best_aggr} vs {best_paper}"
+    );
+    // The BO phase roams the wild part of the space, so the static
+    // filter must have seen real traffic.
+    let prune = res.prune.clone().expect("analyzed evaluator reports prune counters");
+    assert!(prune.total() > 0, "no candidate reached the prune ledger: {prune:?}");
+}
+
+#[test]
+fn aggressive_3mm_tuning_never_loses_to_the_paper_space() {
+    // 3mm's paper space is too large to enumerate; the paper-space best
+    // is itself a tuning result, and the aggressive run warm-starts from
+    // that run's embedded trials before spending the rest of its 100-eval
+    // budget on the widened space.
+    let paper_ev = MoldEvaluator::simulated(
+        mold_for(KernelName::Mm3, ProblemSize::Mini),
+        quiet_device(),
+    );
+    let mut paper_tuner = YtoptTuner::new(paper_ev.space().clone(), 12);
+    let paper_res = tune(
+        &mut paper_tuner,
+        &paper_ev,
+        TuneOptions {
+            max_evals: 40,
+            batch: 1,
+            max_process_s: None,
+        },
+    );
+    let best_paper = paper_res.best().expect("found").runtime_s.expect("ok");
+
+    let agg_ev = MoldEvaluator::simulated(
+        mold_for_mode(KernelName::Mm3, ProblemSize::Mini, SpaceMode::Aggressive),
+        quiet_device(),
+    );
+    let embedded: VecDeque<Configuration> = paper_res
+        .trials
+        .iter()
+        .map(|t| embed_config(agg_ev.space(), &t.config))
+        .collect();
+    let mut tuner = WarmStartTuner {
+        queue: embedded,
+        inner: YtoptTuner::new(agg_ev.space().clone(), 12),
+    };
+    let res = tune(
+        &mut tuner,
+        &agg_ev,
+        TuneOptions {
+            max_evals: 100,
+            batch: 1,
+            max_process_s: None,
+        },
+    );
+    let best_aggr = res.best().expect("found").runtime_s.expect("ok");
+    assert!(
+        best_aggr <= best_paper,
+        "aggressive superset must not lose to the paper space: {best_aggr} vs {best_paper}"
     );
 }
 
