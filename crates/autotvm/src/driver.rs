@@ -11,7 +11,8 @@
 //! trajectory as an uninterrupted one.
 
 use crate::measure::{
-    CacheStats, Evaluator, JitStats, MeasureResult, ParStats, PruneStats, StaticCheckStats,
+    CacheStats, Evaluator, JitStats, MeasureResult, ParStats, PruneStats, SimdStats,
+    StaticCheckStats,
 };
 use crate::tuner::Tuner;
 use configspace::Configuration;
@@ -89,6 +90,10 @@ pub struct TuningResult {
     /// runs parallel loops on a worker pool (loops proven race-free,
     /// dispatches, sequential fallbacks with reasons).
     pub par: Option<ParStats>,
+    /// Packed-SIMD emission counters of the evaluator's device, when it
+    /// runs a vectorizing codegen rung (vector sites packed vs scalar,
+    /// with per-reason fallbacks and lane widths).
+    pub simd: Option<SimdStats>,
     /// Batch static-pruning counters of the evaluator's analyzer
     /// pipeline, when it filters candidate batches before measurement
     /// (admitted / denied by stage, with per-code counts).
@@ -326,6 +331,7 @@ fn tune_inner(
         static_checks: evaluator.static_check_stats(),
         jit: evaluator.jit_stats(),
         par: evaluator.par_stats(),
+        simd: evaluator.simd_stats(),
         prune: evaluator.prune_stats(),
     })
 }
@@ -430,6 +436,7 @@ pub fn tune_parallel<E: Evaluator + Sync>(
         static_checks: evaluator.static_check_stats(),
         jit: evaluator.jit_stats(),
         par: evaluator.par_stats(),
+        simd: evaluator.simd_stats(),
         prune: evaluator.prune_stats(),
     }
 }

@@ -256,6 +256,10 @@ impl<E: Evaluator + Send + Sync + 'static> Evaluator for HarnessedEvaluator<E> {
         Evaluator::par_stats(&*self.inner)
     }
 
+    fn simd_stats(&self) -> Option<ytopt_bo::problem::SimdStats> {
+        Evaluator::simd_stats(&*self.inner)
+    }
+
     fn prune_batch(&self, batch: &[Configuration]) -> Option<Vec<Option<String>>> {
         Evaluator::prune_batch(&*self.inner, batch)
     }
@@ -297,6 +301,10 @@ impl<E: Problem + Send + Sync + 'static> Problem for HarnessedEvaluator<E> {
 
     fn par_stats(&self) -> Option<ytopt_bo::problem::ParStats> {
         Problem::par_stats(&*self.inner)
+    }
+
+    fn simd_stats(&self) -> Option<ytopt_bo::problem::SimdStats> {
+        Problem::simd_stats(&*self.inner)
     }
 
     fn prune_batch(&self, batch: &[Configuration]) -> Option<Vec<Option<String>>> {
@@ -572,6 +580,10 @@ impl<E: Evaluator> Evaluator for FaultInjector<E> {
         Evaluator::par_stats(&self.inner)
     }
 
+    fn simd_stats(&self) -> Option<ytopt_bo::problem::SimdStats> {
+        Evaluator::simd_stats(&self.inner)
+    }
+
     fn prune_batch(&self, batch: &[Configuration]) -> Option<Vec<Option<String>>> {
         // The injector's faults are drawn at evaluation time, so the
         // pre-filter mask is exactly the inner analyzer's verdicts.
@@ -621,6 +633,10 @@ impl<E: Problem> Problem for FaultInjector<E> {
 
     fn par_stats(&self) -> Option<ytopt_bo::problem::ParStats> {
         Problem::par_stats(&self.inner)
+    }
+
+    fn simd_stats(&self) -> Option<ytopt_bo::problem::SimdStats> {
+        Problem::simd_stats(&self.inner)
     }
 
     fn prune_batch(&self, batch: &[Configuration]) -> Option<Vec<Option<String>>> {

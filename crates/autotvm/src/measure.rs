@@ -9,7 +9,7 @@
 use configspace::{ConfigSpace, Configuration};
 pub use ytopt_bo::fault::MeasureError;
 use ytopt_bo::problem::Evaluation;
-pub use ytopt_bo::problem::{CacheStats, JitStats, ParStats, PruneStats, StaticCheckStats};
+pub use ytopt_bo::problem::{CacheStats, JitStats, ParStats, PruneStats, SimdStats, StaticCheckStats};
 
 /// Outcome of measuring one configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -118,6 +118,13 @@ pub trait Evaluator {
     /// Snapshotted into [`crate::driver::TuningResult::par`] at the end
     /// of a run.
     fn par_stats(&self) -> Option<ParStats> {
+        None
+    }
+
+    /// Packed-SIMD emission counters of this evaluator's device, if it
+    /// runs a vectorizing codegen rung (`None` otherwise). Snapshotted
+    /// into [`crate::driver::TuningResult::simd`] at the end of a run.
+    fn simd_stats(&self) -> Option<SimdStats> {
         None
     }
 

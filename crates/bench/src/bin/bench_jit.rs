@@ -58,6 +58,32 @@ fn die(msg: &str) -> ! {
     std::process::exit(1);
 }
 
+/// Detected ISA features relevant to the packed-SIMD tier, plus the
+/// lane widths the active backend actually emits at (which fold in the
+/// `TVM_JIT_SIMD` toggle). Recorded in the JSON so `results/BENCH_*`
+/// figures stay interpretable across machines.
+fn cpu_json() -> serde_json::Value {
+    #[cfg(target_arch = "x86_64")]
+    let (sse2, avx, avx2, fma) = (
+        std::arch::is_x86_feature_detected!("sse2"),
+        std::arch::is_x86_feature_detected!("avx"),
+        std::arch::is_x86_feature_detected!("avx2"),
+        std::arch::is_x86_feature_detected!("fma"),
+    );
+    #[cfg(not(target_arch = "x86_64"))]
+    let (sse2, avx, avx2, fma) = (false, false, false, false);
+    let (f64_lanes, f32_lanes) = default_backend().vector_widths();
+    serde_json::json!({
+        "arch": std::env::consts::ARCH,
+        "sse2": sse2,
+        "avx": avx,
+        "avx2": avx2,
+        "fma": fma,
+        "f64_lanes": f64_lanes,
+        "f32_lanes": f32_lanes,
+    })
+}
+
 /// Differential phase: run every kernel × config on the JIT device and
 /// the interpreter from identical inputs; returns the number of device
 /// runs (= expected JIT compile attempts).
@@ -134,6 +160,98 @@ fn check_accounting(dev: &CpuDevice, expected_attempts: u64) {
         stats.fallbacks,
         stats.fallback_reasons.len()
     );
+}
+
+/// The packed-SIMD accounting invariant: the per-reason scalar counts
+/// cover every scalar site, tiling only ever happens on packed sites,
+/// and — when the packed tier is on — the default gemm/2mm/3mm runs
+/// must actually exercise it (non-vacuity).
+fn check_simd_accounting(dev: &CpuDevice) {
+    let stats = dev
+        .simd_stats()
+        .unwrap_or_else(|| die("JIT-mode device reports no SIMD stats"));
+    let reason_sum: u64 = stats.scalar_reasons.iter().map(|(_, n)| n).sum();
+    if reason_sum != stats.scalar_loops {
+        die(&format!(
+            "lost SIMD accounting: {} scalar sites but reasons sum to {reason_sum}: {:?}",
+            stats.scalar_loops, stats.scalar_reasons
+        ));
+    }
+    if stats.tiled_loops > stats.packed_loops {
+        die(&format!(
+            "lost SIMD accounting: {} tiled sites exceed {} packed sites",
+            stats.tiled_loops, stats.packed_loops
+        ));
+    }
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    if stats.f64_lanes > 1 && stats.packed_loops == 0 {
+        die("vacuous run: packed tier enabled but no vector site took the packed path");
+    }
+    println!(
+        "simd: {} sites = {} packed ({} tiled) + {} scalar ({} reasons), lanes f64x{} f32x{}",
+        stats.sites(),
+        stats.packed_loops,
+        stats.tiled_loops,
+        stats.scalar_loops,
+        stats.scalar_reasons.len(),
+        stats.f64_lanes,
+        stats.f32_lanes
+    );
+}
+
+/// Committed-baseline regression gate (smoke mode only): each timed
+/// kernel's JIT-over-VM speedup must stay within a generous noise
+/// margin of the figure checked into `results/BENCH_jit.json`, so a PR
+/// that silently loses JIT performance fails CI here instead of
+/// shipping. Full (non-smoke) runs rewrite the baseline. The gate only
+/// arms when the run matches the committed conditions: native backend,
+/// packed tier on, same problem size.
+fn check_speedup_baseline(rows: &[TimedRow], size: ProblemSize) {
+    const MARGIN: f64 = 0.4;
+    if !cfg!(all(target_arch = "x86_64", target_os = "linux")) {
+        return;
+    }
+    if default_backend().vector_widths().0 <= 1 {
+        println!("baseline gate: packed tier off (TVM_JIT_SIMD=0) — skipped");
+        return;
+    }
+    let Ok(text) = std::fs::read_to_string("results/BENCH_jit.json") else {
+        println!("baseline gate: no committed results/BENCH_jit.json — skipped");
+        return;
+    };
+    let baseline: serde_json::Value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| die(&format!("committed results/BENCH_jit.json unreadable: {e}")));
+    if baseline.get("size").and_then(|v| v.as_str()) != Some(size.to_string().as_str()) {
+        println!("baseline gate: committed baseline is for another size — skipped");
+        return;
+    }
+    let kernels = baseline
+        .get("kernels")
+        .and_then(|v| v.as_array())
+        .cloned()
+        .unwrap_or_default();
+    for row in rows {
+        let committed = kernels.iter().find_map(|k| {
+            (k.get("kernel").and_then(|v| v.as_str()) == Some(row.kernel))
+                .then(|| k.get("jit_speedup").and_then(|v| v.as_f64()))
+                .flatten()
+        });
+        let Some(committed) = committed else { continue };
+        let measured = row.jit_speedup();
+        if measured < committed * MARGIN {
+            die(&format!(
+                "JIT performance regression on {}: measured {measured:.2}x vs committed \
+                 {committed:.2}x (floor {:.2}x)",
+                row.kernel,
+                committed * MARGIN
+            ));
+        }
+        println!(
+            "baseline gate: {} {measured:.2}x >= {:.2}x (committed {committed:.2}x) ok",
+            row.kernel,
+            committed * MARGIN
+        );
+    }
 }
 
 struct TimedRow {
@@ -219,6 +337,7 @@ fn main() {
         runs
     );
     check_accounting(&dev, runs);
+    check_simd_accounting(&dev);
 
     let native = cfg!(all(target_arch = "x86_64", target_os = "linux"));
     if !native {
@@ -244,15 +363,30 @@ fn main() {
     }
 
     if smoke {
+        check_speedup_baseline(&rows, size);
         println!("smoke mode: all invariants hold");
         return;
     }
+
+    let simd = dev.simd_stats().expect("jit device reports simd stats");
 
     let json = serde_json::json!({
         "jit_engine": jit_fingerprint(),
         "native_backend": native,
         "size": size.to_string(),
         "differential_runs": runs,
+        "cpu": cpu_json(),
+        "simd": serde_json::json!({
+            "packed_loops": simd.packed_loops,
+            "tiled_loops": simd.tiled_loops,
+            "scalar_loops": simd.scalar_loops,
+            "f64_lanes": simd.f64_lanes,
+            "f32_lanes": simd.f32_lanes,
+            "scalar_reasons": simd.scalar_reasons.iter().map(|(r, n)| serde_json::json!({
+                "reason": r,
+                "count": n,
+            })).collect::<Vec<_>>(),
+        }),
         "kernels": rows.iter().map(|r| serde_json::json!({
             "kernel": r.kernel,
             "elements": r.elements,

@@ -15,14 +15,14 @@
 //! Usage: `bench_passes [--smoke] [--size mini|small|medium|large]`
 //! Full mode writes `results/BENCH_passes.json`; smoke mode only prints.
 
-use autotvm::{tune, RandomTuner, TuneOptions};
+use autotvm::{tune, Evaluator, RandomTuner, TuneOptions};
 use polybench::molds::mold_for;
 use polybench::{KernelName, ProblemSize};
 use std::time::Instant;
 use tvm_autotune::MoldEvaluator;
 use tvm_runtime::{
-    compile, compile_optimized, default_backend, engine_fingerprint, jit_fingerprint, vm,
-    CpuDevice, NDArray,
+    compile, compile_optimized, default_backend, engine_fingerprint, jit_fingerprint,
+    scalar_backend, vm, CpuDevice, NDArray,
 };
 
 struct KernelRow {
@@ -32,6 +32,7 @@ struct KernelRow {
     config: String,
     scalar_s: f64,
     opt_s: f64,
+    scalar_jit_s: f64,
     jit_s: f64,
     strided_loops: usize,
     microkernels: usize,
@@ -47,6 +48,9 @@ impl KernelRow {
     fn opt_ns_per_element(&self) -> f64 {
         self.opt_s * 1e9 / self.elements as f64
     }
+    fn scalar_jit_ns_per_element(&self) -> f64 {
+        self.scalar_jit_s * 1e9 / self.elements as f64
+    }
     fn jit_ns_per_element(&self) -> f64 {
         self.jit_s * 1e9 / self.elements as f64
     }
@@ -55,6 +59,11 @@ impl KernelRow {
     }
     fn jit_speedup(&self) -> f64 {
         self.opt_s / self.jit_s
+    }
+    /// Packed tier over the scalar JIT — the headline figure of the
+    /// packed-SIMD change (1.0x when either column fell back).
+    fn simd_speedup(&self) -> f64 {
+        self.scalar_jit_s / self.jit_s
     }
 }
 
@@ -67,9 +76,75 @@ fn kernel_label(kernel: KernelName) -> &'static str {
     }
 }
 
+/// Detected ISA features relevant to the packed-SIMD tier, plus the
+/// lane widths the active backend actually emits at (which fold in the
+/// `TVM_JIT_SIMD` toggle). Recorded in the JSON so `results/BENCH_*`
+/// figures stay interpretable across machines.
+fn cpu_json() -> serde_json::Value {
+    #[cfg(target_arch = "x86_64")]
+    let (sse2, avx, avx2, fma) = (
+        std::arch::is_x86_feature_detected!("sse2"),
+        std::arch::is_x86_feature_detected!("avx"),
+        std::arch::is_x86_feature_detected!("avx2"),
+        std::arch::is_x86_feature_detected!("fma"),
+    );
+    #[cfg(not(target_arch = "x86_64"))]
+    let (sse2, avx, avx2, fma) = (false, false, false, false);
+    let (f64_lanes, f32_lanes) = default_backend().vector_widths();
+    serde_json::json!({
+        "arch": std::env::consts::ARCH,
+        "sse2": sse2,
+        "avx": avx,
+        "avx2": avx2,
+        "fma": fma,
+        "f64_lanes": f64_lanes,
+        "f32_lanes": f32_lanes,
+    })
+}
+
+/// Canonical matmul tile shapes for the paper molds, which tile every
+/// matmul stage as `(y-tile = P₂ᵢ, x-tile = P₂ᵢ₊₁)`. A y-tile of 1
+/// leaves the reduction loop directly wrapping the mul-add microkernel
+/// (the shape the JIT's unroll-and-jam tier fuses), and a moderate or
+/// full-width x-tile gives the packed lanes room; seeding the short
+/// random search with these shapes makes the reported numbers reflect
+/// the tuned engines rather than tuner luck on a tiny budget. Each
+/// target is clamped to the nearest value the space actually offers.
+fn seed_configs(space: &configspace::ConfigSpace) -> Vec<configspace::Configuration> {
+    let names: Vec<String> = space
+        .params()
+        .iter()
+        .map(|p| p.name().to_string())
+        .collect();
+    let pick = |p: &configspace::Hyperparameter, target: i64| -> configspace::ParamValue {
+        if let configspace::Hyperparameter::Ordinal { sequence, .. } = p {
+            sequence
+                .iter()
+                .min_by_key(|v| v.as_int().map_or(i64::MAX, |i| (i - target).abs()))
+                .cloned()
+                .unwrap_or_else(|| p.default_value())
+        } else {
+            p.default_value()
+        }
+    };
+    [20i64, 40, i64::MAX]
+        .iter()
+        .map(|&xt| {
+            let values = space
+                .params()
+                .iter()
+                .enumerate()
+                .map(|(i, p)| if i % 2 == 0 { pick(p, 1) } else { pick(p, xt) })
+                .collect();
+            configspace::Configuration::new(names.clone(), values)
+        })
+        .collect()
+}
+
 /// Tune briefly on the optimized engine and return the best
-/// configuration found (falling back to the baseline when every trial
-/// failed, which cannot happen for these kernels).
+/// configuration found across the random search and the canonical
+/// seeds (falling back to the baseline when every trial failed, which
+/// cannot happen for these kernels).
 fn tuned_config(
     kernel: KernelName,
     size: ProblemSize,
@@ -88,7 +163,21 @@ fn tuned_config(
             max_process_s: None,
         },
     );
-    res.best().map(|t| t.config.clone()).unwrap_or(baseline)
+    let mut best = f64::INFINITY;
+    let mut config = baseline;
+    if let Some(t) = res.best() {
+        if let Some(r) = t.runtime_s {
+            (best, config) = (r, t.config.clone());
+        }
+    }
+    for cand in seed_configs(ev.space()) {
+        if let Some(r) = ev.evaluate(&cand).runtime_s {
+            if r < best {
+                (best, config) = (r, cand);
+            }
+        }
+    }
+    config
 }
 
 /// Time one tuned kernel on both engines and verify bit-identity.
@@ -131,7 +220,9 @@ fn bench_kernel(
 
     // JIT column: the device's fallback contract — when the backend
     // declines, the optimized bytecode runs unchanged (and the column
-    // honestly reports jitted = false).
+    // honestly reports jitted = false). The scalar-JIT column runs the
+    // same emitter with packed emission forced off, so the pair
+    // isolates what the packed tier alone buys on this machine.
     let (jit_func, jitted) = match default_backend().jit_compile(&optimized) {
         Ok(jf) => (jf, true),
         Err(_) => (
@@ -139,6 +230,21 @@ fn bench_kernel(
             false,
         ),
     };
+    let (sjit_func, _) = match scalar_backend().jit_compile(&optimized) {
+        Ok(jf) => (jf, true),
+        Err(_) => (
+            compile_optimized(&func).expect("optimized pipeline must compile"),
+            false,
+        ),
+    };
+    let mut scalar_jit_s = f64::INFINITY;
+    let mut via_sjit: Vec<NDArray> = Vec::new();
+    for _ in 0..reps.max(1) {
+        via_sjit = args.clone();
+        let t0 = Instant::now();
+        vm::execute(&sjit_func, &mut via_sjit).expect("scalar jit run");
+        scalar_jit_s = scalar_jit_s.min(t0.elapsed().as_secs_f64());
+    }
     let mut jit_s = f64::INFINITY;
     let mut via_jit: Vec<NDArray> = Vec::new();
     for _ in 0..reps.max(1) {
@@ -148,7 +254,11 @@ fn bench_kernel(
         jit_s = jit_s.min(t0.elapsed().as_secs_f64());
     }
 
-    for (engine, via) in [("optimized VM", &via_opt), ("JIT", &via_jit)] {
+    for (engine, via) in [
+        ("optimized VM", &via_opt),
+        ("scalar JIT", &via_sjit),
+        ("JIT", &via_jit),
+    ] {
         for (i, (a, b)) in via_scalar.iter().zip(via).enumerate() {
             if a != b {
                 eprintln!(
@@ -170,6 +280,7 @@ fn bench_kernel(
         config: config.to_string(),
         scalar_s,
         opt_s,
+        scalar_jit_s,
         jit_s,
         strided_loops: optimized.strided_loop_count(),
         microkernels: optimized.microkernel_count(),
@@ -236,24 +347,27 @@ fn main() {
     let kernels = [KernelName::Gemm, KernelName::Mm3, KernelName::Mm2];
     let mut rows = Vec::new();
     println!(
-        "kernel  size    elements  scalar ns/el     opt ns/el     jit ns/el  strided  ukern  \
-         nests  speedup  jit-x"
+        "kernel  size    elements  scalar ns/el     opt ns/el    sjit ns/el     jit ns/el  \
+         strided  ukern  nests  speedup  jit-x  simd-x"
     );
     for k in kernels {
         let row = bench_kernel(k, size, reps, tune_evals);
         println!(
-            "{:<7} {:<7} {:>8}  {:>12.1}  {:>12.1}  {:>12.1}  {:>7}  {:>5}  {:>5}  {:>6.2}x  {:>4.2}x",
+            "{:<7} {:<7} {:>8}  {:>12.1}  {:>12.1}  {:>12.1}  {:>12.1}  {:>7}  {:>5}  {:>5}  \
+             {:>6.2}x  {:>4.2}x  {:>5.2}x",
             row.kernel,
             row.size.to_string(),
             row.elements,
             row.scalar_ns_per_element(),
             row.opt_ns_per_element(),
+            row.scalar_jit_ns_per_element(),
             row.jit_ns_per_element(),
             row.strided_loops,
             row.microkernels,
             row.jit_nests,
             row.speedup(),
-            row.jit_speedup()
+            row.jit_speedup(),
+            row.simd_speedup()
         );
         rows.push(row);
     }
@@ -277,6 +391,7 @@ fn main() {
         "jit_engine": jit_fingerprint(),
         "native_backend": native,
         "size": size.to_string(),
+        "cpu": cpu_json(),
         "kernels": rows.iter().map(|r| serde_json::json!({
             "kernel": r.kernel,
             "size": r.size.to_string(),
@@ -284,9 +399,11 @@ fn main() {
             "config": r.config,
             "scalar_s": r.scalar_s,
             "optimized_s": r.opt_s,
+            "scalar_jit_s": r.scalar_jit_s,
             "jit_s": r.jit_s,
             "scalar_ns_per_element": r.scalar_ns_per_element(),
             "optimized_ns_per_element": r.opt_ns_per_element(),
+            "scalar_jit_ns_per_element": r.scalar_jit_ns_per_element(),
             "jit_ns_per_element": r.jit_ns_per_element(),
             "strided_loops": r.strided_loops,
             "microkernels": r.microkernels,
@@ -295,6 +412,7 @@ fn main() {
             "jitted": r.jitted,
             "speedup": r.speedup(),
             "jit_speedup": r.jit_speedup(),
+            "simd_speedup": r.simd_speedup(),
         })).collect::<Vec<_>>(),
         "end_to_end": serde_json::json!({
             "kernel": "gemm",

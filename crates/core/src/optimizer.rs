@@ -12,7 +12,7 @@ use crate::database::{DbRecord, PerformanceDatabase};
 use crate::fault::{panic_message, MeasureError};
 use crate::journal::{divergence_error, pipeline_mismatch_error, TrialJournal, TrialRecord};
 use crate::problem::{
-    CacheStats, Evaluation, JitStats, ParStats, Problem, PruneStats, StaticCheckStats,
+    CacheStats, Evaluation, JitStats, ParStats, Problem, PruneStats, SimdStats, StaticCheckStats,
 };
 use crate::search::{BayesianOptimizer, SearchConfig};
 use configspace::Configuration;
@@ -82,6 +82,9 @@ pub struct BoResult {
     /// Multicore-dispatch counters of the problem's measurement device,
     /// when it runs parallel loops on a worker pool.
     pub par: Option<ParStats>,
+    /// Packed-SIMD emission counters of the problem's measurement
+    /// device, when it runs a vectorizing codegen rung.
+    pub simd: Option<SimdStats>,
     /// Batch static-pruning counters of the problem's analyzer pipeline,
     /// when it filters candidates before evaluation (admitted / denied
     /// by stage, with per-code counts).
@@ -294,6 +297,7 @@ fn run_inner(
         static_checks: problem.static_check_stats(),
         jit: problem.jit_stats(),
         par: problem.par_stats(),
+        simd: problem.simd_stats(),
         prune: problem.prune_stats(),
     })
 }
@@ -395,6 +399,7 @@ pub fn run_parallel<P: Problem + Sync>(problem: &P, opts: BoOptions, batch: usiz
         static_checks: problem.static_check_stats(),
         jit: problem.jit_stats(),
         par: problem.par_stats(),
+        simd: problem.simd_stats(),
         prune: problem.prune_stats(),
     }
 }

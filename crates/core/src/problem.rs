@@ -208,6 +208,67 @@ impl ParStats {
     }
 }
 
+/// Packed-SIMD emission counters of an evaluator-side native codegen
+/// rung. Mirrors the runtime's vectorizer accounting in a serializable
+/// form: how many vector sites (innermost strided / mul-add loops in
+/// jitted nests) were emitted packed, how many of those got the
+/// register-tiled microkernel, how many stayed scalar and why, and the
+/// lane widths the backend emits at. Packed + scalar partitions every
+/// vector site: `packed_loops + scalar_loops == sites()`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimdStats {
+    /// Vector sites emitted with packed lanes.
+    pub packed_loops: u64,
+    /// Subset of `packed_loops` that used the register-tiled
+    /// (accumulator-blocked) mul-add microkernel.
+    pub tiled_loops: u64,
+    /// Vector sites emitted scalar.
+    pub scalar_loops: u64,
+    /// Elements per packed `f64` operation (2 for SSE2, 4 for AVX; 1
+    /// when packed emission is off).
+    pub f64_lanes: u64,
+    /// Elements per packed `f32` operation (4 for SSE2, 8 for AVX; 1
+    /// when packed emission is off).
+    pub f32_lanes: u64,
+    /// Scalar-fallback reasons with occurrence counts, sorted by reason.
+    pub scalar_reasons: Vec<(String, u64)>,
+}
+
+impl SimdStats {
+    /// Total vector sites seen (packed + scalar).
+    pub fn sites(&self) -> u64 {
+        self.packed_loops + self.scalar_loops
+    }
+
+    /// Fraction of vector sites emitted packed (0 when no site was
+    /// compiled).
+    pub fn packed_rate(&self) -> f64 {
+        if self.sites() == 0 {
+            0.0
+        } else {
+            self.packed_loops as f64 / self.sites() as f64
+        }
+    }
+
+    /// Fold `other` into `self` (counter-wise sums; reasons merged by
+    /// name and kept sorted; lane widths are backend facts, so take the
+    /// max across rungs — scalar rungs report 1).
+    pub fn merge(&mut self, other: &SimdStats) {
+        self.packed_loops += other.packed_loops;
+        self.tiled_loops += other.tiled_loops;
+        self.scalar_loops += other.scalar_loops;
+        for (reason, n) in &other.scalar_reasons {
+            match self.scalar_reasons.iter_mut().find(|(r, _)| r == reason) {
+                Some((_, count)) => *count += n,
+                None => self.scalar_reasons.push((reason.clone(), *n)),
+            }
+        }
+        self.scalar_reasons.sort();
+        self.f64_lanes = self.f64_lanes.max(other.f64_lanes);
+        self.f32_lanes = self.f32_lanes.max(other.f32_lanes);
+    }
+}
+
 /// Batch static-pruning counters of an evaluator-side analyzer pipeline:
 /// how many candidate configurations were admitted to compilation and
 /// measurement, how many were cut by the pre-lowering legality prelint
@@ -305,6 +366,14 @@ pub trait Problem {
     /// if it runs parallel loops on a worker pool (`None` otherwise).
     /// Snapshotted alongside [`Problem::jit_stats`] at the end of a run.
     fn par_stats(&self) -> Option<ParStats> {
+        None
+    }
+
+    /// Packed-SIMD emission counters of this problem's measurement
+    /// device, if it runs a vectorizing codegen rung (`None`
+    /// otherwise). Snapshotted alongside [`Problem::jit_stats`] at the
+    /// end of a run.
+    fn simd_stats(&self) -> Option<SimdStats> {
         None
     }
 

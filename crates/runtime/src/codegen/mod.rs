@@ -14,8 +14,19 @@
 //! back-edge relocations are resolved at emission time (the buffer is
 //! sealed read+execute before any pointer escapes).
 //!
+//! The x86-64 emitter has a packed-SIMD tier: analyzer-proven
+//! vectorized strided loops and parallel-pattern mul-add microkernels
+//! run as f64x2/f32x4 bodies (VEX-256 f64x4/f32x8 when AVX is
+//! detected), with register-tiled unroll-and-jam main loops and scalar
+//! epilogues for remainder iterations. Every vector site is accounted
+//! in [`SimdStats`]: packed, or scalar with a counted reason, so
+//! `packed + scalar-by-reason = total` always holds. The
+//! `TVM_JIT_SIMD=0` environment toggle forces the fully scalar tier
+//! (outputs are bit-identical either way, so the fingerprint does not
+//! depend on it).
+//!
 //! Fingerprints: a JIT-mode device reports
-//! [`jit_fingerprint`] = `vm/v2+tir-opt/v1+par/v1+jit/v1`, distinct from the
+//! [`jit_fingerprint`] = `vm/v2+tir-opt/v1+par/v1+jit/v2`, distinct from the
 //! optimized VM's [`crate::optimize::engine_fingerprint`] so the
 //! service's engine ladder can attribute trial records to the exact
 //! engine that produced them.
@@ -35,7 +46,9 @@ pub use x86_64::X86Backend;
 
 /// Version tag of the native codegen rung, appended to the optimized
 /// engine fingerprint. Bump on any change to emitted code semantics.
-pub const JIT_VERSION: &str = "jit/v1";
+/// v2: packed-SIMD tier (proof-gated f64x2/f32x4 strided-loop bodies,
+/// register-tiled mul-add microkernels).
+pub const JIT_VERSION: &str = "jit/v2";
 
 /// Fingerprint reported by a JIT-mode device: the optimized engine's
 /// fingerprint plus the codegen version.
@@ -49,6 +62,46 @@ pub fn jit_fingerprint() -> String {
 #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
 pub(crate) type JitFn = unsafe extern "sysv64" fn(*mut i64, *mut f64, *const *mut u8);
 
+/// Per-function packed-SIMD emission tally, produced while a backend
+/// compiles one function. Every vector site (an innermost
+/// `StridedLoop` or `MulAddLoop` inside a jitted nest) is recorded
+/// exactly once: packed, or scalar with a reason — so
+/// `packed_loops + scalar_loops == sites()` by construction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimdReport {
+    /// Vector sites emitted with a packed main loop (scalar epilogue
+    /// for remainder iterations allowed).
+    pub packed_loops: u64,
+    /// Subset of `packed_loops` whose main loop is register-tiled
+    /// (4× unroll-and-jam accumulator blocks).
+    pub tiled_loops: u64,
+    /// Vector sites emitted fully scalar.
+    pub scalar_loops: u64,
+    /// Scalar reason → count; sums to `scalar_loops`.
+    pub scalar_reasons: HashMap<String, u64>,
+}
+
+impl SimdReport {
+    /// Record a packed site (`tiled` marks the register-tiled form).
+    pub(crate) fn packed(&mut self, tiled: bool) {
+        self.packed_loops += 1;
+        if tiled {
+            self.tiled_loops += 1;
+        }
+    }
+
+    /// Record a scalar site with its reason.
+    pub(crate) fn scalar(&mut self, reason: &str) {
+        self.scalar_loops += 1;
+        *self.scalar_reasons.entry(reason.to_string()).or_insert(0) += 1;
+    }
+
+    /// Total vector sites seen (packed + scalar).
+    pub fn sites(&self) -> u64 {
+        self.packed_loops + self.scalar_loops
+    }
+}
+
 /// Executable machine code for every jitted nest of one function.
 #[derive(Debug)]
 pub struct JitProgram {
@@ -58,6 +111,8 @@ pub struct JitProgram {
     pub(crate) entries: Vec<usize>,
     /// Total machine-code bytes emitted.
     pub(crate) bytes: usize,
+    /// Packed-vs-scalar tally over this function's vector sites.
+    pub(crate) simd: SimdReport,
 }
 
 impl JitProgram {
@@ -76,6 +131,11 @@ impl JitProgram {
     pub(crate) fn entry_fn(&self, idx: usize) -> JitFn {
         unsafe { std::mem::transmute(self.buf.entry(self.entries[idx])) }
     }
+
+    /// Packed-vs-scalar vector-site tally for this function.
+    pub fn simd_report(&self) -> &SimdReport {
+        &self.simd
+    }
 }
 
 /// A native code generator for optimized bytecode programs.
@@ -91,6 +151,13 @@ pub trait CodegenBackend: Send + Sync + std::fmt::Debug {
 
     /// Compile every jittable loop nest of `cf` to machine code.
     fn jit_compile(&self, cf: &CompiledFunc) -> Result<CompiledFunc, CompileError>;
+
+    /// `(f64, f32)` packed lane widths this backend emits, in elements
+    /// (1 = scalar). Purely informational — surfaced through
+    /// [`SimdStats`] and the bench JSON `cpu` blocks.
+    fn vector_widths(&self) -> (u32, u32) {
+        (1, 1)
+    }
 }
 
 /// Backend for targets without a native emitter: always falls back.
@@ -115,6 +182,21 @@ pub fn default_backend() -> Arc<dyn CodegenBackend> {
     #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
     {
         Arc::new(X86Backend::detect())
+    }
+    #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+    {
+        Arc::new(NoopBackend)
+    }
+}
+
+/// The default backend with packed-SIMD emission forced off: scalar
+/// SSE2 on x86-64 Linux, [`NoopBackend`] everywhere else. The benches
+/// use it to measure the packed tier against the scalar JIT on the
+/// same machine.
+pub fn scalar_backend() -> Arc<dyn CodegenBackend> {
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    {
+        Arc::new(X86Backend::scalar_only())
     }
     #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
     {
@@ -178,6 +260,87 @@ impl JitCounters {
             bytes_emitted: self.bytes_emitted.load(Ordering::Relaxed),
             fallbacks: self.fallbacks.load(Ordering::Relaxed),
             fallback_reasons,
+        }
+    }
+}
+
+/// Snapshot of packed-SIMD emission activity (see [`SimdCounters`]).
+///
+/// Invariant: `packed_loops + scalar_loops` equals the total vector
+/// sites compiled, and `scalar_reasons` sums to `scalar_loops` — the
+/// accounting partitions every site.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimdStats {
+    /// Vector sites emitted with a packed main loop.
+    pub packed_loops: u64,
+    /// Subset of `packed_loops` with a register-tiled main loop.
+    pub tiled_loops: u64,
+    /// Vector sites emitted fully scalar.
+    pub scalar_loops: u64,
+    /// Packed lane width for f64 sites (1 = scalar tier).
+    pub f64_lanes: u32,
+    /// Packed lane width for f32 sites (1 = scalar tier).
+    pub f32_lanes: u32,
+    /// Scalar reason → count, sorted by reason for stable output.
+    pub scalar_reasons: Vec<(String, u64)>,
+}
+
+impl SimdStats {
+    /// Total vector sites compiled (packed + scalar).
+    pub fn sites(&self) -> u64 {
+        self.packed_loops + self.scalar_loops
+    }
+}
+
+/// Thread-safe packed-SIMD emission counters, shared by all clones of
+/// a JIT-mode device (like [`JitCounters`]).
+#[derive(Debug, Default)]
+pub struct SimdCounters {
+    packed_loops: AtomicU64,
+    tiled_loops: AtomicU64,
+    scalar_loops: AtomicU64,
+    f64_lanes: AtomicU64,
+    f32_lanes: AtomicU64,
+    reasons: Mutex<HashMap<String, u64>>,
+}
+
+impl SimdCounters {
+    /// Fold one function's emission report into the shared counters.
+    pub fn record_report(&self, r: &SimdReport) {
+        self.packed_loops.fetch_add(r.packed_loops, Ordering::Relaxed);
+        self.tiled_loops.fetch_add(r.tiled_loops, Ordering::Relaxed);
+        self.scalar_loops.fetch_add(r.scalar_loops, Ordering::Relaxed);
+        if !r.scalar_reasons.is_empty() {
+            let mut m = self.reasons.lock().expect("simd reason lock");
+            for (k, v) in &r.scalar_reasons {
+                *m.entry(k.clone()).or_insert(0) += v;
+            }
+        }
+    }
+
+    /// Record the backend's packed lane widths (idempotent).
+    pub fn set_lanes(&self, f64_lanes: u32, f32_lanes: u32) {
+        self.f64_lanes.store(f64_lanes as u64, Ordering::Relaxed);
+        self.f32_lanes.store(f32_lanes as u64, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough snapshot for status reporting.
+    pub fn snapshot(&self) -> SimdStats {
+        let mut scalar_reasons: Vec<(String, u64)> = self
+            .reasons
+            .lock()
+            .expect("simd reason lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        scalar_reasons.sort();
+        SimdStats {
+            packed_loops: self.packed_loops.load(Ordering::Relaxed),
+            tiled_loops: self.tiled_loops.load(Ordering::Relaxed),
+            scalar_loops: self.scalar_loops.load(Ordering::Relaxed),
+            f64_lanes: self.f64_lanes.load(Ordering::Relaxed) as u32,
+            f32_lanes: self.f32_lanes.load(Ordering::Relaxed) as u32,
+            scalar_reasons,
         }
     }
 }

@@ -18,12 +18,36 @@
 //!   which are IEEE-correctly-rounded exactly like Rust's `f64` ops.
 //!   `f32` rounding replicates the VM's `as f32 as f64` with
 //!   `cvtsd2ss`/`cvtss2sd` pairs after each operation.
-//! - Microkernel SIMD (`movupd`/`mulpd`/`addpd`, or their VEX-256
-//!   forms when AVX is detected) is only used for *parallel* stride
-//!   patterns, where every lane performs one multiply and one add with
-//!   per-element rounding — bit-identical to the scalar order. The
+//! - Packed SIMD (`movupd`/`mulpd`/`addpd` f64x2, `movups`/`mulps`/
+//!   `addps` f32x4, or their VEX-256 f64x4/f32x8 forms when AVX is
+//!   detected) is used in three places, all remainder-safe via scalar
+//!   epilogues and all gated on `TVM_JIT_SIMD` ([`X86Backend::simd`]):
+//!   mul-add microkernels with *parallel* stride patterns, where every
+//!   lane performs one multiply and one add with per-element rounding —
+//!   bit-identical to the scalar order, with a register-tiled 4×
+//!   unroll-and-jam main loop; strided-loop bodies whose enclosing
+//!   loop carries the analyzer's race-freedom proof
+//!   (`LoopKind::Vectorized { proven: true }`), where each lane writes
+//!   a disjoint element and keeps its own operation sequence; and a
+//!   cross-iteration unroll-and-jam of the *reduction* loop itself,
+//!   when a serial loop wraps exactly one axpy-like mul-add whose
+//!   destination row is invariant in the loop variable (the y-tile-1
+//!   matmul shape): four consecutive reduction steps are fused into
+//!   one sweep that loads and stores the destination once per four
+//!   multiply-adds. Each destination cell still sees the identical
+//!   per-op-rounded sequence `(((d+m₀)+m₁)+m₂)+m₃` in ascending
+//!   reduction order — only the interleaving across *distinct* cells
+//!   changes — and a dataflow scan ([`NestCompiler::plan_jam`]) proves
+//!   the destination address and broadcast factor invariant before the
+//!   jam fires. `f32`
+//!   lanes compute natively in f32: the result is bit-identical to the
+//!   VM's widen→op→round double rounding because products of 24-bit
+//!   significands are exact in f64 and 53 ≥ 2·24+2 makes the double
+//!   rounding innocuous for add/sub/div (Figueroa, 1995). The
 //!   dot-product reduction pattern (`dst` stride 0) has a serial
-//!   accumulation chain and always stays scalar.
+//!   accumulation chain and always stays scalar, and every vector site
+//!   is tallied packed-or-scalar-with-reason in
+//!   [`super::SimdReport`].
 //! - FMA (`vfmadd231pd`) rounds *once* where the VM rounds twice, so
 //!   it is **not** bit-exact and is gated behind the off-by-default
 //!   [`X86Backend::allow_fma`] option (never enabled on the engine
@@ -36,8 +60,9 @@
 //! items unchanged.
 
 use super::exec_mem::ExecBuf;
-use super::{CodegenBackend, JitProgram};
+use super::{CodegenBackend, JitProgram, SimdReport};
 use crate::compile::{Block, CompileError, CompiledFunc, Instr, Item, LoopKind, Reg, SlotAccess};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use tvm_te::{BinOp, DType, Intrinsic};
 
@@ -51,6 +76,8 @@ const RAX: R = R(0);
 const RCX: R = R(1);
 /// Slot base-pointer table argument.
 const RDX: R = R(2);
+/// Stack pointer (jam group counter lives in its top slot).
+const RSP: R = R(4);
 /// `fregs` argument.
 const RSI: R = R(6);
 /// `iregs` argument.
@@ -69,6 +96,8 @@ const X0: X = X(0);
 const X1: X = X(1);
 const X2: X = X(2);
 const X3: X = X(3);
+/// Scratch for packed strided-loop bodies (never mapped to a freg).
+const XSCRATCH: X = X(15);
 
 /// Condition code for `jcc` (low nibble of the `0F 8x` opcode).
 const CC_L: u8 = 0xC;
@@ -273,6 +302,27 @@ impl Asm {
         self.modrm_rr(1, r.0);
     }
 
+    /// `dec qword [base+disp]`
+    fn dec_m(&mut self, base: R, disp: i32) {
+        self.rex(true, 1, 0, base.0);
+        self.b(0xFF);
+        self.mem(1, base, disp);
+    }
+
+    fn push_r(&mut self, r: R) {
+        if r.0 >= 8 {
+            self.b(0x41);
+        }
+        self.b(0x50 + (r.0 & 7));
+    }
+
+    fn pop_r(&mut self, r: R) {
+        if r.0 >= 8 {
+            self.b(0x41);
+        }
+        self.b(0x58 + (r.0 & 7));
+    }
+
     /// `lea dst, [base + index*scale]`
     fn lea_sib(&mut self, dst: R, base: R, index: R, scale: u8) {
         self.rex(true, dst.0, index.0, base.0);
@@ -413,11 +463,23 @@ impl Asm {
         self.modrm_rr(dst.0, src2.0);
     }
 
+    /// VEX op, `dst, vvvv_src, [base + index*scale]` (map 0F).
+    fn vex_rm_sib(&mut self, pp: u8, op: u8, dst: X, src1: u8, base: R, index: R, scale: u8) {
+        self.vex(dst.0, index.0, base.0, 1, false, src1, true, pp);
+        self.b(op);
+        self.mem_sib(dst.0, base, index, scale);
+    }
+
     /// `vbroadcastsd/ss ymm, [base]` (map 0F38, W0).
     fn vbroadcast(&mut self, op: u8, dst: X, base: R) {
+        self.vbroadcast_m(op, dst, base, 0);
+    }
+
+    /// `vbroadcastsd/ss ymm, [base+disp]` (map 0F38, W0).
+    fn vbroadcast_m(&mut self, op: u8, dst: X, base: R, disp: i32) {
         self.vex(dst.0, 0, base.0, 2, false, 0, true, 1);
         self.b(op);
-        self.mem(dst.0, base, 0);
+        self.mem(dst.0, base, disp);
     }
 
     /// `vfmadd231pd ymm_dst, ymm_src1, [base]`: dst = src1*mem + dst.
@@ -545,8 +607,14 @@ fn check_item(item: &Item, dts: &[DType]) -> Result<(), String> {
 /// [`CodegenBackend`] trait keeps aarch64/Cranelift additive).
 #[derive(Debug, Clone)]
 pub struct X86Backend {
-    /// Use VEX-256 (4×f64 / 8×f32) vectors in microkernels instead of
-    /// SSE2 128-bit ones. Detected at construction.
+    /// Emit packed-SIMD main loops at all (microkernels *and* proven
+    /// vectorized strided loops). Off forces the fully scalar tier —
+    /// bit-identical output, every vector site counted under the
+    /// `simd-disabled` reason. Controlled by the `TVM_JIT_SIMD`
+    /// environment variable in [`X86Backend::detect`] (default on).
+    pub simd: bool,
+    /// Use VEX-256 (4×f64 / 8×f32) vectors instead of SSE2 128-bit
+    /// ones. Detected at construction.
     pub avx: bool,
     /// Allow single-rounded `vfmadd231pd` in f64 microkernels. **Not
     /// bit-exact** with the VM's two-rounding contract — off by
@@ -557,9 +625,14 @@ pub struct X86Backend {
 }
 
 impl X86Backend {
-    /// Detect host features; bit-exact defaults.
+    /// Detect host features; bit-exact defaults. `TVM_JIT_SIMD=0`
+    /// forces the scalar tier.
     pub fn detect() -> X86Backend {
         X86Backend {
+            simd: !matches!(
+                std::env::var("TVM_JIT_SIMD").as_deref(),
+                Ok("0") | Ok("false") | Ok("off")
+            ),
             avx: std::arch::is_x86_feature_detected!("avx"),
             allow_fma: false,
             fma_available: std::arch::is_x86_feature_detected!("fma"),
@@ -570,9 +643,31 @@ impl X86Backend {
     /// tests to cover both vector paths on one machine.
     pub fn sse2_only() -> X86Backend {
         X86Backend {
+            simd: true,
             avx: false,
             allow_fma: false,
             fma_available: false,
+        }
+    }
+
+    /// Fully scalar variant (the `TVM_JIT_SIMD=0` tier, pinned
+    /// programmatically); used by tests and the bench binaries to
+    /// measure the packed tier's speedup on one machine.
+    pub fn scalar_only() -> X86Backend {
+        X86Backend {
+            simd: false,
+            ..X86Backend::detect()
+        }
+    }
+
+    /// `(f64, f32)` packed lane widths this configuration emits.
+    fn lanes(&self) -> (u32, u32) {
+        if !self.simd {
+            (1, 1)
+        } else if self.avx {
+            (4, 8)
+        } else {
+            (2, 4)
         }
     }
 }
@@ -592,7 +687,16 @@ impl CodegenBackend for X86Backend {
         let mut asm = Asm::new();
         let mut entries: Vec<usize> = Vec::new();
         let mut first_reason: Option<String> = None;
-        let body = rewrite_block(&cf.body, &dts, self, &mut asm, &mut entries, &mut first_reason);
+        let mut simd = SimdReport::default();
+        let body = rewrite_block(
+            &cf.body,
+            &dts,
+            self,
+            &mut asm,
+            &mut entries,
+            &mut first_reason,
+            &mut simd,
+        );
         if entries.is_empty() {
             let why = first_reason.unwrap_or_else(|| "no loop nest in function".into());
             return Err(CompileError(format!("no jittable loop nest: {why}")));
@@ -603,6 +707,7 @@ impl CodegenBackend for X86Backend {
             buf,
             entries,
             bytes,
+            simd,
         };
         Ok(CompiledFunc {
             body,
@@ -610,11 +715,16 @@ impl CodegenBackend for X86Backend {
             ..cf.clone()
         })
     }
+
+    fn vector_widths(&self) -> (u32, u32) {
+        self.lanes()
+    }
 }
 
 /// Replace every maximal jittable loop nest with a [`Item::JitCall`],
 /// recursing into loops and conditionals that are not jittable as a
 /// whole so inner nests still compile.
+#[allow(clippy::too_many_arguments)]
 fn rewrite_block(
     b: &Block,
     dts: &[DType],
@@ -622,6 +732,7 @@ fn rewrite_block(
     asm: &mut Asm,
     entries: &mut Vec<usize>,
     first_reason: &mut Option<String>,
+    simd: &mut SimdReport,
 ) -> Block {
     let items = b
         .items
@@ -643,7 +754,12 @@ fn rewrite_block(
                 match verdict {
                     Ok(()) => {
                         let entry = asm.here();
-                        let mut nc = NestCompiler { asm, dts, opts };
+                        let mut nc = NestCompiler {
+                            asm,
+                            dts,
+                            opts,
+                            simd,
+                        };
                         nc.emit_item(item);
                         nc.asm.ret();
                         entries.push(entry);
@@ -666,7 +782,15 @@ fn rewrite_block(
                                 var: *var,
                                 min: *min,
                                 extent: *extent,
-                                body: rewrite_block(body, dts, opts, asm, entries, first_reason),
+                                body: rewrite_block(
+                                    body,
+                                    dts,
+                                    opts,
+                                    asm,
+                                    entries,
+                                    first_reason,
+                                    simd,
+                                ),
                                 kind: *kind,
                             },
                             other => other.clone(),
@@ -676,10 +800,10 @@ fn rewrite_block(
             }
             Item::If { cond, then, else_ } => Item::If {
                 cond: *cond,
-                then: rewrite_block(then, dts, opts, asm, entries, first_reason),
+                then: rewrite_block(then, dts, opts, asm, entries, first_reason, simd),
                 else_: else_
                     .as_ref()
-                    .map(|e| rewrite_block(e, dts, opts, asm, entries, first_reason)),
+                    .map(|e| rewrite_block(e, dts, opts, asm, entries, first_reason, simd)),
             },
             other => other.clone(),
         })
@@ -719,6 +843,84 @@ struct NestCompiler<'a> {
     asm: &'a mut Asm,
     dts: &'a [DType],
     opts: &'a X86Backend,
+    simd: &'a mut SimdReport,
+}
+
+/// Where a loop-invariant packed register gets its (broadcast) value.
+enum InvSrc {
+    /// A body `FConst` hoisted out of the loop: materialise the bits in
+    /// the destination freg's slot (unobservable post-loop; the scalar
+    /// tail re-executes the `FConst`) and broadcast from there.
+    Const { dst: Reg, v: f64 },
+    /// An freg defined outside the loop body (f64 mode only — an
+    /// external freg holds a full f64, which native-f32 lanes can't
+    /// represent): broadcast from its register-file slot.
+    Freg(Reg),
+    /// A stride-0 `Load`: the address register is never bumped, so the
+    /// element is the same every iteration. Hoisting it above the
+    /// loop's stores is sound *because* the loop is proven race-free:
+    /// any store hitting the loaded element would be a cross-iteration
+    /// read/write dependence the analyzer flags.
+    Load { dst: Reg, slot: u16, addr: Reg },
+}
+
+/// k-iterations fused per trip of a jammed microkernel (the
+/// "unroll-and-jam" depth: one destination load/store feeds this many
+/// multiply-accumulate steps).
+const JAM: i64 = 4;
+/// Destination vectors kept live per jammed j-trip (the register-tile
+/// width: independent accumulator chains that hide the add latency).
+const JAM_U: usize = 4;
+/// Accumulator registers for the jammed j-trip (X6/X8/X10/X12).
+const JAM_ACC: [X; JAM_U] = [X(6), X(8), X(10), X(12)];
+/// Product scratch registers paired with [`JAM_ACC`] (X7/X9/X11/X13).
+const JAM_SCR: [X; JAM_U] = [X(7), X(9), X(11), X(13)];
+
+/// Validated unroll-and-jam plan for a serial loop whose body is only
+/// per-iteration address code plus one parallel-pattern microkernel
+/// with a loop-invariant destination row. See
+/// [`NestCompiler::plan_jam`] for the eligibility proof obligations.
+struct JamPlan<'p> {
+    /// The jammed ("k") loop's variable register.
+    kvar: Reg,
+    /// Its inclusive start.
+    kmin: i64,
+    /// Its trip count (≥ [`JAM`]).
+    kextent: i64,
+    /// Straight-line body code preceding the microkernel (address math).
+    code: &'p [Instr],
+    /// The microkernel's own prelude.
+    pre: &'p [Instr],
+    /// Destination operand (stride 1, address k-invariant).
+    dst: SlotAccess,
+    /// The stride-1 factor operand (varies along j).
+    vec: SlotAccess,
+    /// The stride-0 factor operand (the per-k broadcast scalar).
+    inv: SlotAccess,
+    /// Whether the invariant factor is the multiply's *first* operand
+    /// (`a`), preserving the VM's NaN-payload operand order.
+    inv_first: bool,
+    /// f64 (pd) vs native-f32 (ps) mode.
+    f64m: bool,
+    /// Packed lane count for this mode.
+    lanes: i64,
+    /// The microkernel's ("j") trip count (≥ `lanes`).
+    extent: i64,
+}
+
+/// Validated vectorization plan for one proven `StridedLoop` body.
+struct PackedPlan {
+    /// f64 (pd, 2/4 lanes) vs native-f32 (ps, 4/8 lanes) mode.
+    f64m: bool,
+    /// Emitted lane count (AVX doubles the planner's base width).
+    lanes: i64,
+    /// freg → xmm assignment (X0..X14; X15 stays scratch).
+    xmap: HashMap<Reg, X>,
+    /// Pre-loop invariant broadcasts, in first-use order.
+    inv: Vec<InvSrc>,
+    /// fregs whose defining instruction was hoisted (consts and
+    /// stride-0 loads): skipped in the packed body.
+    hoisted: HashSet<Reg>,
 }
 
 impl NestCompiler<'_> {
@@ -733,6 +935,24 @@ impl NestCompiler<'_> {
                 ..
             } => {
                 if *extent < 1 {
+                    return;
+                }
+                if let Some(plan) = self.plan_jam(item) {
+                    let done = (plan.kextent / JAM) * JAM;
+                    let rem = plan.kextent - done;
+                    self.emit_jammed(&plan);
+                    if rem > 0 {
+                        // Leftover k iterations run through the plain
+                        // templates, continuing where the jammed groups
+                        // left the loop variable.
+                        self.emit_item(&Item::Loop {
+                            var: *var,
+                            min: *min + done,
+                            extent: rem,
+                            body: body.clone(),
+                            kind: LoopKind::Serial,
+                        });
+                    }
                     return;
                 }
                 let end = min + extent;
@@ -758,22 +978,20 @@ impl NestCompiler<'_> {
                 pre,
                 bumps,
                 body,
-                ..
+                kind,
+                lanes,
             } => {
                 pre.iter().for_each(|i| self.emit_instr(i));
-                self.asm.mov_ri(R11, *extent);
-                let top = self.asm.here();
-                body.iter().for_each(|i| self.emit_instr(i));
-                for &(r, s) in bumps {
-                    if s as i32 as i64 == s {
-                        self.asm.add_mi(RDI, off(r), s as i32);
-                    } else {
-                        self.asm.mov_ri(RAX, s);
-                        self.asm.add_mr(RDI, off(r), RAX);
+                match self.plan_packed(*extent, bumps, body, kind, *lanes) {
+                    Ok(plan) => {
+                        self.simd.packed(false);
+                        self.emit_packed_strided(*extent, bumps, body, &plan);
+                    }
+                    Err(reason) => {
+                        self.simd.scalar(reason);
+                        self.emit_scalar_strided(*extent, bumps, body);
                     }
                 }
-                self.asm.dec_r(R11);
-                self.asm.jcc_back(CC_NZ, top);
             }
             Item::MulAddLoop {
                 extent,
@@ -898,6 +1116,366 @@ impl NestCompiler<'_> {
         }
     }
 
+    /// The scalar strided-loop template (also the packed path's tail:
+    /// after the packed main loop the strided registers sit exactly
+    /// `vec_iters·lanes` iterations in, so this continues bit-for-bit).
+    fn emit_scalar_strided(&mut self, extent: i64, bumps: &[(Reg, i64)], body: &[Instr]) {
+        self.asm.mov_ri(R11, extent);
+        let top = self.asm.here();
+        body.iter().for_each(|i| self.emit_instr(i));
+        self.emit_bumps(bumps, 1);
+        self.asm.dec_r(R11);
+        self.asm.jcc_back(CC_NZ, top);
+    }
+
+    /// Advance every strided register by `scale` iterations' worth.
+    fn emit_bumps(&mut self, bumps: &[(Reg, i64)], scale: i64) {
+        for &(r, s) in bumps {
+            let s = s.checked_mul(scale).expect("checked in plan_packed");
+            if s as i32 as i64 == s {
+                self.asm.add_mi(RDI, off(r), s as i32);
+            } else {
+                self.asm.mov_ri(RAX, s);
+                self.asm.add_mr(RDI, off(r), RAX);
+            }
+        }
+    }
+
+    /// Decide whether a strided-loop body can run packed, and how. The
+    /// `Err` string is the per-reason scalar-fallback tag tallied in
+    /// [`SimdReport`]; together with the packed count these partition
+    /// every strided vector site.
+    fn plan_packed(
+        &self,
+        extent: i64,
+        bumps: &[(Reg, i64)],
+        body: &[Instr],
+        kind: &LoopKind,
+        planned: u8,
+    ) -> Result<PackedPlan, &'static str> {
+        if !self.opts.simd {
+            return Err("simd-disabled");
+        }
+        // Packing reorders iterations across lanes, so it is gated on
+        // the dependence analyzer's race-freedom proof exactly like
+        // pool dispatch is for `Parallel` loops.
+        match kind {
+            LoopKind::Vectorized { proven: true } => {}
+            LoopKind::Vectorized { proven: false } => return Err("unproven-vectorize"),
+            _ => return Err("no-vectorize-annotation"),
+        }
+        // Mode: the uniform dtype of every load/store in the body.
+        let mut mode: Option<DType> = None;
+        for i in body {
+            if let Instr::Load(_, slot, _) | Instr::Store(slot, _, _) = i {
+                let dt = self.dts[*slot as usize];
+                match mode {
+                    None => mode = Some(dt),
+                    Some(m) if m != dt => return Err("mixed-precision"),
+                    _ => {}
+                }
+            }
+        }
+        let Some(dt) = mode else {
+            return Err("body-op");
+        };
+        let f64m = dt == DType::F64;
+        let base: i64 = if f64m { 2 } else { 4 };
+        let lanes = if self.opts.avx { base * 2 } else { base };
+        if extent < lanes {
+            return Err("short-extent");
+        }
+        if i64::from(planned) < base {
+            // The block optimizer plans the base vector width on every
+            // strided item; disagreeing here would mean the item was
+            // built outside `compile_optimized`.
+            return Err("planner-scalar");
+        }
+        for &(_, s) in bumps {
+            if s.checked_mul(lanes).is_none() {
+                return Err("stride-overflow");
+            }
+        }
+        let strides: HashMap<Reg, i64> = bumps.iter().copied().collect();
+        let mut plan = PackedPlan {
+            f64m,
+            lanes,
+            xmap: HashMap::new(),
+            inv: Vec::new(),
+            hoisted: HashSet::new(),
+        };
+        // fregs defined by the body vs. read from outside it.
+        let mut defined: HashSet<Reg> = HashSet::new();
+        let mut external: HashSet<Reg> = HashSet::new();
+        fn alloc(xmap: &mut HashMap<Reg, X>, r: Reg) -> Result<X, &'static str> {
+            if let Some(&x) = xmap.get(&r) {
+                return Ok(x);
+            }
+            // X15 stays scratch for in-body multiply-add temporaries.
+            if xmap.len() >= 15 {
+                return Err("register-pressure");
+            }
+            let x = X(xmap.len() as u8);
+            xmap.insert(r, x);
+            Ok(x)
+        }
+        macro_rules! def {
+            ($d:expr) => {{
+                if defined.contains(&$d) {
+                    return Err("freg-reassign");
+                }
+                if external.contains(&$d) {
+                    return Err("loop-carried-freg");
+                }
+                defined.insert($d);
+                alloc(&mut plan.xmap, $d)?;
+            }};
+        }
+        macro_rules! read {
+            ($r:expr) => {{
+                if !defined.contains(&$r) && !external.contains(&$r) {
+                    // Defined outside the loop: loop-invariant (the
+                    // body holds no integer/float redefinitions — they
+                    // were rejected above or live in `pre`). Broadcast
+                    // once. Native-f32 lanes can't hold an arbitrary
+                    // f64, so this is an f64-mode-only trick.
+                    if !f64m {
+                        return Err("operand-precision");
+                    }
+                    external.insert($r);
+                    alloc(&mut plan.xmap, $r)?;
+                    plan.inv.push(InvSrc::Freg($r));
+                }
+            }};
+        }
+        for i in body {
+            match *i {
+                Instr::FConst(d, v) => {
+                    if !f64m && f64::from(v as f32) != v {
+                        return Err("const-precision");
+                    }
+                    def!(d);
+                    plan.hoisted.insert(d);
+                    plan.inv.push(InvSrc::Const { dst: d, v });
+                }
+                Instr::Load(d, slot, addr) => match strides.get(&addr).copied().unwrap_or(0) {
+                    1 => def!(d),
+                    0 => {
+                        def!(d);
+                        plan.hoisted.insert(d);
+                        plan.inv.push(InvSrc::Load { dst: d, slot, addr });
+                    }
+                    _ => return Err("load-stride"),
+                },
+                Instr::Store(_, addr, val) => {
+                    if strides.get(&addr).copied().unwrap_or(0) != 1 {
+                        return Err("store-stride");
+                    }
+                    read!(val);
+                }
+                Instr::FBin(op, d, x, y) | Instr::FBin32(op, d, x, y) => {
+                    if f64m != matches!(i, Instr::FBin(..)) {
+                        return Err("mixed-precision");
+                    }
+                    debug_assert!(matches!(
+                        op,
+                        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div
+                    ));
+                    read!(x);
+                    read!(y);
+                    def!(d);
+                }
+                Instr::FMulAdd {
+                    dst,
+                    add,
+                    a,
+                    b,
+                    round32,
+                } => {
+                    if round32 == f64m {
+                        return Err("rounding-mismatch");
+                    }
+                    read!(add);
+                    read!(a);
+                    read!(b);
+                    def!(dst);
+                }
+                Instr::F32Round(d, s) => {
+                    if f64m {
+                        return Err("mixed-precision");
+                    }
+                    read!(s);
+                    def!(d);
+                }
+                Instr::Call1(Intrinsic::Sqrt, d, x, round) => {
+                    if round == f64m {
+                        return Err("rounding-mismatch");
+                    }
+                    read!(x);
+                    def!(d);
+                }
+                _ => return Err("body-op"),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Broadcast the scalar at `[base+disp]` across every lane of `x`.
+    fn bcast(&mut self, f64m: bool, x: X, base: R, disp: i32) {
+        if self.opts.avx {
+            self.asm
+                .vbroadcast_m(if f64m { 0x19 } else { 0x18 }, x, base, disp);
+        } else if f64m {
+            self.asm.movsd_rm(x, base, disp);
+            self.asm.sse_rr(Some(0x66), 0x14, x, x); // unpcklpd
+        } else {
+            self.asm.movss_rm(x, base, disp);
+            self.asm.sse_rr(None, 0xC6, x, x); // shufps x,x,0
+            self.asm.b(0x00);
+        }
+    }
+
+    /// Packed main loop + scalar epilogue for a proven vectorized
+    /// strided loop. Lane `j` of every packed instruction is iteration
+    /// `i+j`'s scalar instruction: instructions execute in body order
+    /// at full width, so each lane sees the exact scalar operation
+    /// sequence, every store writes a disjoint element (stride-1,
+    /// proven race-free), and per-element IEEE rounding is preserved.
+    fn emit_packed_strided(
+        &mut self,
+        extent: i64,
+        bumps: &[(Reg, i64)],
+        body: &[Instr],
+        plan: &PackedPlan,
+    ) {
+        let f64m = plan.f64m;
+        let esize: u8 = if f64m { 8 } else { 4 };
+        let pp: u8 = if f64m { 1 } else { 0 };
+        let sse_p: Option<u8> = if f64m { Some(0x66) } else { None };
+        let vec_iters = extent / plan.lanes;
+        let tail = extent % plan.lanes;
+        for src in &plan.inv {
+            match *src {
+                InvSrc::Const { dst, v } => {
+                    let bits = if f64m {
+                        v.to_bits() as i64
+                    } else {
+                        i64::from((v as f32).to_bits())
+                    };
+                    // Materialise through the destination freg's slot:
+                    // post-loop register state is unobservable and the
+                    // scalar epilogue re-executes the `FConst` first.
+                    self.asm.mov_ri(RAX, bits);
+                    self.asm.mov_mr(RSI, off(dst), RAX);
+                    self.bcast(f64m, plan.xmap[&dst], RSI, off(dst));
+                }
+                InvSrc::Freg(r) => self.bcast(f64m, plan.xmap[&r], RSI, off(r)),
+                InvSrc::Load { dst, slot, addr } => {
+                    self.asm.mov_rm(RAX, RDI, off(addr));
+                    self.asm.mov_rm(RCX, RDX, (slot as i32) * 8);
+                    self.asm.lea_sib(RAX, RCX, RAX, esize);
+                    self.bcast(f64m, plan.xmap[&dst], RAX, 0);
+                }
+            }
+        }
+        self.asm.mov_ri(R11, vec_iters);
+        let top = self.asm.here();
+        for i in body {
+            self.emit_packed_instr(i, plan, pp, sse_p, esize);
+        }
+        self.emit_bumps(bumps, plan.lanes);
+        self.asm.dec_r(R11);
+        self.asm.jcc_back(CC_NZ, top);
+        if self.opts.avx {
+            self.asm.vzeroupper();
+        }
+        if tail > 0 {
+            self.emit_scalar_strided(tail, bumps, body);
+        }
+    }
+
+    /// One body instruction at full vector width (see
+    /// [`NestCompiler::emit_packed_strided`] for the lane contract).
+    fn emit_packed_instr(
+        &mut self,
+        i: &Instr,
+        plan: &PackedPlan,
+        pp: u8,
+        sse_p: Option<u8>,
+        esize: u8,
+    ) {
+        let x = |r: Reg| plan.xmap[&r];
+        match *i {
+            // Hoisted to a pre-loop broadcast.
+            Instr::FConst(..) => {}
+            Instr::Load(d, slot, addr) => {
+                if plan.hoisted.contains(&d) {
+                    return; // stride-0: broadcast pre-loop
+                }
+                self.asm.mov_rm(RAX, RDI, off(addr));
+                self.asm.mov_rm(RCX, RDX, (slot as i32) * 8);
+                if self.opts.avx {
+                    self.asm.vex_rm_sib(pp, 0x10, x(d), 0, RCX, RAX, esize);
+                } else {
+                    self.asm.sse_rm_sib(sse_p, 0x10, x(d), RCX, RAX, esize);
+                }
+            }
+            Instr::Store(slot, addr, val) => {
+                self.asm.mov_rm(RAX, RDI, off(addr));
+                self.asm.mov_rm(RCX, RDX, (slot as i32) * 8);
+                if self.opts.avx {
+                    self.asm.vex_rm_sib(pp, 0x11, x(val), 0, RCX, RAX, esize);
+                } else {
+                    self.asm.sse_rm_sib(sse_p, 0x11, x(val), RCX, RAX, esize);
+                }
+            }
+            Instr::FBin(op, d, a, b) | Instr::FBin32(op, d, a, b) => {
+                let opc = match op {
+                    BinOp::Add => 0x58,
+                    BinOp::Mul => 0x59,
+                    BinOp::Sub => 0x5C,
+                    BinOp::Div => 0x5E,
+                    _ => unreachable!("rejected by plan_packed"),
+                };
+                if self.opts.avx {
+                    self.asm.vex_rr(pp, opc, x(d), x(a).0, x(b));
+                } else {
+                    // `d` is single-assignment-fresh, so distinct from
+                    // `a`/`b`: a movap*-then-op pair is safe.
+                    self.asm.sse_rr(sse_p, 0x28, x(d), x(a));
+                    self.asm.sse_rr(sse_p, opc, x(d), x(b));
+                }
+            }
+            Instr::FMulAdd { dst, add, a, b, .. } => {
+                if self.opts.avx {
+                    self.asm.vex_rr(pp, 0x59, XSCRATCH, x(a).0, x(b));
+                    self.asm.vex_rr(pp, 0x58, x(dst), x(add).0, XSCRATCH);
+                } else {
+                    self.asm.sse_rr(sse_p, 0x28, XSCRATCH, x(a));
+                    self.asm.sse_rr(sse_p, 0x59, XSCRATCH, x(b));
+                    self.asm.sse_rr(sse_p, 0x28, x(dst), x(add));
+                    self.asm.sse_rr(sse_p, 0x58, x(dst), XSCRATCH);
+                }
+            }
+            Instr::F32Round(d, s) => {
+                // Native-f32 lanes are already rounded: a plain copy.
+                if self.opts.avx {
+                    self.asm.vex_rr(pp, 0x28, x(d), 0, x(s));
+                } else {
+                    self.asm.sse_rr(sse_p, 0x28, x(d), x(s));
+                }
+            }
+            Instr::Call1(Intrinsic::Sqrt, d, s, _) => {
+                if self.opts.avx {
+                    self.asm.vex_rr(pp, 0x51, x(d), 0, x(s));
+                } else {
+                    self.asm.sse_rr(sse_p, 0x51, x(d), x(s));
+                }
+            }
+            _ => unreachable!("rejected by plan_packed"),
+        }
+    }
+
     /// Materialise the three element pointers of a microkernel into
     /// `r8` (dst), `r9` (a), `r10` (b).
     fn muladd_pointers(&mut self, dst: &SlotAccess, sa: &SlotAccess, sb: &SlotAccess) {
@@ -926,6 +1504,8 @@ impl NestCompiler<'_> {
         let fast = uniform && matched_rounding && disjoint;
         let strides = (dst.stride, sa.stride, sb.stride);
         if fast && strides.0 == 0 && strides.1 == 1 && strides.2 == 1 {
+            // Serial accumulation order is observable: always scalar.
+            self.simd.scalar("reduction-chain");
             self.muladd_reduction(extent, dt);
             return;
         }
@@ -933,6 +1513,15 @@ impl NestCompiler<'_> {
             self.muladd_parallel(extent, dt, strides);
             return;
         }
+        self.simd.scalar(if !uniform {
+            "mixed-dtype"
+        } else if !matched_rounding {
+            "rounding-mismatch"
+        } else if !disjoint {
+            "aliased-dst"
+        } else {
+            "stride-pattern"
+        });
         self.muladd_generic(extent, dst, sa, sb, round32);
     }
 
@@ -968,7 +1557,12 @@ impl NestCompiler<'_> {
     /// Parallel patterns `(1,0,1)`, `(1,1,0)`, `(1,1,1)`: every element
     /// is an independent multiply+add, so lane-splitting preserves
     /// per-element rounding exactly — vectorize with AVX-256 when
-    /// available, SSE2 128-bit otherwise, scalar tail.
+    /// available, SSE2 128-bit otherwise, scalar tail. When at least
+    /// four packed iterations remain, a register-tiled 4× unroll-and-jam
+    /// main loop runs first: four accumulator blocks in distinct
+    /// registers per trip, amortising the loop overhead and letting the
+    /// independent mul/add chains overlap. Elements stay independent
+    /// with per-element rounding, so tiling is bit-neutral.
     fn muladd_parallel(&mut self, extent: i64, dt: DType, strides: (i64, i64, i64)) {
         let f64p = dt == DType::F64;
         let esize: i32 = if f64p { 8 } else { 4 };
@@ -979,11 +1573,25 @@ impl NestCompiler<'_> {
         } else {
             4
         };
-        let vec_iters = extent / lanes;
-        let tail = extent % lanes;
+        // `TVM_JIT_SIMD=0` forces the (bit-identical) scalar tail to
+        // carry every iteration.
+        let (vec_iters, tail) = if self.opts.simd {
+            (extent / lanes, extent % lanes)
+        } else {
+            (0, extent)
+        };
         let pp: u8 = if f64p { 1 } else { 0 }; // VEX pp for pd/ps
         let sse_p: Option<u8> = if f64p { Some(0x66) } else { None };
         let fma = self.opts.allow_fma && self.opts.fma_available && self.opts.avx && f64p;
+        // Register tiling keeps the plain mul+add pipeline; the FMA
+        // variant stays on the single-vector loop.
+        let blocks = if fma { 0 } else { vec_iters / 4 };
+        let single = vec_iters - blocks * 4;
+        if self.opts.simd {
+            self.simd.packed(blocks > 0);
+        } else {
+            self.simd.scalar("simd-disabled");
+        }
         if vec_iters > 0 {
             // Broadcast the loop-invariant factor once (X2).
             match strides {
@@ -1002,7 +1610,72 @@ impl NestCompiler<'_> {
                 }
                 _ => {}
             }
-            self.asm.mov_ri(R11, vec_iters);
+        }
+        let vstep = (lanes as i32) * esize;
+        if blocks > 0 {
+            self.asm.mov_ri(R11, blocks);
+            let top = self.asm.here();
+            // Products first (X4..X7), in the multiply's operand order.
+            for k in 0..4i32 {
+                let m = X(4 + k as u8);
+                let disp = k * vstep;
+                match strides {
+                    (1, 0, 1) => {
+                        if self.opts.avx {
+                            self.asm.vex_rm(pp, 0x59, m, X2.0, R10, disp);
+                        } else {
+                            self.asm.sse_rr(sse_p, 0x28, m, X2);
+                            self.asm.sse_rm(sse_p, 0x10, X3, R10, disp);
+                            self.asm.sse_rr(sse_p, 0x59, m, X3);
+                        }
+                    }
+                    (1, 1, 0) => {
+                        if self.opts.avx {
+                            self.asm.vex_rm(pp, 0x10, m, 0, R9, disp);
+                            self.asm.vex_rr(pp, 0x59, m, m.0, X2);
+                        } else {
+                            self.asm.sse_rm(sse_p, 0x10, m, R9, disp);
+                            self.asm.sse_rr(sse_p, 0x59, m, X2);
+                        }
+                    }
+                    _ => {
+                        if self.opts.avx {
+                            self.asm.vex_rm(pp, 0x10, m, 0, R9, disp);
+                            self.asm.vex_rm(pp, 0x59, m, m.0, R10, disp);
+                        } else {
+                            self.asm.sse_rm(sse_p, 0x10, m, R9, disp);
+                            self.asm.sse_rm(sse_p, 0x10, X3, R10, disp);
+                            self.asm.sse_rr(sse_p, 0x59, m, X3);
+                        }
+                    }
+                }
+            }
+            // Then the four dst accumulator blocks (X8..X11).
+            for k in 0..4i32 {
+                let (m, d) = (X(4 + k as u8), X(8 + k as u8));
+                let disp = k * vstep;
+                if self.opts.avx {
+                    self.asm.vex_rm(pp, 0x10, d, 0, R8, disp);
+                    self.asm.vex_rr(pp, 0x58, d, d.0, m);
+                    self.asm.vex_rm(pp, 0x11, d, 0, R8, disp);
+                } else {
+                    self.asm.sse_rm(sse_p, 0x10, d, R8, disp);
+                    self.asm.sse_rr(sse_p, 0x58, d, m);
+                    self.asm.sse_rm(sse_p, 0x11, d, R8, disp);
+                }
+            }
+            self.asm.add_ri(R8, 4 * vstep);
+            if strides.1 == 1 {
+                self.asm.add_ri(R9, 4 * vstep);
+            }
+            if strides.2 == 1 {
+                self.asm.add_ri(R10, 4 * vstep);
+            }
+            self.asm.dec_r(R11);
+            self.asm.jcc_back(CC_NZ, top);
+        }
+        if single > 0 {
+            self.asm.mov_ri(R11, single);
             let top = self.asm.here();
             // X0 = a * b in the multiply's operand order.
             match strides {
@@ -1057,7 +1730,6 @@ impl NestCompiler<'_> {
             } else {
                 self.asm.sse_rm(sse_p, 0x11, X1, R8, 0);
             }
-            let vstep = (lanes as i32) * esize;
             self.asm.add_ri(R8, vstep);
             if strides.1 == 1 {
                 self.asm.add_ri(R9, vstep);
@@ -1067,9 +1739,9 @@ impl NestCompiler<'_> {
             }
             self.asm.dec_r(R11);
             self.asm.jcc_back(CC_NZ, top);
-            if self.opts.avx {
-                self.asm.vzeroupper();
-            }
+        }
+        if vec_iters > 0 && self.opts.avx {
+            self.asm.vzeroupper();
         }
         if tail > 0 {
             let p: Option<u8> = if f64p { Some(0xF2) } else { Some(0xF3) };
@@ -1104,6 +1776,352 @@ impl NestCompiler<'_> {
             }
             self.asm.dec_r(R11);
             self.asm.jcc_back(CC_NZ, top);
+        }
+    }
+
+    /// Decide whether a serial loop is a jammable microkernel wrapper:
+    /// `for k { addr-code; dst[j] += inv_k * vec_k[j] }` where the
+    /// destination row is the same for every `k`. Jamming [`JAM`]
+    /// consecutive `k` iterations into one fused `j` sweep then loads
+    /// and stores each `dst[j]` once per group instead of once per `k`
+    /// — and stays bit-exact *by construction*: every memory cell sees
+    /// the identical operation sequence (`(((d+m₀)+m₁)+m₂)+m₃`, each
+    /// multiply and add individually rounded, `k` ascending), only the
+    /// interleaving across distinct cells changes.
+    ///
+    /// Eligibility (each check discharges a soundness obligation):
+    /// - body is exactly `[Code?, MulAddLoop]` with parallel stride
+    ///   pattern `(1,0,1)` or `(1,1,0)`, uniform dtype, matched
+    ///   rounding, and a destination slot distinct from both factors;
+    /// - the address code is memory-free (pure register arithmetic),
+    ///   so running four iterations' worth up front has no observable
+    ///   effect beyond the register file, which sees the exact scalar
+    ///   write sequence;
+    /// - it never writes the loop variable (the jam advances it);
+    /// - a dataflow pass proves `dst.addr` independent of `k`,
+    ///   treating loop-carried register reads as varying.
+    fn plan_jam<'p>(&self, item: &'p Item) -> Option<JamPlan<'p>> {
+        if !self.opts.simd || self.opts.allow_fma {
+            return None;
+        }
+        let Item::Loop {
+            var,
+            min,
+            extent: kextent,
+            body,
+            ..
+        } = item
+        else {
+            return None;
+        };
+        if *kextent < JAM {
+            return None;
+        }
+        let (code, ma): (&[Instr], &Item) = match body.items.as_slice() {
+            [ma @ Item::MulAddLoop { .. }] => (&[], ma),
+            [Item::Code(c), ma @ Item::MulAddLoop { .. }] => (c.as_slice(), ma),
+            _ => return None,
+        };
+        let Item::MulAddLoop {
+            extent,
+            pre,
+            dst,
+            a,
+            b,
+            round32,
+        } = ma
+        else {
+            unreachable!("matched above")
+        };
+        let dt = self.dts[dst.slot as usize];
+        if self.dts[a.slot as usize] != dt || self.dts[b.slot as usize] != dt {
+            return None;
+        }
+        let f64m = dt == DType::F64;
+        if f64m == *round32 {
+            return None;
+        }
+        if dst.slot == a.slot || dst.slot == b.slot {
+            return None;
+        }
+        let (inv, vec, inv_first) = match (dst.stride, a.stride, b.stride) {
+            (1, 0, 1) => (*a, *b, true),
+            (1, 1, 0) => (*b, *a, false),
+            _ => return None,
+        };
+        let lanes: i64 = if self.opts.avx {
+            if f64m {
+                4
+            } else {
+                8
+            }
+        } else if f64m {
+            2
+        } else {
+            4
+        };
+        if *extent < lanes {
+            return None;
+        }
+        // Setup-code scan: pure register arithmetic only, loop variable
+        // never overwritten. (`FToI` — the only other ireg writer in
+        // the ISA — is outside the JIT subset and cannot appear here.)
+        let mut written: HashSet<Reg> = HashSet::new();
+        for i in code.iter().chain(pre.iter()) {
+            match i {
+                Instr::IConst(d, _) | Instr::IBin(_, d, _, _) => {
+                    if d == var {
+                        return None;
+                    }
+                    written.insert(*d);
+                }
+                Instr::FConst(..)
+                | Instr::IToF(..)
+                | Instr::IToF32(..)
+                | Instr::F32Round(..)
+                | Instr::FBin(..)
+                | Instr::FBin32(..)
+                | Instr::FMulAdd { .. }
+                | Instr::Call1(..) => {}
+                _ => return None,
+            }
+        }
+        // k-invariance of the destination address: a register is
+        // varying if it derives from the loop variable or from a
+        // loop-carried value (read of a setup-written register before
+        // its write this iteration).
+        let mut varying: HashSet<Reg> = HashSet::new();
+        varying.insert(*var);
+        let mut seen: HashSet<Reg> = HashSet::new();
+        for i in code.iter().chain(pre.iter()) {
+            match i {
+                Instr::IConst(d, _) => {
+                    seen.insert(*d);
+                    varying.remove(d);
+                }
+                Instr::IBin(_, d, x, y) => {
+                    let tainted = |r: &Reg| {
+                        varying.contains(r) || (written.contains(r) && !seen.contains(r))
+                    };
+                    if tainted(x) || tainted(y) {
+                        varying.insert(*d);
+                    } else {
+                        varying.remove(d);
+                    }
+                    seen.insert(*d);
+                }
+                _ => {}
+            }
+        }
+        if varying.contains(&dst.addr) {
+            return None;
+        }
+        Some(JamPlan {
+            kvar: *var,
+            kmin: *min,
+            kextent: *kextent,
+            code,
+            pre,
+            dst: *dst,
+            vec,
+            inv,
+            inv_first,
+            f64m,
+            lanes,
+            extent: *extent,
+        })
+    }
+
+    /// Emit `m ← inv_k · vec_k[j..]` (packed, operand order preserved)
+    /// into `scr`, then `acc ← acc + m`.
+    fn jam_step(&mut self, plan: &JamPlan, jk: usize, bptr: R, disp: i32, acc: X, scr: X) {
+        let pp: u8 = if plan.f64m { 1 } else { 0 };
+        let sse_p: Option<u8> = if plan.f64m { Some(0x66) } else { None };
+        let bc = X(2 + jk as u8);
+        if self.opts.avx {
+            if plan.inv_first {
+                self.asm.vex_rm(pp, 0x59, scr, bc.0, bptr, disp);
+            } else {
+                self.asm.vex_rm(pp, 0x10, scr, 0, bptr, disp);
+                self.asm.vex_rr(pp, 0x59, scr, scr.0, bc);
+            }
+            self.asm.vex_rr(pp, 0x58, acc, acc.0, scr);
+        } else {
+            // Legacy-SSE arithmetic needs aligned memory operands, so
+            // the stride-1 factor goes through an unaligned movup*.
+            if plan.inv_first {
+                self.asm.sse_rr(sse_p, 0x28, scr, bc);
+                self.asm.sse_rm(sse_p, 0x10, XSCRATCH, bptr, disp);
+                self.asm.sse_rr(sse_p, 0x59, scr, XSCRATCH);
+            } else {
+                self.asm.sse_rm(sse_p, 0x10, scr, bptr, disp);
+                self.asm.sse_rr(sse_p, 0x59, scr, bc);
+            }
+            self.asm.sse_rr(sse_p, 0x58, acc, scr);
+        }
+    }
+
+    /// The jammed microkernel (see [`NestCompiler::plan_jam`] for the
+    /// shape and its proof obligations). Per group of [`JAM`] `k`
+    /// iterations: run each iteration's address code in scalar order
+    /// (loop variable advanced exactly as the plain template would),
+    /// broadcast its stride-0 factor into `X2..X5`, stack its stride-1
+    /// pointer, then sweep `j` once — [`JAM_U`] destination vectors per
+    /// trip ([`JAM_ACC`]), each receiving the four products in `k`
+    /// order, stored once. Leftover vectors and the scalar tail keep
+    /// the same per-element `k` sequence.
+    fn emit_jammed(&mut self, plan: &JamPlan) {
+        let f64m = plan.f64m;
+        let esize: u8 = if f64m { 8 } else { 4 };
+        let pp: u8 = if f64m { 1 } else { 0 };
+        let sse_p: Option<u8> = if f64m { Some(0x66) } else { None };
+        let p_sc: Option<u8> = if f64m { Some(0xF2) } else { Some(0xF3) };
+        let groups = plan.kextent / JAM;
+        let vstep = (plan.lanes as i32) * i32::from(esize);
+        let jvecs = plan.extent / plan.lanes;
+        let jtrips = jvecs / JAM_U as i64;
+        let jsingle = (jvecs % JAM_U as i64) as usize;
+        let jtail = plan.extent % plan.lanes;
+        // One vector site, packed and register-tiled.
+        self.simd.packed(true);
+        // Stride-1 factor pointers for the group's four k's, k ascending.
+        let bp = [R9, R10, RCX, RAX];
+        self.asm.mov_ri(RAX, plan.kmin);
+        self.asm.mov_mr(RDI, off(plan.kvar), RAX);
+        // Every GPR is claimed below, so the group counter lives in the
+        // stack's top slot (restored before returning).
+        self.asm.mov_ri(RAX, groups);
+        self.asm.push_r(RAX);
+        let gtop = self.asm.here();
+        for jk in 0..JAM as usize {
+            // This k's address code, exactly as the scalar loop runs it
+            // (pure register arithmetic: only RAX/RCX/X0/X1 scratch).
+            for i in plan.code {
+                self.emit_instr(i);
+            }
+            for i in plan.pre {
+                self.emit_instr(i);
+            }
+            if jk == 0 {
+                // Destination row pointer: k-invariant per the plan.
+                self.asm.mov_rm(RAX, RDI, off(plan.dst.addr));
+                self.asm.mov_rm(R8, RDX, (plan.dst.slot as i32) * 8);
+                self.asm.lea_sib(R8, R8, RAX, esize);
+            }
+            self.asm.mov_rm(RAX, RDI, off(plan.inv.addr));
+            self.asm.mov_rm(RCX, RDX, (plan.inv.slot as i32) * 8);
+            self.asm.lea_sib(RAX, RCX, RAX, esize);
+            self.bcast(f64m, X(2 + jk as u8), RAX, 0);
+            self.asm.mov_rm(RAX, RDI, off(plan.vec.addr));
+            self.asm.mov_rm(RCX, RDX, (plan.vec.slot as i32) * 8);
+            self.asm.lea_sib(RAX, RCX, RAX, esize);
+            self.asm.push_r(RAX);
+            // Advance the loop variable (the scalar template's
+            // post-body increment).
+            self.asm.mov_rm(RAX, RDI, off(plan.kvar));
+            self.asm.add_ri(RAX, 1);
+            self.asm.mov_mr(RDI, off(plan.kvar), RAX);
+        }
+        for r in bp.iter().rev() {
+            self.asm.pop_r(*r);
+        }
+        if jtrips > 0 {
+            self.asm.mov_ri(R11, jtrips);
+            let top = self.asm.here();
+            for (u, acc) in JAM_ACC.iter().enumerate() {
+                let disp = u as i32 * vstep;
+                if self.opts.avx {
+                    self.asm.vex_rm(pp, 0x10, *acc, 0, R8, disp);
+                } else {
+                    self.asm.sse_rm(sse_p, 0x10, *acc, R8, disp);
+                }
+            }
+            for jk in 0..JAM as usize {
+                for u in 0..JAM_U {
+                    self.jam_step(plan, jk, bp[jk], u as i32 * vstep, JAM_ACC[u], JAM_SCR[u]);
+                }
+            }
+            for (u, acc) in JAM_ACC.iter().enumerate() {
+                let disp = u as i32 * vstep;
+                if self.opts.avx {
+                    self.asm.vex_rm(pp, 0x11, *acc, 0, R8, disp);
+                } else {
+                    self.asm.sse_rm(sse_p, 0x11, *acc, R8, disp);
+                }
+            }
+            self.asm.add_ri(R8, JAM_U as i32 * vstep);
+            for r in bp {
+                self.asm.add_ri(r, JAM_U as i32 * vstep);
+            }
+            self.asm.dec_r(R11);
+            self.asm.jcc_back(CC_NZ, top);
+        }
+        for _ in 0..jsingle {
+            if self.opts.avx {
+                self.asm.vex_rm(pp, 0x10, JAM_ACC[0], 0, R8, 0);
+            } else {
+                self.asm.sse_rm(sse_p, 0x10, JAM_ACC[0], R8, 0);
+            }
+            for jk in 0..JAM as usize {
+                self.jam_step(plan, jk, bp[jk], 0, JAM_ACC[0], JAM_SCR[0]);
+            }
+            if self.opts.avx {
+                self.asm.vex_rm(pp, 0x11, JAM_ACC[0], 0, R8, 0);
+            } else {
+                self.asm.sse_rm(sse_p, 0x11, JAM_ACC[0], R8, 0);
+            }
+            self.asm.add_ri(R8, vstep);
+            for r in bp {
+                self.asm.add_ri(r, vstep);
+            }
+        }
+        if jtail > 0 {
+            if self.opts.avx {
+                // Keep the low-lane scalar tail out of dirty-upper
+                // stalls; the next group rebroadcasts X2..X5 anyway.
+                self.asm.vzeroupper();
+            }
+            self.asm.mov_ri(R11, jtail);
+            let top = self.asm.here();
+            if f64m {
+                self.asm.movsd_rm(X0, R8, 0);
+            } else {
+                self.asm.movss_rm(X0, R8, 0);
+            }
+            for (jk, bptr) in bp.iter().enumerate() {
+                let bc = X(2 + jk as u8);
+                // m = inv·vec[j] in operand order (low lane of the
+                // broadcast), then d = d + m — per-op rounding intact.
+                if plan.inv_first {
+                    self.asm.sse_rr(sse_p, 0x28, X1, bc);
+                    self.asm.sse_rm(p_sc, 0x59, X1, *bptr, 0);
+                } else {
+                    if f64m {
+                        self.asm.movsd_rm(X1, *bptr, 0);
+                    } else {
+                        self.asm.movss_rm(X1, *bptr, 0);
+                    }
+                    self.asm.sse_rr(p_sc, 0x59, X1, bc);
+                }
+                self.asm.sse_rr(p_sc, 0x58, X0, X1);
+            }
+            if f64m {
+                self.asm.movsd_mr(R8, 0, X0);
+            } else {
+                self.asm.movss_mr(R8, 0, X0);
+            }
+            self.asm.add_ri(R8, i32::from(esize));
+            for r in bp {
+                self.asm.add_ri(r, i32::from(esize));
+            }
+            self.asm.dec_r(R11);
+            self.asm.jcc_back(CC_NZ, top);
+        }
+        self.asm.dec_m(RSP, 0);
+        self.asm.jcc_back(CC_NZ, gtop);
+        self.asm.pop_r(RAX);
+        if self.opts.avx {
+            self.asm.vzeroupper();
         }
     }
 
@@ -1183,10 +2201,12 @@ mod tests {
     fn integer_templates_execute() {
         // iregs[2] = iregs[0] + iregs[1]; iregs[3] = iregs[0] * iregs[1]
         let mut a = Asm::new();
+        let mut simd = SimdReport::default();
         let mut nc = NestCompiler {
             asm: &mut a,
             dts: &[],
             opts: &X86Backend::sse2_only(),
+            simd: &mut simd,
         };
         nc.emit_instr(&Instr::IBin(BinOp::Add, 2, 0, 1));
         nc.emit_instr(&Instr::IBin(BinOp::Mul, 3, 0, 1));
@@ -1203,10 +2223,12 @@ mod tests {
     #[test]
     fn float_templates_match_rust_semantics() {
         let mut a = Asm::new();
+        let mut simd = SimdReport::default();
         let mut nc = NestCompiler {
             asm: &mut a,
             dts: &[],
             opts: &X86Backend::sse2_only(),
+            simd: &mut simd,
         };
         nc.emit_instr(&Instr::FBin(BinOp::Div, 2, 0, 1));
         nc.emit_instr(&Instr::FBin32(BinOp::Mul, 3, 0, 1));
@@ -1239,10 +2261,12 @@ mod tests {
         let slots = [av.as_mut_ptr().cast::<u8>(), bv.as_mut_ptr().cast::<u8>()];
         let mut a = Asm::new();
         let dts = [DType::F32, DType::F32];
+        let mut simd = SimdReport::default();
         let mut nc = NestCompiler {
             asm: &mut a,
             dts: &dts,
             opts: &X86Backend::sse2_only(),
+            simd: &mut simd,
         };
         nc.emit_item(&Item::Loop {
             var: 0,

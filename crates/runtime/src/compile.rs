@@ -148,9 +148,18 @@ pub(crate) enum LoopKind {
         /// Race-freedom proof carried from the analyzer.
         proven: bool,
     },
-    /// Schedule-declared vectorized loop: the optimizer may use chunked
-    /// slice kernels for stride-1 bodies.
-    Vectorized,
+    /// Schedule-declared vectorized loop. When `proven` is set the
+    /// analyzer's race-freedom proof
+    /// ([`tvm_tir::analyze::deps::race_free_vectorized_vars`]) covers
+    /// this loop, and the native codegen backend may evaluate blocks of
+    /// iterations simultaneously with packed SIMD lanes — bit-identical
+    /// to sequential order because each lane writes a disjoint element
+    /// and keeps its own operation sequence. Unproven vectorized loops
+    /// run scalar (with a counted fallback reason).
+    Vectorized {
+        /// Race-freedom proof carried from the analyzer.
+        proven: bool,
+    },
 }
 
 /// One buffer operand of a [`Item::MulAddLoop`] microkernel: the storage
@@ -213,6 +222,11 @@ pub(crate) enum Item {
         body: Vec<Instr>,
         /// Original loop kind.
         kind: LoopKind,
+        /// Planned base vector width in elements (the block optimizer's
+        /// vector-width plan: 2 for f64, 4 for f32 bodies of proven
+        /// `Vectorized` loops, 1 otherwise). Native backends may widen
+        /// (AVX doubles it) but never pack a loop planned scalar.
+        lanes: u8,
     },
     /// A recognized contiguous multiply-accumulate inner loop:
     /// `dst[i·sd] = dst[i·sd] + a[i·sa] * b[i·sb]` for `extent`
@@ -384,7 +398,9 @@ impl CompiledFunc {
                     Item::Code(_) | Item::MulAddLoop { .. } | Item::JitCall { .. } => 0,
                     Item::Loop { body, .. } => count(body),
                     Item::If { then, else_, .. } => count(then) + else_.as_ref().map_or(0, count),
-                    Item::StridedLoop { kind, .. } => (*kind == LoopKind::Vectorized) as usize,
+                    Item::StridedLoop { kind, .. } => {
+                        matches!(kind, LoopKind::Vectorized { .. }) as usize
+                    }
                 })
                 .sum()
         }
@@ -416,6 +432,15 @@ impl CompiledFunc {
     /// Machine-code bytes backing this function's jitted nests.
     pub fn jit_code_bytes(&self) -> usize {
         self.jit.as_ref().map_or(0, |p| p.code_bytes())
+    }
+
+    /// Packed-SIMD emission report of this function's jitted nests
+    /// (`None` unless a [`crate::codegen::CodegenBackend`] processed
+    /// this function). The tests use it to assert non-vacuity — that a
+    /// kernel actually took the packed path — without going through a
+    /// device's aggregate counters.
+    pub fn jit_simd_report(&self) -> Option<&crate::codegen::SimdReport> {
+        self.jit.as_ref().map(|p| p.simd_report())
     }
 
     /// `(proven, unproven)` schedule-parallel loop counts. Proven loops
@@ -501,6 +526,10 @@ struct Compiler {
     /// Loop-variable ids the analyzer proved race-free (parallel loops
     /// only; empty on the plain `compile` path).
     par_proven: std::collections::HashSet<u64>,
+    /// Loop-variable ids of vectorized loops the analyzer proved
+    /// race-free (empty on the plain `compile` path); gates packed-SIMD
+    /// codegen the same way `par_proven` gates pool dispatch.
+    vec_proven: std::collections::HashSet<u64>,
     /// Buffer id / TE op id -> storage slot.
     buf_slot: HashMap<u64, u16>,
     op_slot: HashMap<u64, u16>,
@@ -954,7 +983,9 @@ impl Compiler {
                         tvm_tir::ForKind::Parallel => LoopKind::Parallel {
                             proven: self.par_proven.contains(&var.id),
                         },
-                        tvm_tir::ForKind::Vectorized => LoopKind::Vectorized,
+                        tvm_tir::ForKind::Vectorized => LoopKind::Vectorized {
+                            proven: self.vec_proven.contains(&var.id),
+                        },
                         _ => LoopKind::Serial,
                     },
                 };
@@ -1126,19 +1157,24 @@ fn interval_of(
 /// Every schedule-parallel loop is marked *unproven* (it executes
 /// sequentially): this entry backs the scalar rung, whose `vm/v2`
 /// fingerprint promises sequential semantics. The optimized pipeline
-/// threads race-freedom proofs through [`compile_with_par_proofs`].
+/// threads race-freedom proofs through [`compile_with_proofs`].
 pub fn compile(func: &PrimFunc) -> Result<CompiledFunc, CompileError> {
-    compile_with_par_proofs(func, &std::collections::HashSet::new())
+    let empty = std::collections::HashSet::new();
+    compile_with_proofs(func, &empty, &empty)
 }
 
-/// [`compile`], with the analyzer's race-freedom proof set
-/// ([`tvm_tir::analyze::deps::race_free_parallel_vars`]) threaded into
+/// [`compile`], with the analyzer's race-freedom proof sets
+/// ([`tvm_tir::analyze::deps::race_free_parallel_vars`] /
+/// [`tvm_tir::analyze::deps::race_free_vectorized_vars`]) threaded into
 /// the loop metadata: a `ForKind::Parallel` loop whose variable id is in
 /// `par_proven` compiles to `LoopKind::Parallel { proven: true }` and
-/// becomes eligible for worker-pool dispatch.
-pub(crate) fn compile_with_par_proofs(
+/// becomes eligible for worker-pool dispatch; a `ForKind::Vectorized`
+/// loop in `vec_proven` compiles to `LoopKind::Vectorized { proven:
+/// true }` and becomes eligible for packed-SIMD codegen.
+pub(crate) fn compile_with_proofs(
     func: &PrimFunc,
     par_proven: &std::collections::HashSet<u64>,
+    vec_proven: &std::collections::HashSet<u64>,
 ) -> Result<CompiledFunc, CompileError> {
     let n_slots = func.params.len() + func.allocs.len();
     if n_slots > u16::MAX as usize {
@@ -1167,6 +1203,7 @@ pub(crate) fn compile_with_par_proofs(
         fconsts: HashMap::new(),
         env: HashMap::new(),
         par_proven: par_proven.clone(),
+        vec_proven: vec_proven.clone(),
         buf_slot,
         op_slot,
         slot_names,

@@ -1,6 +1,6 @@
 //! Device abstraction: anything that can run and time a lowered function.
 
-use crate::codegen::{default_backend, CodegenBackend, JitCounters, JitStats};
+use crate::codegen::{default_backend, CodegenBackend, JitCounters, JitStats, SimdCounters, SimdStats};
 use crate::compile::{compile, CompiledFunc};
 use crate::interp::ExecError;
 use crate::ndarray::NDArray;
@@ -124,6 +124,14 @@ pub trait Device: Send + Sync {
     fn par_stats(&self) -> Option<ParStats> {
         None
     }
+
+    /// Packed-SIMD emission statistics (packed/tiled/scalar vector
+    /// sites with per-reason fallbacks, plus the emitted lane widths),
+    /// or `None` when this device has no native codegen rung. Counters
+    /// are shared across clones like [`Device::jit_stats`].
+    fn simd_stats(&self) -> Option<SimdStats> {
+        None
+    }
 }
 
 /// Execution engine of a [`CpuDevice`].
@@ -148,6 +156,9 @@ enum CpuMode {
 struct JitState {
     backend: Arc<dyn CodegenBackend>,
     counters: JitCounters,
+    /// Packed-SIMD emission tally, merged from every compiled
+    /// function's [`crate::codegen::SimdReport`].
+    simd: SimdCounters,
 }
 
 /// Host CPU device executing kernels through the optimized compiled VM
@@ -212,11 +223,15 @@ impl CpuDevice {
     /// JIT-mode device with an explicit backend (tests use this to pin
     /// the SSE2-only emitter or a never-compiling backend).
     pub fn jit_with_backend(backend: Arc<dyn CodegenBackend>) -> CpuDevice {
+        let simd = SimdCounters::default();
+        let (f64_lanes, f32_lanes) = backend.vector_widths();
+        simd.set_lanes(f64_lanes, f32_lanes);
         CpuDevice {
             mode: CpuMode::Jit,
             jit: Some(Arc::new(JitState {
                 backend,
                 counters: JitCounters::default(),
+                simd,
             })),
             par: Some(Arc::new(ParCounters::new())),
         }
@@ -247,6 +262,9 @@ impl CpuDevice {
                     jitted.jit_nest_count() as u64,
                     jitted.jit_code_bytes() as u64,
                 );
+                if let Some(program) = &jitted.jit {
+                    state.simd.record_report(program.simd_report());
+                }
                 Some(Arc::new(self.attach_par(jitted)))
             }
             Err(e) => {
@@ -321,6 +339,10 @@ impl Device for CpuDevice {
 
     fn par_stats(&self) -> Option<ParStats> {
         self.par.as_ref().map(|c| c.snapshot())
+    }
+
+    fn simd_stats(&self) -> Option<SimdStats> {
+        self.jit.as_ref().map(|s| s.simd.snapshot())
     }
 }
 

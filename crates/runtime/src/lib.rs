@@ -43,8 +43,8 @@ pub mod pool;
 pub mod vm;
 
 pub use codegen::{
-    default_backend, jit_fingerprint, CodegenBackend, JitCounters, JitProgram, JitStats,
-    NoopBackend, JIT_VERSION,
+    default_backend, jit_fingerprint, scalar_backend, CodegenBackend, JitCounters, JitProgram,
+    JitStats, NoopBackend, SimdCounters, SimdReport, SimdStats, JIT_VERSION,
 };
 pub use compile::{compile, CompileError, CompiledFunc};
 pub use device::{CpuDevice, Device, DeviceError};

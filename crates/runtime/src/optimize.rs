@@ -37,11 +37,11 @@
 //! unobservable.
 
 use crate::compile::{
-    compile_with_par_proofs, Block, CompileError, CompiledFunc, Instr, Item, LoopKind, Reg,
+    compile_with_proofs, Block, CompileError, CompiledFunc, Instr, Item, LoopKind, Reg,
     SlotAccess,
 };
 use std::collections::{HashMap, HashSet};
-use tvm_te::BinOp;
+use tvm_te::{BinOp, DType};
 use tvm_tir::PrimFunc;
 
 /// Version tag of the bytecode engine (compiler + block optimizer +
@@ -66,21 +66,25 @@ pub fn engine_fingerprint() -> String {
 /// back to the unoptimized function if a pass or its verification
 /// fails), bytecode compilation, then the block optimizer. Parallel
 /// loops the dependence analyzer proves race-free are marked
-/// dispatchable; the proof runs on whichever function actually
-/// compiles, so pass-pipeline rewrites can't invalidate it silently.
+/// dispatchable, and vectorized loops it proves race-free are marked
+/// packable for native backends; each proof runs on whichever function
+/// actually compiles, so pass-pipeline rewrites can't invalidate it
+/// silently.
 pub fn compile_optimized(func: &PrimFunc) -> Result<CompiledFunc, CompileError> {
-    use tvm_tir::analyze::deps::race_free_parallel_vars;
+    use tvm_tir::analyze::deps::{race_free_parallel_vars, race_free_vectorized_vars};
     if let Ok(opt) = tvm_tir::optimize(func) {
-        let proofs = race_free_parallel_vars(&opt);
-        if let Ok(cf) = compile_with_par_proofs(&opt, &proofs) {
+        let par = race_free_parallel_vars(&opt);
+        let vec = race_free_vectorized_vars(&opt);
+        if let Ok(cf) = compile_with_proofs(&opt, &par, &vec) {
             return Ok(optimize_compiled(&cf));
         }
     }
     // The optimized IR failed to compile (e.g. a rewrite surfaced a
     // short-circuit shape the compiler rejects): keep the scalar
     // engine's exact behaviour on the original function.
-    let proofs = race_free_parallel_vars(func);
-    compile_with_par_proofs(func, &proofs).map(|cf| optimize_compiled(&cf))
+    let par = race_free_parallel_vars(func);
+    let vec = race_free_vectorized_vars(func);
+    compile_with_proofs(func, &par, &vec).map(|cf| optimize_compiled(&cf))
 }
 
 /// Apply the bytecode-level transforms to an already-compiled function.
@@ -88,7 +92,13 @@ pub fn optimize_compiled(cf: &CompiledFunc) -> CompiledFunc {
     let consts = collect_consts(&cf.body);
     let fuse = freg_use_counts(&cf.body);
     let vn = value_numbers(&cf.body);
-    let body = optimize_block(&cf.body, &consts, &fuse, &vn);
+    let dts: Vec<DType> = cf
+        .params
+        .iter()
+        .map(|p| p.dtype)
+        .chain(cf.allocs.iter().map(|(_, dt)| *dt))
+        .collect();
+    let body = optimize_block(&cf.body, &consts, &fuse, &vn, &dts);
     CompiledFunc { body, ..cf.clone() }
 }
 
@@ -342,6 +352,7 @@ fn optimize_block(
     consts: &HashMap<Reg, i64>,
     fuse: &HashMap<Reg, usize>,
     vn: &HashMap<Reg, u32>,
+    dts: &[DType],
 ) -> Block {
     let items = b
         .items
@@ -350,8 +361,10 @@ fn optimize_block(
             Item::Code(c) => Item::Code(fma_peephole(c, fuse)),
             Item::If { cond, then, else_ } => Item::If {
                 cond: *cond,
-                then: optimize_block(then, consts, fuse, vn),
-                else_: else_.as_ref().map(|e| optimize_block(e, consts, fuse, vn)),
+                then: optimize_block(then, consts, fuse, vn, dts),
+                else_: else_
+                    .as_ref()
+                    .map(|e| optimize_block(e, consts, fuse, vn, dts)),
             },
             Item::Loop {
                 var,
@@ -360,14 +373,16 @@ fn optimize_block(
                 body,
                 kind,
             } => {
-                let body = optimize_block(body, consts, fuse, vn);
-                try_strided(*var, *min, *extent, *kind, &body, consts, vn).unwrap_or(Item::Loop {
-                    var: *var,
-                    min: *min,
-                    extent: *extent,
-                    body,
-                    kind: *kind,
-                })
+                let body = optimize_block(body, consts, fuse, vn, dts);
+                try_strided(*var, *min, *extent, *kind, &body, consts, vn, dts).unwrap_or(
+                    Item::Loop {
+                        var: *var,
+                        min: *min,
+                        extent: *extent,
+                        body,
+                        kind: *kind,
+                    },
+                )
             }
             other => other.clone(),
         })
@@ -378,6 +393,7 @@ fn optimize_block(
 /// Rewrite an innermost straight-line loop into strided-pointer-bump
 /// form, and further into a multiply-accumulate microkernel when the
 /// residual body matches.
+#[allow(clippy::too_many_arguments)]
 fn try_strided(
     var: Reg,
     min: i64,
@@ -386,6 +402,7 @@ fn try_strided(
     body: &Block,
     consts: &HashMap<Reg, i64>,
     vn: &HashMap<Reg, u32>,
+    dts: &[DType],
 ) -> Option<Item> {
     if extent < 1 {
         return None;
@@ -457,13 +474,42 @@ fn try_strided(
         // Nothing hoisted and no microkernel: the plain loop is as good.
         return None;
     }
+    let lanes = plan_lanes(kind, &rest, dts);
     Some(Item::StridedLoop {
         extent,
         pre,
         bumps,
         body: rest,
         kind,
+        lanes,
     })
+}
+
+/// Vector-width plan for a strided body: the uniform f64/f32 element
+/// width of its loads and stores when the enclosing loop carries the
+/// analyzer's `Vectorized` race-freedom proof, else 1 (scalar). Native
+/// backends may widen the plan (AVX doubles it) but never pack a loop
+/// planned scalar.
+fn plan_lanes(kind: LoopKind, body: &[Instr], dts: &[DType]) -> u8 {
+    if !matches!(kind, LoopKind::Vectorized { proven: true }) {
+        return 1;
+    }
+    let mut mode: Option<DType> = None;
+    for i in body {
+        if let Instr::Load(_, slot, _) | Instr::Store(slot, _, _) = i {
+            let dt = dts[*slot as usize];
+            match mode {
+                None => mode = Some(dt),
+                Some(m) if m != dt => return 1,
+                _ => {}
+            }
+        }
+    }
+    match mode {
+        Some(DType::F64) => 2,
+        Some(DType::F32) => 4,
+        _ => 1,
+    }
 }
 
 /// Recognize the contiguous multiply-accumulate body

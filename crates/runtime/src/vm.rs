@@ -450,6 +450,71 @@ fn disjoint3(
     (dref, pa, pb)
 }
 
+/// Chunked element-wise mul-add arms shared by the `f64` and `f32`
+/// microkernels. Every destination lane is written exactly once, so
+/// splitting the loop into 4-lane blocks (plus a scalar tail) keeps
+/// each element's load → multiply → add → store sequence intact —
+/// accumulation order is per-element, never across the block — while
+/// handing LLVM an obvious packed shape it can autovectorize without
+/// reassociation. Multiply operand order matches the scalar arm.
+macro_rules! chunked_muladd_arms {
+    ($axpy:ident, $xpay:ident, $hadamard:ident, $t:ty) => {
+        /// `d[i] += x * b[i]` in 4-lane blocks.
+        fn $axpy(d: &mut [$t], x: $t, b: &[$t]) {
+            let mut dc = d.chunks_exact_mut(4);
+            let mut bc = b.chunks_exact(4);
+            for (dv, y) in (&mut dc).zip(&mut bc) {
+                dv[0] += x * y[0];
+                dv[1] += x * y[1];
+                dv[2] += x * y[2];
+                dv[3] += x * y[3];
+            }
+            for (dv, y) in dc.into_remainder().iter_mut().zip(bc.remainder()) {
+                *dv += x * *y;
+            }
+        }
+
+        /// `d[i] += a[i] * y` in 4-lane blocks.
+        fn $xpay(d: &mut [$t], a: &[$t], y: $t) {
+            let mut dc = d.chunks_exact_mut(4);
+            let mut ac = a.chunks_exact(4);
+            for (dv, x) in (&mut dc).zip(&mut ac) {
+                dv[0] += x[0] * y;
+                dv[1] += x[1] * y;
+                dv[2] += x[2] * y;
+                dv[3] += x[3] * y;
+            }
+            for (dv, x) in dc.into_remainder().iter_mut().zip(ac.remainder()) {
+                *dv += *x * y;
+            }
+        }
+
+        /// `d[i] += a[i] * b[i]` in 4-lane blocks.
+        fn $hadamard(d: &mut [$t], a: &[$t], b: &[$t]) {
+            let mut dc = d.chunks_exact_mut(4);
+            let mut ac = a.chunks_exact(4);
+            let mut bc = b.chunks_exact(4);
+            for ((dv, x), y) in (&mut dc).zip(&mut ac).zip(&mut bc) {
+                dv[0] += x[0] * y[0];
+                dv[1] += x[1] * y[1];
+                dv[2] += x[2] * y[2];
+                dv[3] += x[3] * y[3];
+            }
+            for ((dv, x), y) in dc
+                .into_remainder()
+                .iter_mut()
+                .zip(ac.remainder())
+                .zip(bc.remainder())
+            {
+                *dv += *x * *y;
+            }
+        }
+    };
+}
+
+chunked_muladd_arms!(axpy_f64, xpay_f64, hadamard_f64, f64);
+chunked_muladd_arms!(axpy_f32, xpay_f32, hadamard_f32, f32);
+
 /// `f64` multiply-accumulate microkernel. Operates directly on the
 /// stored values, so it is trivially bit-identical to the scalar VM.
 #[allow(clippy::needless_range_loop)]
@@ -472,27 +537,9 @@ fn muladd_f64(
             }
             d[d0] = acc;
         }
-        (1, 0, 1) => {
-            let x = a[a0];
-            for (dv, y) in d[d0..d0 + n].iter_mut().zip(&b[b0..b0 + n]) {
-                *dv += x * y;
-            }
-        }
-        (1, 1, 0) => {
-            let y = b[b0];
-            for (dv, x) in d[d0..d0 + n].iter_mut().zip(&a[a0..a0 + n]) {
-                *dv += x * y;
-            }
-        }
-        (1, 1, 1) => {
-            for ((dv, x), y) in d[d0..d0 + n]
-                .iter_mut()
-                .zip(&a[a0..a0 + n])
-                .zip(&b[b0..b0 + n])
-            {
-                *dv += x * y;
-            }
-        }
+        (1, 0, 1) => axpy_f64(&mut d[d0..d0 + n], a[a0], &b[b0..b0 + n]),
+        (1, 1, 0) => xpay_f64(&mut d[d0..d0 + n], &a[a0..a0 + n], b[b0]),
+        (1, 1, 1) => hadamard_f64(&mut d[d0..d0 + n], &a[a0..a0 + n], &b[b0..b0 + n]),
         _ => {
             let (mut di, mut ai, mut bi) = (d0 as i64, a0 as i64, b0 as i64);
             if sd == 0 {
@@ -543,27 +590,9 @@ fn muladd_f32(
             }
             d[d0] = acc;
         }
-        (1, 0, 1) => {
-            let x = a[a0];
-            for (dv, y) in d[d0..d0 + n].iter_mut().zip(&b[b0..b0 + n]) {
-                *dv += x * y;
-            }
-        }
-        (1, 1, 0) => {
-            let y = b[b0];
-            for (dv, x) in d[d0..d0 + n].iter_mut().zip(&a[a0..a0 + n]) {
-                *dv += x * y;
-            }
-        }
-        (1, 1, 1) => {
-            for ((dv, x), y) in d[d0..d0 + n]
-                .iter_mut()
-                .zip(&a[a0..a0 + n])
-                .zip(&b[b0..b0 + n])
-            {
-                *dv += x * y;
-            }
-        }
+        (1, 0, 1) => axpy_f32(&mut d[d0..d0 + n], a[a0], &b[b0..b0 + n]),
+        (1, 1, 0) => xpay_f32(&mut d[d0..d0 + n], &a[a0..a0 + n], b[b0]),
+        (1, 1, 1) => hadamard_f32(&mut d[d0..d0 + n], &a[a0..a0 + n], &b[b0..b0 + n]),
         _ => {
             let (mut di, mut ai, mut bi) = (d0 as i64, a0 as i64, b0 as i64);
             if sd == 0 {

@@ -31,7 +31,7 @@ use polybench::molds::mold_for_mode;
 use std::sync::Arc;
 use tvm_autotune::{MemoCache, MoldEvaluator};
 use tvm_runtime::CpuDevice;
-use ytopt_bo::problem::{CacheStats, JitStats, ParStats, PruneStats, StaticCheckStats};
+use ytopt_bo::problem::{CacheStats, JitStats, ParStats, PruneStats, SimdStats, StaticCheckStats};
 
 /// One engine level: a display name plus the (harnessed) evaluator.
 pub struct Rung {
@@ -130,6 +130,22 @@ impl EngineLadder {
         for r in &self.rungs {
             if let Some(s) = r.evaluator.par_stats() {
                 merged.get_or_insert_with(ParStats::default).merge(&s);
+            }
+        }
+        merged
+    }
+
+    /// Packed-SIMD emission counters merged over every rung whose
+    /// evaluator runs a vectorizing codegen rung (in practice only the
+    /// JIT rung reports; merging keeps the accounting correct if a
+    /// future rung grows its own vectorizer). Merged like
+    /// [`Self::par_stats`]: after a demotion, vector sites compiled on
+    /// the old rung are still part of the session's story.
+    pub fn simd_stats(&self) -> Option<SimdStats> {
+        let mut merged: Option<SimdStats> = None;
+        for r in &self.rungs {
+            if let Some(s) = r.evaluator.simd_stats() {
+                merged.get_or_insert_with(SimdStats::default).merge(&s);
             }
         }
         merged

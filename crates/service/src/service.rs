@@ -44,7 +44,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use tvm_autotune::MemoCache;
 use ytopt_bo::journal::{RotationPolicy, TrialJournal};
-use ytopt_bo::problem::{CacheStats, JitStats, ParStats, PruneStats};
+use ytopt_bo::problem::{CacheStats, JitStats, ParStats, PruneStats, SimdStats};
 
 /// Sentinel id that makes a worker panic *outside* the job runner's
 /// panic guard — a test hook proving the supervisor respawns workers.
@@ -163,6 +163,12 @@ pub struct ServiceStatus {
     /// report (parallel-capable rungs only; all-zero when no real-engine
     /// job has finished).
     pub par: ParStats,
+    /// Aggregate packed-SIMD emission counters over every terminal
+    /// session report (vectorizing rungs only; all-zero until a JIT job
+    /// has finished). Defaulted on deserialize for status files written
+    /// before the packed tier.
+    #[serde(default)]
+    pub simd: SimdStats,
     /// Aggregate static-pruning counters over every terminal session
     /// report (analyzed rungs only; all-zero until an analyzed job has
     /// finished). The per-code denial counts answer "what is the
@@ -413,6 +419,7 @@ impl TuningService {
         let count = |s: JobState| jobs.values().filter(|e| e.state == s).count();
         let mut jit = JitStats::default();
         let mut par = ParStats::default();
+        let mut simd = SimdStats::default();
         let mut prune = PruneStats::default();
         for entry in jobs.values() {
             let report = entry.outcome.as_ref().and_then(|o| o.report.as_ref());
@@ -421,6 +428,9 @@ impl TuningService {
             }
             if let Some(s) = report.and_then(|r| r.par.as_ref()) {
                 par.merge(s);
+            }
+            if let Some(s) = report.and_then(|r| r.simd.as_ref()) {
+                simd.merge(s);
             }
             if let Some(s) = report.and_then(|r| r.prune.as_ref()) {
                 prune.merge(s);
@@ -439,6 +449,7 @@ impl TuningService {
             cache: self.inner.cache.stats(),
             jit,
             par,
+            simd,
             prune,
             breakers: self.inner.breakers.snapshot(),
             worker_restarts: self.inner.worker_restarts.load(Ordering::Relaxed),

@@ -21,7 +21,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime};
 use ytopt_bo::fault::MeasureError;
 use ytopt_bo::journal::{divergence_error, TrialJournal, TrialRecord};
-use ytopt_bo::problem::{CacheStats, JitStats, ParStats, PruneStats};
+use ytopt_bo::problem::{CacheStats, JitStats, ParStats, PruneStats, SimdStats};
 
 /// Milliseconds since the UNIX epoch (deadline arithmetic survives
 /// process restarts, unlike `Instant`).
@@ -141,6 +141,12 @@ pub struct SessionReport {
     /// parallel-capable rungs at session end (`None` when no rung runs
     /// loops on the worker pool).
     pub par: Option<ParStats>,
+    /// Packed-SIMD emission counters of the ladder's vectorizing rungs
+    /// at session end (`None` when no rung runs a packed-capable
+    /// codegen). Defaulted on deserialize so journals written before
+    /// the packed tier load cleanly.
+    #[serde(default)]
+    pub simd: Option<SimdStats>,
     /// Static-pruning counters merged over the ladder's analyzed rungs
     /// at session end (`None` when no rung runs the analyzer pipeline).
     /// Per-code denial counts tell a tenant *why* an aggressive space
@@ -346,6 +352,7 @@ pub fn run_session(
         cache: ladder.cache_stats(),
         jit: ladder.jit_stats(),
         par: ladder.par_stats(),
+        simd: ladder.simd_stats(),
         prune: ladder.prune_stats(),
         trials,
     })

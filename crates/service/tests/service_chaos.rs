@@ -323,7 +323,7 @@ fn jit_rung_demotion_is_replay_identical() {
         assert!(
             replay[..3]
                 .iter()
-                .all(|r| r.pipeline.as_deref() == Some("vm/v2+tir-opt/v1+par/v1+jit/v1")),
+                .all(|r| r.pipeline.as_deref() == Some(tvm_runtime::jit_fingerprint().as_str())),
             "pre-demotion records carry the JIT fingerprint: {:?}",
             replay.iter().map(|r| r.pipeline.clone()).collect::<Vec<_>>()
         );

@@ -14,7 +14,7 @@ use tvm_runtime::{CompiledFunc, Device, NDArray};
 use tvm_tir::analyze::{Diagnostic, PruneReport, PruneStage, Severity, Verdict};
 use tvm_tir::PrimFunc;
 use ytopt_bo::problem::{
-    CacheStats, Evaluation, JitStats, ParStats, Problem, PruneStats, StaticCheckStats,
+    CacheStats, Evaluation, JitStats, ParStats, Problem, PruneStats, SimdStats, StaticCheckStats,
 };
 
 /// Modeled host↔device transfer bandwidth (PCIe 4.0 ×16), bytes/s.
@@ -256,6 +256,21 @@ impl MoldEvaluator {
             fallback_reasons: s.fallback_reasons,
             pool_threads: s.pool_threads,
             threads_spawned: s.threads_spawned,
+        })
+    }
+
+    /// Snapshot of the device's packed-SIMD emission counters, when the
+    /// device runs a vectorizing codegen rung (`None` for every other
+    /// engine). Converted from the runtime's counter type into the
+    /// serializable mirror the tuning/service layers report.
+    pub fn simd_stats(&self) -> Option<SimdStats> {
+        self.device.simd_stats().map(|s| SimdStats {
+            packed_loops: s.packed_loops,
+            tiled_loops: s.tiled_loops,
+            scalar_loops: s.scalar_loops,
+            f64_lanes: u64::from(s.f64_lanes),
+            f32_lanes: u64::from(s.f32_lanes),
+            scalar_reasons: s.scalar_reasons,
         })
     }
 
@@ -525,6 +540,10 @@ impl Evaluator for MoldEvaluator {
         MoldEvaluator::par_stats(self)
     }
 
+    fn simd_stats(&self) -> Option<SimdStats> {
+        MoldEvaluator::simd_stats(self)
+    }
+
     fn prune_batch(&self, batch: &[Configuration]) -> Option<Vec<Option<String>>> {
         Some(self.prune_mask(batch))
     }
@@ -570,6 +589,10 @@ impl Problem for MoldEvaluator {
 
     fn par_stats(&self) -> Option<ParStats> {
         MoldEvaluator::par_stats(self)
+    }
+
+    fn simd_stats(&self) -> Option<SimdStats> {
+        MoldEvaluator::simd_stats(self)
     }
 
     fn prune_batch(&self, batch: &[Configuration]) -> Option<Vec<Option<String>>> {
